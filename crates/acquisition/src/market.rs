@@ -1,0 +1,270 @@
+//! Data-market acquisition (Li, Yu, Koudas; VLDB 2021).
+//!
+//! A consumer holds a non-representative data set and a query budget
+//! against a provider whose pool follows the (hidden) target distribution.
+//! Each query is a filtering predicate; the provider returns a random
+//! sample *without replacement* from the matching pool rows. The
+//! consumer's problem is which predicates to issue: **exploration** learns
+//! the provider's distribution, **exploitation** targets the predicates
+//! with the highest *novelty* — slices where the consumer's holdings fall
+//! furthest below the provider's (≈ target) proportions.
+
+use rand::Rng;
+use rdi_table::{Predicate, Table, TableError};
+
+/// The provider side: a hidden pool, sampled without replacement.
+#[derive(Debug, Clone)]
+pub struct MarketProvider {
+    pool: Table,
+    available: Vec<bool>,
+}
+
+impl MarketProvider {
+    /// Wrap a pool table.
+    pub fn new(pool: Table) -> Self {
+        let available = vec![true; pool.num_rows()];
+        MarketProvider { pool, available }
+    }
+
+    /// Rows still available.
+    pub fn remaining(&self) -> usize {
+        self.available.iter().filter(|a| **a).count()
+    }
+
+    /// Answer a predicate query: up to `batch` random matching rows,
+    /// removed from the pool.
+    pub fn query<R: Rng>(&mut self, pred: &Predicate, batch: usize, rng: &mut R) -> Table {
+        let mut matching: Vec<usize> = (0..self.pool.num_rows())
+            .filter(|&i| self.available[i] && pred.eval(&self.pool, i))
+            .collect();
+        // partial Fisher–Yates to pick `batch` random rows
+        let take = batch.min(matching.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..matching.len());
+            matching.swap(i, j);
+        }
+        let chosen = &matching[..take];
+        for &i in chosen {
+            self.available[i] = false;
+        }
+        self.pool.take(chosen)
+    }
+
+    /// The pool's schema.
+    pub fn schema(&self) -> &rdi_table::Schema {
+        self.pool.schema()
+    }
+}
+
+/// How the consumer picks predicates.
+#[derive(Debug, Clone)]
+pub enum AcquisitionStrategy {
+    /// Pick a uniformly random predicate each round (baseline).
+    Random,
+    /// Round-robin over all predicates for `explore_rounds` rounds (one
+    /// probe each, cyclically), then always pick the highest-novelty
+    /// predicate.
+    ExploreExploit {
+        /// Rounds spent probing before switching to exploitation.
+        explore_rounds: usize,
+    },
+}
+
+/// Result of an acquisition session.
+#[derive(Debug, Clone)]
+pub struct AcquisitionOutcome {
+    /// The consumer's holdings after acquisition (initial ∪ acquired).
+    pub owned: Table,
+    /// Queries issued per candidate predicate.
+    pub queries_per_predicate: Vec<usize>,
+    /// Rows acquired in total.
+    pub acquired_rows: usize,
+}
+
+/// Run an acquisition session of `rounds` queries of `batch` rows each.
+///
+/// Novelty of predicate `p` = (estimated provider fraction matching `p`)
+/// − (owned fraction matching `p`), with provider fractions estimated
+/// from the per-query response *fill rates* observed so far (a query
+/// returning fewer rows than `batch` reveals scarcity).
+pub fn acquire_from_market<R: Rng>(
+    provider: &mut MarketProvider,
+    initial: &Table,
+    predicates: &[Predicate],
+    batch: usize,
+    rounds: usize,
+    strategy: &AcquisitionStrategy,
+    rng: &mut R,
+) -> rdi_table::Result<AcquisitionOutcome> {
+    if predicates.is_empty() {
+        return Err(TableError::SchemaMismatch("no candidate predicates".into()));
+    }
+    if initial.schema() != provider.schema() {
+        return Err(TableError::SchemaMismatch(
+            "consumer and provider schemas differ".into(),
+        ));
+    }
+    let mut owned = initial.clone();
+    let mut queries = vec![0usize; predicates.len()];
+    // provider-fraction estimates: received rows / requested rows (Laplace)
+    let mut received = vec![0.0f64; predicates.len()];
+    let mut requested = vec![0.0f64; predicates.len()];
+    let mut acquired_rows = 0;
+
+    for round in 0..rounds {
+        let choice = match strategy {
+            AcquisitionStrategy::Random => rng.gen_range(0..predicates.len()),
+            AcquisitionStrategy::ExploreExploit { explore_rounds } => {
+                if round < *explore_rounds {
+                    round % predicates.len()
+                } else {
+                    // novelty = est. provider availability − owned share
+                    let owned_n = owned.num_rows().max(1) as f64;
+                    let mut best = (f64::NEG_INFINITY, 0usize);
+                    for (i, p) in predicates.iter().enumerate() {
+                        let fill = (received[i] + 1.0) / (requested[i] + 2.0);
+                        let owned_frac = p.count(&owned) as f64 / owned_n;
+                        let novelty = fill - owned_frac;
+                        if novelty > best.0 {
+                            best = (novelty, i);
+                        }
+                    }
+                    best.1
+                }
+            }
+        };
+        let got = provider.query(&predicates[choice], batch, rng);
+        queries[choice] += 1;
+        requested[choice] += batch as f64;
+        received[choice] += got.num_rows() as f64;
+        acquired_rows += got.num_rows();
+        owned.append(&got)?;
+    }
+    Ok(AcquisitionOutcome {
+        owned,
+        queries_per_predicate: queries,
+        acquired_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, Role, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)])
+    }
+
+    fn table(rows: &[(&str, usize)]) -> Table {
+        let mut t = Table::new(schema());
+        for (g, n) in rows {
+            for _ in 0..*n {
+                t.push_row(vec![Value::str(*g)]).unwrap();
+            }
+        }
+        t
+    }
+
+    fn preds() -> Vec<Predicate> {
+        vec![
+            Predicate::eq("g", Value::str("a")),
+            Predicate::eq("g", Value::str("b")),
+        ]
+    }
+
+    #[test]
+    fn provider_samples_without_replacement() {
+        let mut p = MarketProvider::new(table(&[("a", 10)]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = p.query(&preds()[0], 6, &mut rng);
+        assert_eq!(first.num_rows(), 6);
+        assert_eq!(p.remaining(), 4);
+        let second = p.query(&preds()[0], 6, &mut rng);
+        assert_eq!(second.num_rows(), 4); // exhausted
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn explore_exploit_fills_the_gap() {
+        // provider pool is 50/50; consumer starts with only group "a"
+        let mut provider = MarketProvider::new(table(&[("a", 500), ("b", 500)]));
+        let initial = table(&[("a", 200)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = acquire_from_market(
+            &mut provider,
+            &initial,
+            &preds(),
+            20,
+            20,
+            &AcquisitionStrategy::ExploreExploit { explore_rounds: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        // most exploitation queries should target the missing group "b"
+        assert!(
+            out.queries_per_predicate[1] > out.queries_per_predicate[0],
+            "queries={:?}",
+            out.queries_per_predicate
+        );
+        let b_count = Predicate::eq("g", Value::str("b")).count(&out.owned);
+        let a_acquired = Predicate::eq("g", Value::str("a")).count(&out.owned) - 200;
+        assert!(b_count > a_acquired, "b={b_count} a_new={a_acquired}");
+    }
+
+    #[test]
+    fn random_strategy_spreads_queries() {
+        let mut provider = MarketProvider::new(table(&[("a", 500), ("b", 500)]));
+        let initial = table(&[("a", 200)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = acquire_from_market(
+            &mut provider,
+            &initial,
+            &preds(),
+            20,
+            30,
+            &AcquisitionStrategy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.queries_per_predicate[0] > 5);
+        assert!(out.queries_per_predicate[1] > 5);
+        assert_eq!(out.queries_per_predicate.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut provider = MarketProvider::new(table(&[("a", 10)]));
+        let other = Table::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(acquire_from_market(
+            &mut provider,
+            &other,
+            &preds(),
+            5,
+            2,
+            &AcquisitionStrategy::Random,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_predicates_rejected() {
+        let mut provider = MarketProvider::new(table(&[("a", 10)]));
+        let initial = table(&[]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(acquire_from_market(
+            &mut provider,
+            &initial,
+            &[],
+            5,
+            2,
+            &AcquisitionStrategy::Random,
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench: MUP discovery — Pattern-Breaker vs naive lattice
+//! scan (the E2 ablation, measured properly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdi_coverage::CoverageAnalyzer;
+use rdi_table::{DataType, Field, Schema, Table, Value};
+
+fn skewed_table(n: usize, d: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(1);
+    let fields = (0..d)
+        .map(|i| Field::new(format!("a{i}"), DataType::Str))
+        .collect();
+    let mut t = Table::new(Schema::new(fields));
+    for _ in 0..n {
+        let row: Vec<Value> = (0..d)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                Value::str(if u < 0.7 { "0" } else if u < 0.95 { "1" } else { "2" })
+            })
+            .collect();
+        t.push_row(row).unwrap();
+    }
+    t
+}
+
+fn bench_mup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mup_discovery");
+    group.sample_size(10);
+    for d in [4usize, 5, 6] {
+        let t = skewed_table(5_000, d);
+        let attrs: Vec<String> = (0..d).map(|i| format!("a{i}")).collect();
+        let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let an = CoverageAnalyzer::new(&t, &attrs_ref, 25).unwrap();
+        group.bench_with_input(BenchmarkId::new("pattern_breaker", d), &an, |b, an| {
+            b.iter(|| an.mups_pattern_breaker())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", d), &an, |b, an| {
+            b.iter(|| an.mups_naive())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mup);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion bench: discovery — sketch construction, LSH-Ensemble query
+//! vs exact overlap scan (E8 ablation: single-band-scheme LSH vs the
+//! size-partitioned ensemble).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_datagen::{LakeConfig, SyntheticLake};
+use rdi_discovery::{
+    match_schemas, CorrelationSketch, KeywordIndex, LshEnsemble, MinHash, MinHashLsh,
+    Navigator, OverlapIndex, TableSignature,
+};
+
+fn lake() -> SyntheticLake {
+    SyntheticLake::generate(
+        &LakeConfig {
+            num_candidates: 100,
+            query_keys: 1_000,
+            candidate_rows: 2_000,
+            joinable_fraction: 0.4,
+        },
+        &mut StdRng::seed_from_u64(2),
+    )
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let lake = lake();
+    let k = 128;
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+
+    group.bench_function("minhash_build_2000rows", |b| {
+        b.iter(|| MinHash::from_column(&lake.candidates[0].table, "key", k).unwrap())
+    });
+    group.bench_function("correlation_sketch_build", |b| {
+        b.iter(|| CorrelationSketch::build(&lake.candidates[0].table, "key", "feat", 256).unwrap())
+    });
+
+    // prebuild indexes
+    let sigs: Vec<(MinHash, usize)> = lake
+        .candidates
+        .iter()
+        .map(|c| {
+            (
+                MinHash::from_column(&c.table, "key", k).unwrap(),
+                c.table.distinct("key").unwrap().len(),
+            )
+        })
+        .collect();
+    let mut ensemble = LshEnsemble::new(k, 0.5, 8, 1_000_000);
+    let mut flat = MinHashLsh::tuned(k, 0.5);
+    let mut exact = OverlapIndex::new();
+    for (i, (s, size)) in sigs.iter().enumerate() {
+        ensemble.insert(i, s.clone(), *size);
+        flat.insert(s.clone());
+        exact
+            .insert(format!("c{i}"), &lake.candidates[i].table, "key")
+            .unwrap();
+    }
+    ensemble.build(lake.query.num_rows());
+    let qsig = MinHash::from_column(&lake.query, "key", k).unwrap();
+
+    group.bench_function(BenchmarkId::new("query", "lsh_ensemble"), |b| {
+        b.iter(|| ensemble.query(&qsig, lake.query.num_rows()))
+    });
+    group.bench_function(BenchmarkId::new("query", "flat_lsh"), |b| {
+        b.iter(|| flat.query(&qsig))
+    });
+    group.bench_function(BenchmarkId::new("query", "exact_overlap"), |b| {
+        b.iter(|| exact.overlaps(&lake.query, "key").unwrap())
+    });
+
+    // keyword search over the lake
+    let mut kw = KeywordIndex::new();
+    for (i, c) in lake.candidates.iter().enumerate() {
+        kw.insert(format!("cand_{i}"), &c.table, 50);
+    }
+    group.bench_function(BenchmarkId::new("query", "keyword_bm25"), |b| {
+        b.iter(|| kw.search("key feat cand", 10))
+    });
+
+    // schema matching between two candidate tables
+    group.bench_function("schema_match_2x2cols", |b| {
+        b.iter(|| {
+            match_schemas(&lake.candidates[0].table, &lake.candidates[1].table, 0.5, 64, 0.1)
+                .unwrap()
+        })
+    });
+
+    // navigation over a 30-table organization
+    let sigs: Vec<TableSignature> = lake
+        .candidates
+        .iter()
+        .take(30)
+        .enumerate()
+        .map(|(i, c)| TableSignature::build(format!("t{i}"), &c.table, 64).unwrap())
+        .collect();
+    let qsig_t = TableSignature::build("q", &lake.query, 64).unwrap();
+    group.bench_function("navigator_build_30_tables", |b| {
+        b.iter(|| Navigator::build(sigs.clone()))
+    });
+    let nav = Navigator::build(sigs);
+    group.bench_function(BenchmarkId::new("query", "navigate"), |b| {
+        b.iter(|| nav.navigate(&qsig_t))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

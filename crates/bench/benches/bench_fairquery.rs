@@ -1,0 +1,40 @@
+//! Criterion bench: fairness-aware range queries — exact O(n²) search vs
+//! the greedy heuristic (E10b measured properly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdi_fairquery::RangeQueryEngine;
+
+fn engine(n: usize) -> RangeQueryEngine {
+    let mut rng = StdRng::seed_from_u64(3);
+    RangeQueryEngine::from_points(
+        (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.5 {
+                    (22.0 + rng.gen::<f64>() * 20.0, true)
+                } else {
+                    (30.0 + rng.gen::<f64>() * 30.0, false)
+                }
+            })
+            .collect(),
+    )
+}
+
+fn bench_fair_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_range");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let e = engine(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &e, |b, e| {
+            b.iter(|| e.fair_range_exact(35.0, 55.0, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &e, |b, e| {
+            b.iter(|| e.fair_range_greedy(35.0, 55.0, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fair_range);
+criterion_main!(benches);

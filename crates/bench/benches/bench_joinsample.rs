@@ -1,0 +1,84 @@
+//! Criterion bench: join-sampling throughput — accept-reject vs weighted
+//! vs wander walks vs full hash join (the E7b ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_joinsample::{
+    chaudhuri_sample, olken_sample, union_sample, ExactChainSampler, JoinIndex, ReservoirSampler,
+    WanderJoin,
+};
+use rdi_table::{hash_join, DataType, Field, Schema, Table, Value};
+
+fn keyed(n: usize, max_mult: usize) -> (Table, Table) {
+    let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+    let mut left = Table::new(schema.clone());
+    let mut right = Table::new(schema);
+    for k in 0..n {
+        left.push_row(vec![Value::Int(k as i64)]).unwrap();
+        for _ in 0..(k % max_mult) + 1 {
+            right.push_row(vec![Value::Int(k as i64)]).unwrap();
+        }
+    }
+    (left, right)
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let (left, right) = keyed(10_000, 10);
+    let idx = JoinIndex::build(&right, "k").unwrap();
+    let mut group = c.benchmark_group("join_sampling");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("olken", 1000), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            olken_sample(&left, "k", &idx, 1_000, &mut rng).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("chaudhuri", 1000), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            chaudhuri_sample(&left, "k", &idx, 1_000, &mut rng).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("wander_walks", 1000), |b| {
+        let wj = WanderJoin::new(vec![&left, &right], &[("k", "k")]).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            wj.count_estimate(1_000, &mut rng)
+        })
+    });
+    group.bench_function("full_hash_join", |b| {
+        b.iter(|| hash_join(&left, &right, "k", "k").unwrap())
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| JoinIndex::build(&right, "k").unwrap())
+    });
+    group.bench_function(BenchmarkId::new("exact_chain", 1000), |b| {
+        let sampler = ExactChainSampler::new(vec![&left, &right], &[("k", "k")]).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            sampler.sample_n(1_000, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("union_sample", 1000), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            union_sample(&[&left, &right], 1_000, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("reservoir_100k_stream", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut r = ReservoirSampler::new(1_000);
+            for i in 0..100_000u32 {
+                r.offer(i, &mut rng);
+            }
+            r.into_sample()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

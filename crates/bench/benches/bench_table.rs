@@ -1,0 +1,59 @@
+//! Criterion bench: table substrate hot paths — filter, hash join,
+//! group counts, CSV round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdi_table::{
+    hash_join, read_csv_str, write_csv_string, DataType, Field, GroupSpec, Predicate, Role,
+    Schema, Table, Value,
+};
+
+fn people(n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(4);
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("g", DataType::Str).with_role(Role::Sensitive),
+        Field::new("x", DataType::Float),
+    ]);
+    let mut t = Table::with_capacity(schema, n);
+    for i in 0..n {
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(if rng.gen::<f64>() < 0.1 { "min" } else { "maj" }),
+            Value::Float(rng.gen::<f64>() * 100.0),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn bench_table(c: &mut Criterion) {
+    let t = people(100_000);
+    let mut group = c.benchmark_group("table");
+    group.sample_size(10);
+
+    group.bench_function("filter_range_100k", |b| {
+        let p = Predicate::between("x", Value::Float(25.0), Value::Float(75.0));
+        b.iter(|| t.filter(&p))
+    });
+    group.bench_function("group_counts_100k", |b| {
+        let spec = GroupSpec::new(vec!["g"]);
+        b.iter(|| spec.counts(&t).unwrap())
+    });
+    group.bench_function("hash_join_10k_x_10k", |b| {
+        let small = t.take(&(0..10_000).collect::<Vec<_>>());
+        b.iter(|| hash_join(&small, &small, "id", "id").unwrap())
+    });
+    group.bench_function("csv_roundtrip_10k", |b| {
+        let small = t.take(&(0..10_000).collect::<Vec<_>>());
+        b.iter(|| {
+            let s = write_csv_string(&small);
+            read_csv_str(&s).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: distribution-tailoring policies — per-run cost is the
+//! experiment (E5); here we measure wall-clock per tailoring run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Table, Value};
+use rdi_tailor::prelude::*;
+
+fn source_table(frac_min: f64, n: usize) -> Table {
+    let schema = Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)]);
+    let mut t = Table::new(schema);
+    for i in 0..n {
+        let g = if (i as f64) < frac_min * n as f64 { "min" } else { "maj" };
+        t.push_row(vec![Value::str(g)]).unwrap();
+    }
+    t
+}
+
+fn problem() -> DtProblem {
+    DtProblem::exact_counts(
+        GroupSpec::new(vec!["g"]),
+        vec![
+            (GroupKey(vec![Value::str("maj")]), 100),
+            (GroupKey(vec![Value::str("min")]), 100),
+        ],
+    )
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("tailoring_run");
+    group.sample_size(10);
+    for (name, mk) in [
+        (
+            "ratio_coll",
+            Box::new(|s: &[TableSource]| Box::new(RatioColl::from_sources(s)) as Box<dyn Policy>)
+                as Box<dyn Fn(&[TableSource]) -> Box<dyn Policy>>,
+        ),
+        (
+            "ucb",
+            Box::new(|s: &[TableSource]| {
+                Box::new(UcbColl::from_sources(s, 2, 1.4)) as Box<dyn Policy>
+            }),
+        ),
+        (
+            "random",
+            Box::new(|s: &[TableSource]| Box::new(RandomPolicy::new(s.len())) as Box<dyn Policy>),
+        ),
+    ] {
+        group.bench_function(BenchmarkId::new("policy", name), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut sources = vec![
+                    TableSource::new("a", source_table(0.05, 2_000), 1.0, &p).unwrap(),
+                    TableSource::new("b", source_table(0.30, 2_000), 1.0, &p).unwrap(),
+                    TableSource::new("c", source_table(0.01, 2_000), 1.0, &p).unwrap(),
+                ];
+                let mut policy = mk(&sources);
+                run_tailoring(&mut sources, &p, policy.as_mut(), &mut rng, 1_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

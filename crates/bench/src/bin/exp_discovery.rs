@@ -1,0 +1,142 @@
+//! E8 (§3.1): discovery sketches vs exact search.
+//!
+//! (a) LSH Ensemble containment search: precision/recall vs the exact
+//!     overlap index at several containment thresholds (Zhu et al. shape:
+//!     high recall, precision recovered by post-filtering);
+//! (b) correlation sketches: join-correlation estimation error shrinks
+//!     with sketch size (Santos et al. shape).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_bench::{f3, mean, print_table};
+use rdi_datagen::{LakeConfig, SyntheticLake};
+use rdi_discovery::{CorrelationSketch, LshEnsemble, MinHash, Navigator, TableSignature};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let lake = SyntheticLake::generate(
+        &LakeConfig {
+            num_candidates: 120,
+            query_keys: 2_000,
+            candidate_rows: 4_000,
+            joinable_fraction: 0.4,
+        },
+        &mut rng,
+    );
+
+    // (a) containment search P/R vs threshold
+    let k = 128;
+    let sigs: Vec<(MinHash, usize)> = lake
+        .candidates
+        .iter()
+        .map(|c| {
+            (
+                MinHash::from_column(&c.table, "key", k).unwrap(),
+                c.table.distinct("key").unwrap().len(),
+            )
+        })
+        .collect();
+    let qsig = MinHash::from_column(&lake.query, "key", k).unwrap();
+    let qsize = lake.query.num_rows();
+
+    let mut rows = Vec::new();
+    for threshold in [0.3, 0.5, 0.7, 0.9] {
+        let mut ens = LshEnsemble::new(k, threshold, 8, 1_000_000);
+        for (i, (s, size)) in sigs.iter().enumerate() {
+            ens.insert(i, s.clone(), *size);
+        }
+        ens.build(qsize);
+        let t0 = std::time::Instant::now();
+        let hits = ens.query(&qsig, qsize);
+        let lsh_us = t0.elapsed().as_secs_f64() * 1e6;
+        let truth: Vec<usize> = lake
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.containment >= threshold)
+            .map(|(i, _)| i)
+            .collect();
+        let tp = hits.iter().filter(|h| truth.contains(h)).count() as f64;
+        rows.push(vec![
+            format!("{threshold:.1}"),
+            truth.len().to_string(),
+            hits.len().to_string(),
+            f3(tp / truth.len().max(1) as f64),
+            f3(tp / hits.len().max(1) as f64),
+            format!("{lsh_us:.0}µs"),
+        ]);
+    }
+    print_table(
+        "E8a — LSH-Ensemble containment search (120 candidates)",
+        &["containment τ", "true ≥τ", "returned", "recall", "precision", "query time"],
+        &rows,
+    );
+
+    // (b) correlation-sketch error vs sketch size
+    let joinable: Vec<_> = lake
+        .candidates
+        .iter()
+        .filter(|c| c.containment >= 0.4)
+        .collect();
+    let mut rows = Vec::new();
+    for k in [32, 64, 128, 256, 512] {
+        let qs = CorrelationSketch::build(&lake.query, "key", "target", k).unwrap();
+        let mut errs = Vec::new();
+        for c in &joinable {
+            let cs = CorrelationSketch::build(&c.table, "key", "feat", k).unwrap();
+            if let Some(est) = cs.correlation(&qs) {
+                errs.push((est - c.correlation).abs());
+            }
+        }
+        rows.push(vec![
+            k.to_string(),
+            errs.len().to_string(),
+            f3(mean(&errs)),
+            f3(errs.iter().cloned().fold(0.0, f64::max)),
+        ]);
+    }
+    print_table(
+        "E8b — correlation-sketch |error| vs sketch size (planted join-correlations)",
+        &["sketch k", "estimable candidates", "mean abs error", "max abs error"],
+        &rows,
+    );
+
+    // (c) navigation: medoid-guided descent touches a fraction of the
+    // lake yet reaches a strongly-joinable table
+    let n_org = 40;
+    let sigs: Vec<TableSignature> = lake
+        .candidates
+        .iter()
+        .take(n_org)
+        .map(|c| TableSignature::build(c.name.clone(), &c.table, 64).unwrap())
+        .collect();
+    let t0 = std::time::Instant::now();
+    let nav = Navigator::build(sigs);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let qsig = TableSignature::build("q", &lake.query, 64).unwrap();
+    let (reached, comparisons) = nav.navigate(&qsig);
+    let reached_name = nav.signature(reached).name.clone();
+    let reached_containment = lake
+        .candidates
+        .iter()
+        .find(|c| c.name == reached_name)
+        .map(|c| c.containment)
+        .unwrap_or(0.0);
+    let best_containment = lake
+        .candidates
+        .iter()
+        .take(n_org)
+        .map(|c| c.containment)
+        .fold(0.0f64, f64::max);
+    print_table(
+        "E8c — navigation over a 40-table organization",
+        &["organize time", "medoids compared", "lake size", "reached containment", "best in lake"],
+        &[vec![
+            format!("{build_ms:.0}ms"),
+            comparisons.to_string(),
+            n_org.to_string(),
+            f3(reached_containment),
+            f3(best_containment),
+        ]],
+    );
+}

@@ -1,0 +1,89 @@
+//! E9 (§4.1): distribution-aware crowdsourced entity collection.
+//!
+//! Expected shape (Fan et al., TKDE 2019): adaptive worker selection
+//! drives KL(target ‖ collected) down much faster than random selection,
+//! and the advantage grows with worker heterogeneity.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_bench::{f3, mean, print_table};
+use rdi_entitycollect::{run_collection, SimulatedWorker, WorkerSelection};
+use rdi_fairness::Categorical;
+
+fn workers(k: usize, heterogeneity: f64) -> Vec<SimulatedWorker> {
+    // 2k workers; worker i concentrates on category i%k with the given
+    // strength (0 = everyone uniform, 1 = pure specialists).
+    (0..2 * k)
+        .map(|i| {
+            let mut w = vec![1.0 - heterogeneity; k];
+            w[i % k] += heterogeneity * k as f64;
+            SimulatedWorker {
+                name: format!("w{i}"),
+                latent: Categorical::from_weights(&w),
+                batch: 10,
+            }
+        })
+        .collect()
+}
+
+fn avg_final_kl(
+    ws: &[SimulatedWorker],
+    target: &Categorical,
+    rounds: usize,
+    sel: WorkerSelection,
+    runs: u64,
+) -> f64 {
+    let kls: Vec<f64> = (0..runs)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            *run_collection(ws, target, rounds, sel, &mut rng)
+                .divergence
+                .last()
+                .unwrap()
+        })
+        .collect();
+    mean(&kls)
+}
+
+fn main() {
+    let target = Categorical::uniform(5);
+
+    // (a) divergence over rounds (single trace, heterogeneity 0.8)
+    let ws = workers(5, 0.8);
+    let mut rng = StdRng::seed_from_u64(5);
+    let adaptive = run_collection(&ws, &target, 100, WorkerSelection::Adaptive, &mut rng);
+    let mut rng = StdRng::seed_from_u64(5);
+    let random = run_collection(&ws, &target, 100, WorkerSelection::Random, &mut rng);
+    let mut rows = Vec::new();
+    for r in [5, 10, 20, 40, 80, 99] {
+        rows.push(vec![
+            (r + 1).to_string(),
+            f3(adaptive.divergence[r]),
+            f3(random.divergence[r]),
+        ]);
+    }
+    print_table(
+        "E9a — KL(target ‖ collected) over rounds (uniform target, 10 specialist workers)",
+        &["round", "adaptive", "random"],
+        &rows,
+    );
+
+    // (b) final KL vs worker heterogeneity (20 runs each)
+    let mut rows = Vec::new();
+    for h in [0.0, 0.4, 0.8, 0.95] {
+        let ws = workers(5, h);
+        let a = avg_final_kl(&ws, &target, 60, WorkerSelection::Adaptive, 20);
+        let r = avg_final_kl(&ws, &target, 60, WorkerSelection::Random, 20);
+        rows.push(vec![
+            format!("{h:.2}"),
+            f3(a),
+            f3(r),
+            format!("{:.1}×", r / a.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "E9b — final KL after 60 rounds vs worker heterogeneity (mean of 20 runs)",
+        &["heterogeneity", "adaptive", "random", "random/adaptive"],
+        &rows,
+    );
+}

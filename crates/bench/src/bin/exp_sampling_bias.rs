@@ -1,0 +1,74 @@
+//! E1 (§2.1): sampling bias harms minority accuracy.
+//!
+//! A pulse-oximeter-style task: the two groups have different
+//! calibration (group-dependent logit shift), so a model trained on a
+//! source that under-represents the minority mis-predicts it. We sweep
+//! the training source's minority fraction and report per-group test
+//! accuracy. Expected shape: minority accuracy climbs steeply with
+//! representation while majority accuracy barely moves.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_acquisition::ml::{design_matrix, evaluate, LogisticRegression};
+use rdi_bench::{f3, print_table};
+use rdi_datagen::population::{AttributeSpec, FeatureSpec};
+use rdi_datagen::PopulationSpec;
+use rdi_fairness::Categorical;
+use rdi_table::GroupSpec;
+
+fn spec() -> PopulationSpec {
+    PopulationSpec {
+        sensitive: vec![AttributeSpec::new("group", &["maj", "min"], &[0.5, 0.5])],
+        features: vec![
+            FeatureSpec::unbiased("x1", 0.0, 1.0, 1.2),
+            FeatureSpec::unbiased("x2", 0.0, 1.0, 0.8),
+        ],
+        intercept: 0.0,
+        // different calibration per group — the harm source
+        group_logit_shift: vec![1.5, -1.5],
+        target_name: "y".to_string(),
+    }
+}
+
+fn main() {
+    let pop = spec();
+    let mut rng = StdRng::seed_from_u64(1);
+    // balanced test set = production traffic
+    let test = pop.generate_with_marginals(
+        20_000,
+        &mut rng,
+        Some(&Categorical::from_weights(&[0.5, 0.5])),
+    );
+    let gspec = GroupSpec::new(vec!["group"]);
+
+    let mut rows = Vec::new();
+    for minority_frac in [0.01, 0.05, 0.10, 0.25, 0.50] {
+        let train = pop.generate_with_marginals(
+            8_000,
+            &mut rng,
+            Some(&Categorical::from_weights(&[1.0 - minority_frac, minority_frac])),
+        );
+        let (xs, ys, _) = design_matrix(&train, &["x1", "x2"], "y").unwrap();
+        let model = LogisticRegression::train(&xs, &ys, 10, 0.05, 1e-4, &mut rng);
+        let eval = evaluate(&test, &["x1", "x2"], "y", &gspec, |x| model.predict(x)).unwrap();
+        let get = |g: &str| {
+            eval.group_accuracy
+                .iter()
+                .find(|(k, _)| k.contains(g))
+                .map(|(_, a)| *a)
+                .unwrap_or(f64::NAN)
+        };
+        rows.push(vec![
+            format!("{:.0}%", minority_frac * 100.0),
+            f3(eval.accuracy),
+            f3(get("maj")),
+            f3(get("min")),
+            f3(get("maj") - get("min")),
+        ]);
+    }
+    print_table(
+        "E1 — test accuracy vs minority share of the training source",
+        &["minority share", "overall", "majority acc", "minority acc", "gap"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! # rdi-bench
+//!
+//! Experiment harnesses and benchmarks for the RDI toolkit.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one experiment from
+//! `EXPERIMENTS.md` (E1–E14) and prints the result as a markdown table;
+//! the Criterion benches in `benches/` measure the hot algorithms.
+//! Everything is seeded — reruns are bit-for-bit reproducible.
+
+#![warn(missing_docs)]
+
+/// Print a markdown table: header row + rows, all pre-formatted strings.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for r in rows {
+        println!("| {} |", r.join(" | "));
+    }
+}
+
+/// Format a float to 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float to 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+    }
+}

@@ -1,0 +1,310 @@
+//! Missing-value imputation strategies.
+
+use rdi_table::{GroupSpec, Table, Value};
+
+/// How to fill (or drop) missing cells of a numeric column.
+#[derive(Debug, Clone)]
+pub enum ImputeStrategy {
+    /// Remove rows where the column is null (the tutorial's resolution
+    /// (i) — shrinks small groups further).
+    DropRows,
+    /// Replace with the column's global mean (resolution (ii) — pulls
+    /// minority values toward the majority).
+    Mean,
+    /// Replace with the mean of the row's demographic group (per the
+    /// given spec); falls back to the global mean for groups with no
+    /// observed values.
+    GroupMean(GroupSpec),
+    /// Hot-deck: copy the value of the nearest row (Euclidean distance on
+    /// the given complete numeric columns).
+    HotDeckKnn {
+        /// Complete numeric columns used as the distance space.
+        features: Vec<String>,
+        /// Number of neighbors averaged.
+        k: usize,
+    },
+    /// Simple-regression imputation: fit ordinary least squares
+    /// `target ≈ a + b·predictor` on complete rows and predict missing
+    /// cells from the predictor (falls back to the target's mean when the
+    /// predictor is constant or itself missing).
+    Regression {
+        /// Numeric predictor column.
+        predictor: String,
+    },
+}
+
+/// Impute `column` of `table` under a strategy; returns the new table.
+pub fn impute(table: &Table, column: &str, strategy: &ImputeStrategy) -> rdi_table::Result<Table> {
+    match strategy {
+        ImputeStrategy::DropRows => {
+            let keep: Vec<usize> = (0..table.num_rows())
+                .filter(|&i| !table.value(i, column).expect("col checked").is_null())
+                .collect();
+            table.schema().index_of(column)?; // validate
+            Ok(table.take(&keep))
+        }
+        ImputeStrategy::Mean => {
+            let mean = table.mean(column)?.unwrap_or(0.0);
+            fill_nulls(table, column, |_i| Value::Float(mean))
+        }
+        ImputeStrategy::GroupMean(spec) => {
+            let global = table.mean(column)?.unwrap_or(0.0);
+            let stats = spec.stats(table, column)?;
+            let means: std::collections::HashMap<_, f64> = stats
+                .into_iter()
+                .map(|(k, s)| (k, if s.non_null > 0 { s.mean } else { global }))
+                .collect();
+            let mut out = table.clone();
+            for i in 0..table.num_rows() {
+                if table.value(i, column)?.is_null() {
+                    let key = spec.key_of(table, i)?;
+                    let m = means.get(&key).copied().unwrap_or(global);
+                    out.set_value(i, column, Value::Float(m))?;
+                }
+            }
+            Ok(out)
+        }
+        ImputeStrategy::HotDeckKnn { features, k } => {
+            assert!(*k >= 1);
+            // collect donor rows (non-null target, complete features)
+            let feat_cols: Vec<&rdi_table::Column> = features
+                .iter()
+                .map(|f| table.column(f))
+                .collect::<rdi_table::Result<_>>()?;
+            let coords = |i: usize| -> Option<Vec<f64>> {
+                feat_cols.iter().map(|c| c.value(i).as_f64()).collect()
+            };
+            let mut donors: Vec<(Vec<f64>, f64)> = Vec::new();
+            for i in 0..table.num_rows() {
+                let v = table.value(i, column)?;
+                if let (Some(x), Some(p)) = (v.as_f64(), coords(i)) {
+                    donors.push((p, x));
+                }
+            }
+            let mut out = table.clone();
+            for i in 0..table.num_rows() {
+                if !table.value(i, column)?.is_null() {
+                    continue;
+                }
+                let Some(p) = coords(i) else { continue };
+                if donors.is_empty() {
+                    continue;
+                }
+                let mut dists: Vec<(f64, f64)> = donors
+                    .iter()
+                    .map(|(q, x)| {
+                        let d: f64 = p.iter().zip(q).map(|(a, b)| (a - b).powi(2)).sum();
+                        (d, *x)
+                    })
+                    .collect();
+                dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let kk = (*k).min(dists.len());
+                let avg = dists[..kk].iter().map(|(_, x)| x).sum::<f64>() / kk as f64;
+                out.set_value(i, column, Value::Float(avg))?;
+            }
+            Ok(out)
+        }
+        ImputeStrategy::Regression { predictor } => {
+            let pcol = table.column(predictor)?;
+            let tcol = table.column(column)?;
+            // fit OLS on complete (predictor, target) pairs
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for i in 0..table.num_rows() {
+                if let (Some(x), Some(y)) = (pcol.value(i).as_f64(), tcol.value(i).as_f64()) {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+            let fallback = table.mean(column)?.unwrap_or(0.0);
+            let fit = if xs.len() >= 2 {
+                let n = xs.len() as f64;
+                let mx = xs.iter().sum::<f64>() / n;
+                let my = ys.iter().sum::<f64>() / n;
+                let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+                if sxx > 1e-12 {
+                    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+                    let b = sxy / sxx;
+                    Some((my - b * mx, b))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let mut out = table.clone();
+            for i in 0..table.num_rows() {
+                if !table.value(i, column)?.is_null() {
+                    continue;
+                }
+                let v = match (fit, pcol.value(i).as_f64()) {
+                    (Some((a, b)), Some(x)) => a + b * x,
+                    _ => fallback,
+                };
+                out.set_value(i, column, Value::Float(v))?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn fill_nulls(
+    table: &Table,
+    column: &str,
+    f: impl Fn(usize) -> Value,
+) -> rdi_table::Result<Table> {
+    let mut out = table.clone();
+    for i in 0..table.num_rows() {
+        if table.value(i, column)?.is_null() {
+            out.set_value(i, column, f(i))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Role, Schema};
+
+    fn t() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive),
+            Field::new("x", DataType::Float),
+            Field::new("aux", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        let rows: Vec<(&str, Option<f64>, f64)> = vec![
+            ("a", Some(1.0), 0.0),
+            ("a", Some(3.0), 0.1),
+            ("a", None, 0.05),
+            ("b", Some(10.0), 5.0),
+            ("b", None, 5.1),
+        ];
+        for (g, x, aux) in rows {
+            t.push_row(vec![
+                Value::str(g),
+                x.map_or(Value::Null, Value::Float),
+                Value::Float(aux),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn drop_rows_removes_incomplete() {
+        let out = impute(&t(), "x", &ImputeStrategy::DropRows).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.column("x").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn mean_fills_with_global_mean() {
+        let out = impute(&t(), "x", &ImputeStrategy::Mean).unwrap();
+        // global mean of (1, 3, 10) = 14/3
+        let v = out.value(2, "x").unwrap().as_f64().unwrap();
+        assert!((v - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(out.column("x").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn group_mean_respects_groups() {
+        let spec = GroupSpec::new(vec!["g"]);
+        let out = impute(&t(), "x", &ImputeStrategy::GroupMean(spec)).unwrap();
+        // group a mean = 2.0, group b mean = 10.0
+        assert_eq!(out.value(2, "x").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(out.value(4, "x").unwrap().as_f64().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn hotdeck_uses_nearest_neighbors() {
+        let out = impute(
+            &t(),
+            "x",
+            &ImputeStrategy::HotDeckKnn {
+                features: vec!["aux".into()],
+                k: 1,
+            },
+        )
+        .unwrap();
+        // row 2 (aux=0.05) is nearest to row 0 (aux=0.0) → x = 1.0
+        assert_eq!(out.value(2, "x").unwrap().as_f64().unwrap(), 1.0);
+        // row 4 (aux=5.1) nearest to row 3 (aux=5.0) → x = 10.0
+        assert_eq!(out.value(4, "x").unwrap().as_f64().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn hotdeck_k2_averages() {
+        let out = impute(
+            &t(),
+            "x",
+            &ImputeStrategy::HotDeckKnn {
+                features: vec!["aux".into()],
+                k: 2,
+            },
+        )
+        .unwrap();
+        // row 2 neighbors: rows 0 (x=1) and 1 (x=3) → 2.0
+        assert_eq!(out.value(2, "x").unwrap().as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn regression_imputes_from_predictor() {
+        // x = 2·aux + 1 exactly on complete rows
+        let schema = Schema::new(vec![
+            Field::new("aux", DataType::Float),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..10 {
+            let aux = i as f64;
+            t.push_row(vec![Value::Float(aux), Value::Float(2.0 * aux + 1.0)])
+                .unwrap();
+        }
+        t.push_row(vec![Value::Float(20.0), Value::Null]).unwrap();
+        let out = impute(
+            &t,
+            "x",
+            &ImputeStrategy::Regression {
+                predictor: "aux".into(),
+            },
+        )
+        .unwrap();
+        let v = out.value(10, "x").unwrap().as_f64().unwrap();
+        assert!((v - 41.0).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn regression_falls_back_on_constant_predictor() {
+        let schema = Schema::new(vec![
+            Field::new("aux", DataType::Float),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Float(1.0), Value::Float(10.0)]).unwrap();
+        t.push_row(vec![Value::Float(1.0), Value::Float(20.0)]).unwrap();
+        t.push_row(vec![Value::Float(1.0), Value::Null]).unwrap();
+        let out = impute(
+            &t,
+            "x",
+            &ImputeStrategy::Regression {
+                predictor: "aux".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(out.value(2, "x").unwrap().as_f64().unwrap(), 15.0);
+    }
+
+    #[test]
+    fn original_values_untouched() {
+        for strat in [
+            ImputeStrategy::Mean,
+            ImputeStrategy::GroupMean(GroupSpec::new(vec!["g"])),
+        ] {
+            let out = impute(&t(), "x", &strat).unwrap();
+            assert_eq!(out.value(0, "x").unwrap().as_f64().unwrap(), 1.0);
+            assert_eq!(out.value(3, "x").unwrap().as_f64().unwrap(), 10.0);
+        }
+    }
+}

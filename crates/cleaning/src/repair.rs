@@ -1,0 +1,109 @@
+//! Rule-based error detection and repair.
+
+use rdi_table::{Table, Value};
+
+/// A data-quality rule on a numeric column.
+#[derive(Debug, Clone)]
+pub enum Rule {
+    /// Values must lie in `[lo, hi]`.
+    Range {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Values beyond `k` standard deviations from the mean are errors.
+    Sigma {
+        /// Number of standard deviations.
+        k: f64,
+    },
+}
+
+/// Row indices of `column` violating the rule (nulls never violate).
+pub fn detect_outliers(table: &Table, column: &str, rule: &Rule) -> rdi_table::Result<Vec<usize>> {
+    let col = table.column(column)?;
+    let (lo, hi) = bounds(table, column, rule)?;
+    Ok((0..table.num_rows())
+        .filter(|&i| match col.value(i).as_f64() {
+            Some(x) => x < lo || x > hi,
+            None => false,
+        })
+        .collect())
+}
+
+/// Repair violations by clipping to the rule's bounds; returns the new
+/// table and the repaired row indices.
+pub fn repair_with_rule(
+    table: &Table,
+    column: &str,
+    rule: &Rule,
+) -> rdi_table::Result<(Table, Vec<usize>)> {
+    let violations = detect_outliers(table, column, rule)?;
+    let (lo, hi) = bounds(table, column, rule)?;
+    let mut out = table.clone();
+    for &i in &violations {
+        let x = table.value(i, column)?.as_f64().expect("violation is numeric");
+        out.set_value(i, column, Value::Float(x.clamp(lo, hi)))?;
+    }
+    Ok((out, violations))
+}
+
+fn bounds(table: &Table, column: &str, rule: &Rule) -> rdi_table::Result<(f64, f64)> {
+    Ok(match rule {
+        Rule::Range { lo, hi } => (*lo, *hi),
+        Rule::Sigma { k } => {
+            let vals = table.column(column)?.numeric_values();
+            if vals.is_empty() {
+                return Ok((f64::NEG_INFINITY, f64::INFINITY));
+            }
+            let n = vals.len() as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+            (mean - k * sd, mean + k * sd)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema};
+
+    fn t(vals: &[Option<f64>]) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]);
+        let mut t = Table::new(schema);
+        for v in vals {
+            t.push_row(vec![v.map_or(Value::Null, Value::Float)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn range_rule_detects_and_clips() {
+        let table = t(&[Some(5.0), Some(-3.0), Some(150.0), None]);
+        let rule = Rule::Range { lo: 0.0, hi: 100.0 };
+        assert_eq!(detect_outliers(&table, "x", &rule).unwrap(), vec![1, 2]);
+        let (fixed, repaired) = repair_with_rule(&table, "x", &rule).unwrap();
+        assert_eq!(repaired, vec![1, 2]);
+        assert_eq!(fixed.value(1, "x").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(fixed.value(2, "x").unwrap().as_f64().unwrap(), 100.0);
+        assert!(fixed.value(3, "x").unwrap().is_null());
+    }
+
+    #[test]
+    fn sigma_rule_flags_gross_errors_only() {
+        let mut vals: Vec<Option<f64>> = (0..100).map(|i| Some((i % 10) as f64)).collect();
+        vals.push(Some(1000.0));
+        let table = t(&vals);
+        let out = detect_outliers(&table, "x", &Rule::Sigma { k: 3.0 }).unwrap();
+        assert_eq!(out, vec![100]);
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        let table = t(&[None, None]);
+        assert!(detect_outliers(&table, "x", &Rule::Sigma { k: 2.0 })
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Neighborhood coverage for ordinal / continuous attributes.
+//!
+//! For continuous attributes, "enough samples with exactly these values"
+//! is meaningless; instead a query point is covered when at least `k`
+//! data points lie within distance `r` of it (Asudeh et al., SIGMOD 2021).
+//! A k-d tree answers the radius-count queries; Monte-Carlo probing over
+//! the attribute bounding box estimates the uncovered volume.
+
+use rand::Rng;
+
+/// A k-d tree over fixed-dimension points supporting radius counting.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    // nodes stored as an implicit median-split tree over `points`
+    points: Vec<Vec<f64>>,
+    // index permutation forming the tree; node i's split axis = depth % dim
+    tree: Vec<usize>,
+}
+
+impl KdTree {
+    /// Build from points (all must share the same dimension ≥ 1).
+    ///
+    /// # Panics
+    /// Panics on empty input, dimension mismatch, or non-finite
+    /// coordinates.
+    pub fn build(points: Vec<Vec<f64>>) -> Self {
+        assert!(!points.is_empty(), "k-d tree needs at least one point");
+        let dim = points[0].len();
+        assert!(dim >= 1);
+        for p in &points {
+            assert_eq!(p.len(), dim, "dimension mismatch");
+            assert!(p.iter().all(|x| x.is_finite()), "non-finite coordinate");
+        }
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        let mut tree = Vec::with_capacity(points.len());
+        build_rec(&points, &mut idx[..], 0, dim, &mut tree);
+        // `tree` stores a preorder layout; rebuild as balanced array form:
+        // simpler representation: the recursion already appended nodes in
+        // preorder with subtree sizes implied by recursion; we store
+        // (index, left_size) implicitly by re-running sizes at query time.
+        KdTree { dim, points, tree }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the tree is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Count points within Euclidean distance `r` of `q`.
+    pub fn count_within(&self, q: &[f64], r: f64) -> usize {
+        assert_eq!(q.len(), self.dim);
+        assert!(r >= 0.0);
+        let r2 = r * r;
+        let mut count = 0;
+        // stack of (start, len, depth) over the preorder layout
+        let mut stack = vec![(0usize, self.tree.len(), 0usize)];
+        while let Some((start, len, depth)) = stack.pop() {
+            if len == 0 {
+                continue;
+            }
+            let mid = (len - 1) / 2;
+            let node = self.tree[start + 0]; // root of this subtree is first in preorder
+            let p = &self.points[node];
+            let d2: f64 = p.iter().zip(q).map(|(a, b)| (a - b).powi(2)).sum();
+            if d2 <= r2 {
+                count += 1;
+            }
+            let axis = depth % self.dim;
+            let diff = q[axis] - p[axis];
+            let left_len = mid;
+            let right_len = len - 1 - mid;
+            let left = (start + 1, left_len, depth + 1);
+            let right = (start + 1 + left_len, right_len, depth + 1);
+            // Visit the side containing q always; the far side only if the
+            // splitting plane is within r.
+            if diff <= 0.0 {
+                stack.push(left);
+                if diff.abs() <= r {
+                    stack.push(right);
+                }
+            } else {
+                stack.push(right);
+                if diff.abs() <= r {
+                    stack.push(left);
+                }
+            }
+        }
+        count
+    }
+
+    /// Exhaustive radius count (cross-check / baseline).
+    pub fn count_within_linear(&self, q: &[f64], r: f64) -> usize {
+        let r2 = r * r;
+        self.points
+            .iter()
+            .filter(|p| p.iter().zip(q).map(|(a, b)| (a - b).powi(2)).sum::<f64>() <= r2)
+            .count()
+    }
+}
+
+fn build_rec(points: &[Vec<f64>], idx: &mut [usize], depth: usize, dim: usize, out: &mut Vec<usize>) {
+    if idx.is_empty() {
+        return;
+    }
+    let axis = depth % dim;
+    let mid = (idx.len() - 1) / 2;
+    idx.sort_by(|&a, &b| points[a][axis].total_cmp(&points[b][axis]));
+    // preorder: median first, then left subtree, then right subtree
+    out.push(idx[mid]);
+    let (left, rest) = idx.split_at_mut(mid);
+    let right = &mut rest[1..];
+    build_rec(points, left, depth + 1, dim, out);
+    build_rec(points, right, depth + 1, dim, out);
+}
+
+/// Coverage checker: a point `q` is covered iff at least `k` data points
+/// lie within radius `r`.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodCoverage {
+    tree: KdTree,
+    /// Required neighbor count `k`.
+    pub k: usize,
+    /// Neighborhood radius `r`.
+    pub r: f64,
+}
+
+impl NeighborhoodCoverage {
+    /// Build over data points.
+    pub fn new(points: Vec<Vec<f64>>, k: usize, r: f64) -> Self {
+        assert!(k >= 1 && r >= 0.0);
+        NeighborhoodCoverage {
+            tree: KdTree::build(points),
+            k,
+            r,
+        }
+    }
+
+    /// Is `q` covered?
+    pub fn is_covered(&self, q: &[f64]) -> bool {
+        self.tree.count_within(q, self.r) >= self.k
+    }
+
+    /// Monte-Carlo estimate of the *uncovered fraction* of the axis-aligned
+    /// box `[lo, hi]^d`, probing `samples` uniform points.
+    pub fn uncovered_fraction<R: Rng + ?Sized>(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(lo.len(), hi.len());
+        assert!(samples > 0);
+        let mut unc = 0usize;
+        let mut q = vec![0.0; lo.len()];
+        for _ in 0..samples {
+            for (j, v) in q.iter_mut().enumerate() {
+                *v = rng.gen_range(lo[j]..=hi[j]);
+            }
+            if !self.is_covered(&q) {
+                unc += 1;
+            }
+        }
+        unc as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn radius_count_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let tree = KdTree::build(pts);
+        for _ in 0..50 {
+            let q = vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+            let r = rng.gen_range(0.0..0.8);
+            assert_eq!(tree.count_within(&q, r), tree.count_within_linear(&q, r));
+        }
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(vec![vec![0.0, 0.0]]);
+        assert_eq!(tree.count_within(&[0.05, 0.0], 0.1), 1);
+        assert_eq!(tree.count_within(&[1.0, 1.0], 0.1), 0);
+    }
+
+    #[test]
+    fn coverage_detects_hole() {
+        // two clusters, hole between them
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let t = i as f64 / 30.0 * 0.2;
+            pts.push(vec![t, t]);
+            pts.push(vec![1.0 + t, 1.0 + t]);
+        }
+        let cov = NeighborhoodCoverage::new(pts, 3, 0.15);
+        assert!(cov.is_covered(&[0.1, 0.1]));
+        assert!(!cov.is_covered(&[0.6, 0.6]));
+    }
+
+    #[test]
+    fn uncovered_fraction_reflects_density() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // dense uniform cloud in the unit square → low uncovered fraction
+        let pts: Vec<Vec<f64>> = (0..2000)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let cov = NeighborhoodCoverage::new(pts, 3, 0.1);
+        let f = cov.uncovered_fraction(&[0.2, 0.2], &[0.8, 0.8], 500, &mut rng);
+        assert!(f < 0.05, "f={f}");
+        // sparse cloud → much of the box uncovered
+        let sparse: Vec<Vec<f64>> = (0..10)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let cov2 = NeighborhoodCoverage::new(sparse, 3, 0.05);
+        let f2 = cov2.uncovered_fraction(&[0.0, 0.0], &[1.0, 1.0], 500, &mut rng);
+        assert!(f2 > 0.8, "f2={f2}");
+    }
+
+    proptest! {
+        #[test]
+        fn tree_count_equals_linear(pts in prop::collection::vec(
+                prop::collection::vec(-10.0f64..10.0, 3), 1..80),
+            q in prop::collection::vec(-10.0f64..10.0, 3),
+            r in 0.0f64..10.0)
+        {
+            let tree = KdTree::build(pts);
+            prop_assert_eq!(tree.count_within(&q, r), tree.count_within_linear(&q, r));
+        }
+    }
+}

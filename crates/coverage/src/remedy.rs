@@ -1,0 +1,273 @@
+//! Coverage remediation: which tuples to *add* so the uncovered groups
+//! reach the threshold (ICDE 2019 §"remedying coverage").
+//!
+//! Covering every pattern at every level is usually impossible (it needs
+//! τ tuples for every full assignment), so — following the paper — the
+//! caller picks a *coverage goal level* `ℓ`: after remediation, every
+//! pattern with at most `ℓ` specified attributes must be covered. Each
+//! added tuple is a full assignment and simultaneously helps every
+//! compatible deficient pattern, so minimizing additions is a
+//! set-multicover problem; we use the standard greedy approximation.
+//!
+//! One subtlety the property tests caught: covering the *current* MUPs is
+//! not enough to cover every pattern — once a MUP reaches τ, its
+//! still-deficient specializations stop being dominated and become MUPs
+//! themselves. Two planners are therefore offered: [`remedy_greedy`]
+//! covers exactly the current MUP set (the paper's formulation), and
+//! [`remedy_to_fixpoint`] iterates until no pattern of level ≤ `ℓ` is
+//! uncovered (the strong guarantee, at a correspondingly larger plan).
+
+use rdi_table::Value;
+
+use crate::mup::CoverageAnalyzer;
+use crate::pattern::Pattern;
+
+/// Count of `pattern` in the base data plus planned additions.
+fn count_with_plan(
+    analyzer: &CoverageAnalyzer,
+    plan_cells: &[Vec<u16>],
+    pattern: &Pattern,
+) -> usize {
+    analyzer.counter().count(pattern)
+        + plan_cells.iter().filter(|c| pattern.matches(c)).count()
+}
+
+/// All uncovered patterns of level ≤ `goal_level` whose parents are all
+/// covered, against base data + plan (Pattern-Breaker with adjusted
+/// counts).
+fn mups_with_plan(
+    analyzer: &CoverageAnalyzer,
+    plan_cells: &[Vec<u16>],
+    goal_level: usize,
+) -> Vec<Pattern> {
+    let tau = analyzer.threshold();
+    let cards = analyzer.counter().cardinalities();
+    let covered =
+        |p: &Pattern| -> bool { count_with_plan(analyzer, plan_cells, p) >= tau };
+    let root = Pattern::root(analyzer.counter().dim());
+    if !covered(&root) {
+        return vec![root];
+    }
+    let mut mups = Vec::new();
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for node in &frontier {
+            if node.level() >= goal_level {
+                continue;
+            }
+            for child in node.canonical_children(&cards) {
+                if covered(&child) {
+                    next.push(child);
+                } else if child.parents().iter().all(&covered) {
+                    mups.push(child);
+                }
+            }
+        }
+        frontier = next;
+    }
+    mups.sort();
+    mups
+}
+
+/// One greedy multicover round against the given targets; appends to
+/// `plan_cells`.
+fn cover_targets(
+    analyzer: &CoverageAnalyzer,
+    targets: &[Pattern],
+    candidates: &[Vec<u16>],
+    plan_cells: &mut Vec<Vec<u16>>,
+) {
+    let tau = analyzer.threshold();
+    let mut deficit: Vec<usize> = targets
+        .iter()
+        .map(|m| tau.saturating_sub(count_with_plan(analyzer, plan_cells, m)))
+        .collect();
+    while deficit.iter().any(|&d| d > 0) {
+        let best = candidates
+            .iter()
+            .map(|cell| {
+                let gain = targets
+                    .iter()
+                    .zip(&deficit)
+                    .filter(|(m, &d)| d > 0 && m.matches(cell))
+                    .count();
+                (gain, cell)
+            })
+            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(a.1)))
+            .expect("non-empty candidate set");
+        debug_assert!(best.0 > 0, "deficient target must be matchable");
+        for (m, d) in targets.iter().zip(deficit.iter_mut()) {
+            if *d > 0 && m.matches(best.1) {
+                *d -= 1;
+            }
+        }
+        plan_cells.push(best.1.clone());
+    }
+}
+
+/// Plan the tuples to add so that the **current** MUPs of level ≤
+/// `goal_level` become covered — the paper's remediation problem.
+/// Returns full-assignment value vectors (over the analyzer's
+/// attributes) — the caller decides the remaining columns (e.g. collects
+/// matching real tuples via distribution tailoring).
+///
+/// Note: covering a MUP can *expose* deeper previously-dominated patterns
+/// as new MUPs of the augmented data; if you need every pattern of level
+/// ≤ `goal_level` covered, use [`remedy_to_fixpoint`].
+pub fn remedy_greedy(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec<Vec<Value>> {
+    let (mups, _) = analyzer.mups_pattern_breaker();
+    let targets: Vec<Pattern> = mups
+        .into_iter()
+        .filter(|m| m.level() <= goal_level)
+        .collect();
+    let candidates = analyzer.counter().all_assignments();
+    let mut plan_cells = Vec::new();
+    cover_targets(analyzer, &targets, &candidates, &mut plan_cells);
+    plan_cells
+        .iter()
+        .map(|c| analyzer.counter().decode_full(c))
+        .collect()
+}
+
+/// Plan tuples so that **every** pattern of level ≤ `goal_level` is
+/// covered in the augmented data (the strong guarantee): iterates
+/// [`remedy_greedy`]-style rounds against the virtually augmented counts
+/// until no deficient pattern remains. Beware the cost at high goal
+/// levels — full closure at `goal_level = d` requires τ tuples for every
+/// value combination.
+pub fn remedy_to_fixpoint(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec<Vec<Value>> {
+    let candidates = analyzer.counter().all_assignments();
+    let mut plan_cells: Vec<Vec<u16>> = Vec::new();
+    loop {
+        let targets = mups_with_plan(analyzer, &plan_cells, goal_level);
+        if targets.is_empty() {
+            break;
+        }
+        cover_targets(analyzer, &targets, &candidates, &mut plan_cells);
+    }
+    plan_cells
+        .iter()
+        .map(|c| analyzer.counter().decode_full(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema, Table};
+
+    fn table(rows: &[(&str, &str)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("r", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for (g, r) in rows {
+            t.push_row(vec![Value::str(*g), Value::str(*r)]).unwrap();
+        }
+        t
+    }
+
+    fn apply_plan(t: &Table, plan: &[Vec<Value>]) -> Table {
+        let mut out = t.clone();
+        for row in plan {
+            out.push_row(row.clone()).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn plan_fixes_coverage() {
+        let t = table(&[("M", "w"), ("M", "b"), ("F", "w")]);
+        let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
+        let plan = remedy_greedy(&an, 2);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0], vec![Value::str("F"), Value::str("b")]);
+        // Re-analyze after applying: no MUPs remain.
+        let fixed = apply_plan(&t, &plan);
+        let an2 = CoverageAnalyzer::new(&fixed, &["g", "r"], 1).unwrap();
+        assert!(an2.maximal_uncovered_patterns().is_empty());
+    }
+
+    #[test]
+    fn deficit_counts_respected() {
+        // τ=3: (F, b) has 1 tuple → needs 2 more
+        let t = table(&[
+            ("M", "w"),
+            ("M", "w"),
+            ("M", "w"),
+            ("M", "b"),
+            ("M", "b"),
+            ("M", "b"),
+            ("F", "w"),
+            ("F", "w"),
+            ("F", "w"),
+            ("F", "b"),
+        ]);
+        let an = CoverageAnalyzer::new(&t, &["g", "r"], 3).unwrap();
+        let plan = remedy_greedy(&an, 2);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|p| p == &vec![Value::str("F"), Value::str("b")]));
+        let fixed = apply_plan(&t, &plan);
+        let an2 = CoverageAnalyzer::new(&fixed, &["g", "r"], 3).unwrap();
+        assert!(an2.maximal_uncovered_patterns().is_empty());
+    }
+
+    #[test]
+    fn one_tuple_can_fix_multiple_mups() {
+        // Three binary attributes; rows chosen so the MUPs at τ=1 are
+        // (a=0,c=1), (b=0,c=1), and (a=1,b=1,c=0). The first two are
+        // compatible: the single tuple (0,0,1) fixes both, so the greedy
+        // plan has 2 tuples, not 3.
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for (a, b, c) in [("0", "0", "0"), ("0", "1", "0"), ("1", "0", "0"), ("1", "1", "1")] {
+            t.push_row(vec![Value::str(a), Value::str(b), Value::str(c)])
+                .unwrap();
+        }
+        let an = CoverageAnalyzer::new(&t, &["a", "b", "c"], 1).unwrap();
+        let (mups, _) = an.mups_pattern_breaker();
+        assert_eq!(mups.len(), 3);
+        let plan = remedy_greedy(&an, 3);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.contains(&vec![Value::str("0"), Value::str("0"), Value::str("1")]));
+    }
+
+    #[test]
+    fn goal_level_filters_targets() {
+        let t = table(&[("M", "w"), ("M", "b"), ("F", "w")]);
+        let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
+        // MUP (F,b) is level 2; with goal_level=1 nothing to do
+        assert!(remedy_greedy(&an, 1).is_empty());
+    }
+
+    #[test]
+    fn already_covered_needs_no_plan() {
+        let t = table(&[("M", "w"), ("M", "b"), ("F", "w"), ("F", "b")]);
+        let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
+        assert!(remedy_greedy(&an, 2).is_empty());
+    }
+
+    #[test]
+    fn fixpoint_covers_patterns_exposed_by_earlier_rounds() {
+        // rows (0,0) and (1,1) at τ=2: the level-1 MUPs are fixed by
+        // adding (0,0) and (1,1), which *exposes* level-2 gaps (0,1) and
+        // (1,0) — the fixpoint must cover those too.
+        let t = table(&[("0", "0"), ("1", "1")]);
+        let an = CoverageAnalyzer::new(&t, &["g", "r"], 2).unwrap();
+        let plan = remedy_to_fixpoint(&an, 2);
+        let fixed = apply_plan(&t, &plan);
+        let an2 = CoverageAnalyzer::new(&fixed, &["g", "r"], 2).unwrap();
+        assert!(
+            an2.maximal_uncovered_patterns().is_empty(),
+            "plan {plan:?} left gaps"
+        );
+        // every full assignment needs τ=2 tuples → 8 total, 2 exist
+        assert_eq!(plan.len(), 6);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: the three MUP algorithms agree on random data, MUP
+//! semantics hold, and greedy remediation always fixes coverage.
+
+use proptest::prelude::*;
+use rdi_coverage::{remedy_greedy, remedy_to_fixpoint, CoverageAnalyzer};
+use rdi_table::{DataType, Field, Schema, Table, Value};
+
+/// Random categorical table: up to 4 attributes with ≤ 3 categories.
+fn arb_table() -> impl Strategy<Value = (Table, Vec<String>)> {
+    (2usize..=4, 1usize..=3).prop_flat_map(|(d, cards)| {
+        let row = prop::collection::vec(0u8..cards as u8, d);
+        prop::collection::vec(row, 1..60).prop_map(move |rows| {
+            let fields = (0..d)
+                .map(|i| Field::new(format!("a{i}"), DataType::Str))
+                .collect();
+            let mut t = Table::new(Schema::new(fields));
+            for r in rows {
+                t.push_row(r.into_iter().map(|v| Value::str(v.to_string())).collect())
+                    .unwrap();
+            }
+            let attrs = (0..d).map(|i| format!("a{i}")).collect();
+            (t, attrs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_three_algorithms_agree((t, attrs) in arb_table(), tau in 1usize..5) {
+        let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
+        let (pb, _) = an.mups_pattern_breaker();
+        let (dd, _) = an.mups_deep_diver();
+        let (nv, _) = an.mups_naive();
+        prop_assert_eq!(&pb, &dd);
+        prop_assert_eq!(&pb, &nv);
+    }
+
+    #[test]
+    fn mups_are_uncovered_with_covered_parents((t, attrs) in arb_table(), tau in 1usize..5) {
+        let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
+        let mups = an.maximal_uncovered_patterns();
+        for m in &mups {
+            prop_assert!(!an.is_covered(m));
+            for p in m.parents() {
+                prop_assert!(an.is_covered(&p));
+            }
+        }
+        // pairwise incomparability
+        for (i, a) in mups.iter().enumerate() {
+            for (j, b) in mups.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.generalizes(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_remediation_covers_the_current_mups((t, attrs) in arb_table(), tau in 1usize..4) {
+        let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
+        let d = attrs.len();
+        let (mups, _) = an.mups_pattern_breaker();
+        let plan = remedy_greedy(&an, d);
+        let mut fixed = t.clone();
+        for row in &plan {
+            fixed.push_row(row.clone()).unwrap();
+        }
+        let an2 = CoverageAnalyzer::new(&fixed, &attrs_ref, tau).unwrap();
+        // every ORIGINAL mup must now be covered (the paper's guarantee)
+        for m in &mups {
+            prop_assert!(an2.is_covered(m), "original MUP {m} still uncovered");
+        }
+    }
+
+    #[test]
+    fn fixpoint_remediation_leaves_no_mups((t, attrs) in arb_table(), tau in 1usize..3) {
+        let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
+        let d = attrs.len();
+        let plan = remedy_to_fixpoint(&an, d);
+        let mut fixed = t.clone();
+        for row in &plan {
+            fixed.push_row(row.clone()).unwrap();
+        }
+        let an2 = CoverageAnalyzer::new(&fixed, &attrs_ref, tau).unwrap();
+        prop_assert!(an2.maximal_uncovered_patterns().is_empty(),
+            "plan of {} tuples left MUPs", plan.len());
+    }
+}

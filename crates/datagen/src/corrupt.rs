@@ -1,0 +1,116 @@
+//! Value-error injection (§2.4 "Completeness and Correctness").
+
+use rand::Rng;
+use rdi_table::{Table, Value};
+
+/// How to corrupt numeric cells.
+#[derive(Debug, Clone)]
+pub struct CorruptSpec {
+    /// Column whose cells get corrupted.
+    pub column: String,
+    /// Probability each non-null cell is corrupted.
+    pub rate: f64,
+    /// Corrupted value = original + Uniform(−magnitude, +magnitude) scaled
+    /// by the column's value range — large enough to act like a gross error.
+    pub magnitude: f64,
+}
+
+/// Return a copy of `table` with numeric cells of `spec.column` perturbed,
+/// plus the indices of corrupted rows and their original values.
+pub fn corrupt_numeric<R: Rng + ?Sized>(
+    table: &Table,
+    spec: &CorruptSpec,
+    rng: &mut R,
+) -> rdi_table::Result<(Table, Vec<(usize, f64)>)> {
+    assert!((0.0..=1.0).contains(&spec.rate));
+    let col = table.column(&spec.column)?;
+    let vals = col.numeric_values();
+    let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = if hi > lo { hi - lo } else { 1.0 };
+
+    let mut out = table.clone();
+    let mut corrupted = Vec::new();
+    for i in 0..table.num_rows() {
+        let v = table.value(i, &spec.column)?;
+        let Some(x) = v.as_f64() else { continue };
+        if rng.gen::<f64>() < spec.rate {
+            let noise = rng.gen_range(-1.0..1.0) * spec.magnitude * range;
+            out.set_value(i, &spec.column, Value::Float(x + noise))?;
+            corrupted.push((i, x));
+        }
+    }
+    Ok((out, corrupted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..1000 {
+            t.push_row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn corruption_rate_is_respected() {
+        let t = table();
+        let spec = CorruptSpec {
+            column: "x".into(),
+            rate: 0.2,
+            magnitude: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let (out, corrupted) = corrupt_numeric(&t, &spec, &mut rng).unwrap();
+        let frac = corrupted.len() as f64 / 1000.0;
+        assert!((frac - 0.2).abs() < 0.05, "frac={frac}");
+        // untouched rows keep their values
+        for i in 0..t.num_rows() {
+            if !corrupted.iter().any(|(j, _)| *j == i) {
+                assert_eq!(out.value(i, "x").unwrap(), t.value(i, "x").unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn originals_are_recorded() {
+        let t = table();
+        let spec = CorruptSpec {
+            column: "x".into(),
+            rate: 1.0,
+            magnitude: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (out, corrupted) = corrupt_numeric(&t, &spec, &mut rng).unwrap();
+        assert_eq!(corrupted.len(), 1000);
+        for (i, orig) in &corrupted {
+            assert_eq!(*orig, *i as f64);
+            // corrupted cell generally differs (noise of scale 2×range)
+            let now = out.value(*i, "x").unwrap().as_f64().unwrap();
+            let _ = now;
+        }
+    }
+
+    #[test]
+    fn null_cells_untouched() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Null]).unwrap();
+        let spec = CorruptSpec {
+            column: "x".into(),
+            rate: 1.0,
+            magnitude: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, corrupted) = corrupt_numeric(&t, &spec, &mut rng).unwrap();
+        assert!(corrupted.is_empty());
+        assert!(out.value(0, "x").unwrap().is_null());
+    }
+}

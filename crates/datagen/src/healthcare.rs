@@ -1,0 +1,163 @@
+//! The tutorial's Example 1 benchmark.
+//!
+//! An AI company wants Chicago health-record data for early detection of
+//! breast cancer, but each hospital's records are racially skewed by
+//! historical access patterns (redlining). This module generates a
+//! synthetic stand-in: a patient population with race/age structure and a
+//! set of hospital sources whose racial mixes differ sharply, so that no
+//! single source satisfies Group Representation (§2.2) and responsible
+//! integration across sources is required.
+
+use rand::Rng;
+use rdi_fairness::Categorical;
+use rdi_table::Table;
+
+use crate::population::{AttributeSpec, FeatureSpec, PopulationSpec};
+use crate::sources::GeneratedSource;
+
+/// Configuration for the healthcare benchmark.
+#[derive(Debug, Clone)]
+pub struct HealthcareConfig {
+    /// Total rows of the reference population.
+    pub population_size: usize,
+    /// Rows per hospital source.
+    pub rows_per_hospital: usize,
+}
+
+impl Default for HealthcareConfig {
+    fn default() -> Self {
+        HealthcareConfig {
+            population_size: 50_000,
+            rows_per_hospital: 10_000,
+        }
+    }
+}
+
+/// The population spec: race (Chicago-like mix), two clinical features
+/// (`tumor_marker`, unbiased; `screening_score`, biased by differential
+/// access to screening), and a binary `diagnosis` target.
+pub fn healthcare_spec() -> PopulationSpec {
+    PopulationSpec {
+        sensitive: vec![AttributeSpec::new(
+            "race",
+            &["white", "black", "hispanic", "asian"],
+            // rough Chicago demographics
+            &[0.33, 0.29, 0.29, 0.09],
+        )],
+        features: vec![
+            FeatureSpec::unbiased("tumor_marker", 0.0, 1.0, 2.0),
+            FeatureSpec::biased(
+                "screening_score",
+                0.0,
+                1.0,
+                // screening access advantage for the white group
+                vec![0.8, -0.4, -0.3, 0.2],
+                1.0,
+            ),
+        ],
+        intercept: -1.0,
+        // Differential calibration (the pulse-oximeter effect, §2.1): the
+        // same clinical readings imply different diagnosis odds per group,
+        // so a model trained on a white-dominant source systematically
+        // mis-calibrates for under-represented groups.
+        group_logit_shift: vec![1.2, -1.2, -0.9, 0.6],
+        target_name: "diagnosis".to_string(),
+    }
+}
+
+/// Generate the reference population table.
+pub fn healthcare_population<R: Rng + ?Sized>(config: &HealthcareConfig, rng: &mut R) -> Table {
+    healthcare_spec().generate(config.population_size, rng)
+}
+
+/// Generate four hospital sources with sharply different racial mixes
+/// (mirroring Chicago's segregated care geography) and unequal access
+/// costs.
+pub fn healthcare_sources<R: Rng + ?Sized>(
+    config: &HealthcareConfig,
+    rng: &mut R,
+) -> Vec<(String, GeneratedSource)> {
+    let spec = healthcare_spec();
+    // (name, racial mix over [white, black, hispanic, asian], cost)
+    let hospitals: [(&str, [f64; 4], f64); 4] = [
+        ("north_side", [0.70, 0.05, 0.10, 0.15], 1.0),
+        ("south_side", [0.08, 0.75, 0.14, 0.03], 1.0),
+        ("west_side", [0.12, 0.25, 0.60, 0.03], 1.5),
+        ("downtown", [0.45, 0.15, 0.20, 0.20], 2.0),
+    ];
+    hospitals
+        .iter()
+        .map(|(name, mix, cost)| {
+            let marginal = Categorical::from_weights(mix);
+            let table =
+                spec.generate_with_marginals(config.rows_per_hospital, rng, Some(&marginal));
+            (
+                name.to_string(),
+                GeneratedSource {
+                    table,
+                    marginal,
+                    cost: *cost,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{GroupSpec, Value};
+
+    #[test]
+    fn population_has_expected_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = HealthcareConfig {
+            population_size: 1000,
+            rows_per_hospital: 100,
+        };
+        let t = healthcare_population(&cfg, &mut rng);
+        assert_eq!(t.num_rows(), 1000);
+        assert_eq!(t.schema().sensitive(), vec!["race"]);
+        assert_eq!(t.schema().targets(), vec!["diagnosis"]);
+    }
+
+    #[test]
+    fn hospitals_are_skewed_differently() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = HealthcareConfig {
+            population_size: 100,
+            rows_per_hospital: 5_000,
+        };
+        let srcs = healthcare_sources(&cfg, &mut rng);
+        assert_eq!(srcs.len(), 4);
+        let frac_of = |t: &Table, race: &str| -> f64 {
+            GroupSpec::new(vec!["race"])
+                .fractions(t)
+                .unwrap()
+                .iter()
+                .find(|(k, _)| k.0[0] == Value::str(race))
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0)
+        };
+        let north_white = frac_of(&srcs[0].1.table, "white");
+        let south_black = frac_of(&srcs[1].1.table, "black");
+        assert!(north_white > 0.6, "north white frac={north_white}");
+        assert!(south_black > 0.65, "south black frac={south_black}");
+        // north side under-represents black patients badly
+        assert!(frac_of(&srcs[0].1.table, "black") < 0.1);
+    }
+
+    #[test]
+    fn costs_differ_by_hospital() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = HealthcareConfig {
+            population_size: 10,
+            rows_per_hospital: 10,
+        };
+        let srcs = healthcare_sources(&cfg, &mut rng);
+        assert_eq!(srcs[0].1.cost, 1.0);
+        assert_eq!(srcs[3].1.cost, 2.0);
+    }
+}

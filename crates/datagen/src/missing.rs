@@ -1,0 +1,207 @@
+//! Missing-value injection under MCAR / MAR / MNAR mechanisms (§2.4).
+
+use rand::Rng;
+use rdi_table::{Table, Value};
+
+/// The statistical mechanism generating missingness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mechanism {
+    /// Missing Completely At Random: every cell is masked with the base rate.
+    Mcar,
+    /// Missing At Random: the masking probability depends on an *observed*
+    /// conditioning column — rows whose conditioning cell equals the given
+    /// value are masked at `rate × boost`, others at `rate`.
+    Mar {
+        /// Observed column that drives missingness.
+        condition_column: String,
+        /// Value of the conditioning column that boosts missingness.
+        condition_value: Value,
+        /// Multiplier applied to the base rate for matching rows.
+        boost: f64,
+    },
+    /// Missing Not At Random: the masking probability depends on the
+    /// *value being masked* — numeric cells above the threshold are masked
+    /// at `rate × boost`, others at `rate`.
+    Mnar {
+        /// Threshold on the target column's own value.
+        threshold: f64,
+        /// Multiplier applied to the base rate above the threshold.
+        boost: f64,
+    },
+}
+
+/// What to mask and how.
+#[derive(Debug, Clone)]
+pub struct MissingSpec {
+    /// Column whose cells get masked.
+    pub column: String,
+    /// Base masking probability in `[0, 1]`.
+    pub rate: f64,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+}
+
+/// Return a copy of `table` with cells of `spec.column` replaced by null
+/// according to the mechanism. Also returns the indices of masked rows
+/// (ground truth for imputation-quality experiments).
+pub fn inject_missing<R: Rng + ?Sized>(
+    table: &Table,
+    spec: &MissingSpec,
+    rng: &mut R,
+) -> rdi_table::Result<(Table, Vec<usize>)> {
+    assert!((0.0..=1.0).contains(&spec.rate), "rate must be in [0,1]");
+    let mut out = table.clone();
+    let mut masked = Vec::new();
+    for i in 0..table.num_rows() {
+        let cell = table.value(i, &spec.column)?;
+        if cell.is_null() {
+            continue;
+        }
+        let p = match &spec.mechanism {
+            Mechanism::Mcar => spec.rate,
+            Mechanism::Mar {
+                condition_column,
+                condition_value,
+                boost,
+            } => {
+                let c = table.value(i, condition_column)?;
+                if &c == condition_value {
+                    (spec.rate * boost).min(1.0)
+                } else {
+                    spec.rate
+                }
+            }
+            Mechanism::Mnar { threshold, boost } => match cell.as_f64() {
+                Some(x) if x > *threshold => (spec.rate * boost).min(1.0),
+                _ => spec.rate,
+            },
+        };
+        if rng.gen::<f64>() < p {
+            out.set_value(i, &spec.column, Value::Null)?;
+            masked.push(i);
+        }
+    }
+    Ok((out, masked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..4000 {
+            let g = if i % 4 == 0 { "min" } else { "maj" };
+            t.push_row(vec![Value::str(g), Value::Float((i % 100) as f64)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn mcar_rate_is_uniform() {
+        let t = table();
+        let spec = MissingSpec {
+            column: "x".into(),
+            rate: 0.3,
+            mechanism: Mechanism::Mcar,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let (out, masked) = inject_missing(&t, &spec, &mut rng).unwrap();
+        let frac = masked.len() as f64 / t.num_rows() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "frac={frac}");
+        assert_eq!(out.column("x").unwrap().null_count(), masked.len());
+    }
+
+    #[test]
+    fn mar_boosts_conditioned_rows() {
+        let t = table();
+        let spec = MissingSpec {
+            column: "x".into(),
+            rate: 0.1,
+            mechanism: Mechanism::Mar {
+                condition_column: "g".into(),
+                condition_value: Value::str("min"),
+                boost: 5.0,
+            },
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (out, _) = inject_missing(&t, &spec, &mut rng).unwrap();
+        // count null fraction per group
+        let mut min_null = 0.0;
+        let mut min_n = 0.0;
+        let mut maj_null = 0.0;
+        let mut maj_n = 0.0;
+        for i in 0..out.num_rows() {
+            let is_min = out.value(i, "g").unwrap() == Value::str("min");
+            let is_null = out.value(i, "x").unwrap().is_null();
+            if is_min {
+                min_n += 1.0;
+                min_null += is_null as u8 as f64;
+            } else {
+                maj_n += 1.0;
+                maj_null += is_null as u8 as f64;
+            }
+        }
+        let rmin = min_null / min_n;
+        let rmaj = maj_null / maj_n;
+        assert!(rmin > 3.0 * rmaj, "rmin={rmin} rmaj={rmaj}");
+    }
+
+    #[test]
+    fn mnar_boosts_high_values() {
+        let t = table();
+        let spec = MissingSpec {
+            column: "x".into(),
+            rate: 0.05,
+            mechanism: Mechanism::Mnar {
+                threshold: 50.0,
+                boost: 8.0,
+            },
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, masked) = inject_missing(&t, &spec, &mut rng).unwrap();
+        // most masked rows should have had x > 50
+        let high = masked
+            .iter()
+            .filter(|&&i| t.value(i, "x").unwrap().as_f64().unwrap() > 50.0)
+            .count();
+        assert!(high as f64 / masked.len() as f64 > 0.7);
+    }
+
+    #[test]
+    fn already_null_cells_are_skipped() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Null]).unwrap();
+        let spec = MissingSpec {
+            column: "x".into(),
+            rate: 1.0,
+            mechanism: Mechanism::Mcar,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, masked) = inject_missing(&t, &spec, &mut rng).unwrap();
+        assert!(masked.is_empty());
+    }
+
+    #[test]
+    fn rate_one_masks_everything() {
+        let t = table();
+        let spec = MissingSpec {
+            column: "x".into(),
+            rate: 1.0,
+            mechanism: Mechanism::Mcar,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (out, masked) = inject_missing(&t, &spec, &mut rng).unwrap();
+        assert_eq!(masked.len(), t.num_rows());
+        assert_eq!(out.column("x").unwrap().null_count(), t.num_rows());
+    }
+}

@@ -1,0 +1,141 @@
+//! Distribution samplers built on `rand`'s uniform primitives.
+//!
+//! We implement the handful of distributions the generators need rather
+//! than pulling in `rand_distr`, keeping the dependency footprint at the
+//! level the workspace allows.
+
+use rand::Rng;
+
+/// Standard-normal sample via the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0);
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Gamma(shape, scale) sample via Marsaglia–Tsang (2000), with the boost
+/// trick for `shape < 1`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) · U^(1/a)
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng, 0.0, 1.0);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Dirichlet(α) sample: a random probability vector.
+///
+/// # Panics
+/// Panics if `alphas` is empty or contains a non-positive entry.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty());
+    let gs: Vec<f64> = alphas.iter().map(|&a| gamma(rng, a, 1.0)).collect();
+    let sum: f64 = gs.iter().sum();
+    if sum == 0.0 {
+        // Degenerate only for pathologically tiny alphas; fall back to uniform.
+        return vec![1.0 / alphas.len() as f64; alphas.len()];
+    }
+    gs.iter().map(|g| g / sum).collect()
+}
+
+/// Unnormalized Zipf weights `1/rank^s` for `n` ranks.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0);
+    (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (shape, scale) in [(0.5, 1.0), (2.0, 3.0), (9.0, 0.5)] {
+            let n = 30_000;
+            let m: f64 = (0..n).map(|_| gamma(&mut rng, shape, scale)).sum::<f64>() / n as f64;
+            let expect = shape * scale;
+            assert!(
+                (m - expect).abs() / expect < 0.05,
+                "shape={shape} scale={scale} mean={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gamma(&mut rng, 0.0, 1.0)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = dirichlet(&mut rng, &[0.5, 1.0, 5.0]);
+            assert_eq!(v.len(), 3);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_concentration_controls_spread() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // high alpha → near uniform; low alpha → spiky
+        let spread = |alpha: f64, rng: &mut StdRng| -> f64 {
+            let mut dev = 0.0;
+            for _ in 0..200 {
+                let v = dirichlet(rng, &[alpha; 4]);
+                dev += v.iter().map(|p| (p - 0.25).abs()).sum::<f64>();
+            }
+            dev
+        };
+        let tight = spread(100.0, &mut rng);
+        let loose = spread(0.1, &mut rng);
+        assert!(tight < loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(4, 1.0);
+        assert_eq!(w[0], 1.0);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        // s = 0 → uniform
+        assert!(zipf_weights(5, 0.0).iter().all(|&x| x == 1.0));
+    }
+}

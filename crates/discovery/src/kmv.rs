@@ -1,0 +1,262 @@
+//! KMV sketches and correlation sketches.
+//!
+//! A **KMV** (k-minimum-values) sketch keeps the `k` smallest hash values
+//! of a set; the k-th smallest value `u_k` estimates the distinct count as
+//! `(k − 1)/u_k`. Because hashing is *coordinated* (same hash function on
+//! both sides), the keys surviving into two tables' sketches coincide —
+//! which is exactly what **correlation sketches** (Santos, Bessa,
+//! Chirigati, Musco, Freire; SIGMOD 2021) exploit: keep, with each
+//! sampled join key, the associated numeric values from each table; the
+//! intersection of two sketches is a (nearly) uniform sample of the joined
+//! pairs, so any correlation measure evaluated on it approximates the true
+//! join-correlation.
+
+use std::collections::HashMap;
+
+use rdi_table::{Table, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{hash_value, to_unit};
+
+/// Seed for the shared (coordinated) key-hash function.
+const KEY_SEED: u64 = 0x5eed_cafe;
+
+/// A k-minimum-values sketch of a key set, with an optional payload value
+/// per retained key.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmvSketch {
+    k: usize,
+    /// (unit-interval hash, key, payload), sorted by hash ascending.
+    entries: Vec<(f64, Value, f64)>,
+}
+
+impl KmvSketch {
+    /// Build over a table's key column, storing the mean of `payload`
+    /// column per key (keys may repeat; the correlation-sketch payload is
+    /// the per-key aggregate).
+    pub fn build(
+        table: &Table,
+        key: &str,
+        payload: Option<&str>,
+        k: usize,
+    ) -> rdi_table::Result<Self> {
+        assert!(k > 0);
+        let kidx = table.schema().index_of(key)?;
+        let pidx = payload.map(|p| table.schema().index_of(p)).transpose()?;
+        // aggregate payload per key first (mean)
+        let mut agg: HashMap<Value, (f64, usize)> = HashMap::new();
+        for i in 0..table.num_rows() {
+            let kv = table.column_at(kidx).value(i);
+            if kv.is_null() {
+                continue;
+            }
+            let pv = pidx
+                .map(|p| table.column_at(p).value(i).as_f64().unwrap_or(0.0))
+                .unwrap_or(0.0);
+            let e = agg.entry(kv).or_insert((0.0, 0));
+            e.0 += pv;
+            e.1 += 1;
+        }
+        let mut entries: Vec<(f64, Value, f64)> = agg
+            .into_iter()
+            .map(|(kv, (sum, n))| {
+                let u = to_unit(hash_value(&kv, KEY_SEED));
+                (u, kv, sum / n as f64)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        entries.truncate(k);
+        Ok(KmvSketch { k, entries })
+    }
+
+    /// Number of retained keys (≤ k).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the sketch retains no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated number of distinct keys: `(k−1)/u_k` when full, exact
+    /// count otherwise.
+    pub fn distinct_estimate(&self) -> f64 {
+        if self.entries.len() < self.k {
+            return self.entries.len() as f64;
+        }
+        let u_k = self.entries.last().expect("non-empty").0;
+        if u_k <= 0.0 {
+            return self.entries.len() as f64;
+        }
+        (self.k as f64 - 1.0) / u_k
+    }
+
+    /// Keys shared by both sketches *within the joint sketch region* —
+    /// a coordinated uniform sample of the join keys — with both payloads.
+    pub fn intersect<'a>(&'a self, other: &'a KmvSketch) -> Vec<(&'a Value, f64, f64)> {
+        // restrict to the common retained-hash region to keep uniformity
+        let bound = match (self.entries.last(), other.entries.last()) {
+            (Some(a), Some(b)) => a.0.min(b.0),
+            _ => return Vec::new(),
+        };
+        let map: HashMap<&Value, f64> = other
+            .entries
+            .iter()
+            .filter(|(u, _, _)| *u <= bound)
+            .map(|(_, k, p)| (k, *p))
+            .collect();
+        self.entries
+            .iter()
+            .filter(|(u, _, _)| *u <= bound)
+            .filter_map(|(_, k, p)| map.get(k).map(|q| (k, *p, *q)))
+            .collect()
+    }
+}
+
+/// A correlation sketch: a KMV sketch whose payload is the numeric feature
+/// to correlate, plus the estimation entry points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationSketch {
+    sketch: KmvSketch,
+}
+
+impl CorrelationSketch {
+    /// Build over `(key, feature)` of a table.
+    pub fn build(table: &Table, key: &str, feature: &str, k: usize) -> rdi_table::Result<Self> {
+        Ok(CorrelationSketch {
+            sketch: KmvSketch::build(table, key, Some(feature), k)?,
+        })
+    }
+
+    /// The underlying KMV sketch.
+    pub fn kmv(&self) -> &KmvSketch {
+        &self.sketch
+    }
+
+    /// Estimated Pearson correlation between this sketch's feature and
+    /// `other`'s feature over the (sampled) join keys; `None` when fewer
+    /// than 3 sampled keys coincide.
+    pub fn correlation(&self, other: &CorrelationSketch) -> Option<f64> {
+        let pairs = self.sketch.intersect(&other.sketch);
+        if pairs.len() < 3 {
+            return None;
+        }
+        let xs: Vec<f64> = pairs.iter().map(|(_, x, _)| *x).collect();
+        let ys: Vec<f64> = pairs.iter().map(|(_, _, y)| *y).collect();
+        Some(rdi_fairness::pearson(&xs, &ys))
+    }
+
+    /// Estimated join size |keys(self) ∩ keys(other)| via the coordinated
+    /// sample: overlap fraction × distinct estimate.
+    pub fn join_key_estimate(&self, other: &CorrelationSketch) -> f64 {
+        let pairs = self.sketch.intersect(&other.sketch).len() as f64;
+        let bound_len = self
+            .sketch
+            .entries
+            .len()
+            .min(other.sketch.entries.len()) as f64;
+        if bound_len == 0.0 {
+            return 0.0;
+        }
+        let frac = pairs / bound_len;
+        frac * self.sketch.distinct_estimate().min(other.sketch.distinct_estimate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema};
+
+    fn keyed_table(n: usize, f: impl Fn(usize) -> f64) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(vec![Value::str(format!("k{i}")), Value::Float(f(i))])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn distinct_estimate_accuracy() {
+        let t = keyed_table(10_000, |i| i as f64);
+        let s = KmvSketch::build(&t, "key", None, 256).unwrap();
+        let est = s.distinct_estimate();
+        assert!(
+            (est - 10_000.0).abs() / 10_000.0 < 0.15,
+            "est={est}"
+        );
+    }
+
+    #[test]
+    fn small_sets_are_exact() {
+        let t = keyed_table(10, |i| i as f64);
+        let s = KmvSketch::build(&t, "key", None, 256).unwrap();
+        assert_eq!(s.distinct_estimate(), 10.0);
+    }
+
+    #[test]
+    fn coordinated_sketches_share_keys() {
+        let a = keyed_table(5_000, |i| i as f64);
+        let b = keyed_table(5_000, |i| (i * 2) as f64);
+        let sa = KmvSketch::build(&a, "key", Some("x"), 128).unwrap();
+        let sb = KmvSketch::build(&b, "key", Some("x"), 128).unwrap();
+        let inter = sa.intersect(&sb);
+        // identical key sets → intersection is (almost) the whole joint region
+        assert!(inter.len() > 100, "len={}", inter.len());
+        // payloads line up: y = 2x
+        for (_, x, y) in inter {
+            assert_eq!(y, 2.0 * x);
+        }
+    }
+
+    #[test]
+    fn correlation_estimate_positive_and_negative() {
+        let n = 20_000;
+        let a = keyed_table(n, |i| i as f64);
+        let pos = keyed_table(n, |i| i as f64 * 3.0 + 1.0);
+        let neg = keyed_table(n, |i| -(i as f64));
+        let sa = CorrelationSketch::build(&a, "key", "x", 256).unwrap();
+        let sp = CorrelationSketch::build(&pos, "key", "x", 256).unwrap();
+        let sn = CorrelationSketch::build(&neg, "key", "x", 256).unwrap();
+        assert!((sa.correlation(&sp).unwrap() - 1.0).abs() < 0.02);
+        assert!((sa.correlation(&sn).unwrap() + 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn disjoint_keys_give_none() {
+        let a = keyed_table(100, |i| i as f64);
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut b = Table::new(schema);
+        for i in 0..100 {
+            b.push_row(vec![Value::str(format!("z{i}")), Value::Float(0.0)])
+                .unwrap();
+        }
+        let sa = CorrelationSketch::build(&a, "key", "x", 64).unwrap();
+        let sb = CorrelationSketch::build(&b, "key", "x", 64).unwrap();
+        assert!(sa.correlation(&sb).is_none());
+    }
+
+    #[test]
+    fn repeated_keys_aggregate_payload() {
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for v in [1.0, 3.0] {
+            t.push_row(vec![Value::str("same"), Value::Float(v)]).unwrap();
+        }
+        let s = KmvSketch::build(&t, "key", Some("x"), 8).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entries[0].2, 2.0); // mean of 1 and 3
+    }
+}

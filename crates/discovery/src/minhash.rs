@@ -1,0 +1,144 @@
+//! MinHash signatures and Jaccard estimation.
+
+use rdi_table::{Table, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::hash::hash_value;
+
+/// A MinHash signature: `k` independent minimum hash values of a set.
+///
+/// `E[fraction of agreeing positions] = Jaccard(A, B)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHash {
+    sig: Vec<u64>,
+}
+
+impl MinHash {
+    /// Signature length.
+    pub fn k(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// The raw signature values.
+    pub fn signature(&self) -> &[u64] {
+        &self.sig
+    }
+
+    /// Build from an iterator of set elements.
+    pub fn from_values<'a, I: IntoIterator<Item = &'a Value>>(values: I, k: usize) -> Self {
+        assert!(k > 0);
+        let mut sig = vec![u64::MAX; k];
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            for (j, s) in sig.iter_mut().enumerate() {
+                let h = hash_value(v, j as u64);
+                if h < *s {
+                    *s = h;
+                }
+            }
+        }
+        MinHash { sig }
+    }
+
+    /// Build from the distinct values of a table column.
+    pub fn from_column(table: &Table, column: &str, k: usize) -> rdi_table::Result<Self> {
+        let col = table.column(column)?;
+        let values: Vec<Value> = (0..table.num_rows()).map(|i| col.value(i)).collect();
+        Ok(MinHash::from_values(values.iter(), k))
+    }
+
+    /// Estimated Jaccard similarity with another signature of equal `k`.
+    pub fn jaccard(&self, other: &MinHash) -> f64 {
+        assert_eq!(self.k(), other.k(), "signatures must share k");
+        let agree = self
+            .sig
+            .iter()
+            .zip(&other.sig)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.k() as f64
+    }
+}
+
+/// Exact Jaccard of two columns' distinct value sets (ground truth for
+/// sketch evaluation).
+pub fn exact_jaccard(a: &Table, ca: &str, b: &Table, cb: &str) -> rdi_table::Result<f64> {
+    let sa: std::collections::BTreeSet<Value> = a.distinct(ca)?.into_iter().collect();
+    let sb: std::collections::BTreeSet<Value> = b.distinct(cb)?.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return Ok(0.0);
+    }
+    let inter = sa.intersection(&sb).count();
+    Ok(inter as f64 / (sa.len() + sb.len() - inter) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[&str]) -> Vec<Value> {
+        vals.iter().map(|s| Value::str(*s)).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let a = set(&["x", "y", "z"]);
+        let ma = MinHash::from_values(a.iter(), 64);
+        let mb = MinHash::from_values(a.iter(), 64);
+        assert_eq!(ma.jaccard(&mb), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_jaccard_near_zero() {
+        let a: Vec<Value> = (0..100).map(|i| Value::str(format!("a{i}"))).collect();
+        let b: Vec<Value> = (0..100).map(|i| Value::str(format!("b{i}"))).collect();
+        let ma = MinHash::from_values(a.iter(), 128);
+        let mb = MinHash::from_values(b.iter(), 128);
+        assert!(ma.jaccard(&mb) < 0.05);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        // |A∩B| = 50, |A∪B| = 150 → J = 1/3
+        let a: Vec<Value> = (0..100).map(|i| Value::str(format!("v{i}"))).collect();
+        let b: Vec<Value> = (50..200).map(|i| Value::str(format!("v{i}"))).collect();
+        let ma = MinHash::from_values(a.iter(), 256);
+        let mb = MinHash::from_values(b.iter(), 256);
+        let est = ma.jaccard(&mb);
+        assert!((est - 1.0 / 3.0).abs() < 0.08, "est={est}");
+    }
+
+    #[test]
+    fn duplicates_and_nulls_ignored() {
+        let a = vec![Value::str("x"), Value::str("x"), Value::Null];
+        let b = vec![Value::str("x")];
+        let ma = MinHash::from_values(a.iter(), 32);
+        let mb = MinHash::from_values(b.iter(), 32);
+        assert_eq!(ma.jaccard(&mb), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share k")]
+    fn mismatched_k_panics() {
+        let a = MinHash::from_values(set(&["x"]).iter(), 8);
+        let b = MinHash::from_values(set(&["x"]).iter(), 16);
+        a.jaccard(&b);
+    }
+
+    #[test]
+    fn exact_jaccard_reference() {
+        use rdi_table::{DataType, Field, Schema};
+        let schema = Schema::new(vec![Field::new("c", DataType::Str)]);
+        let mut ta = Table::new(schema.clone());
+        let mut tb = Table::new(schema);
+        for v in ["x", "y"] {
+            ta.push_row(vec![Value::str(v)]).unwrap();
+        }
+        for v in ["y", "z"] {
+            tb.push_row(vec![Value::str(v)]).unwrap();
+        }
+        assert!((exact_jaccard(&ta, "c", &tb, "c").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

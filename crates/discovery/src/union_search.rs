@@ -1,0 +1,190 @@
+//! Table union search (Nargesian, Zhu, Pu, Miller; VLDB 2018 — simplified).
+//!
+//! Two tables are *unionable* when their columns can be matched so that
+//! matched columns draw from the same value domain. We score attribute
+//! unionability by (MinHash-estimated) Jaccard of value sets, build the
+//! best greedy column matching, and define table unionability as the mean
+//! matched-column score over the query's columns.
+
+use rdi_table::Table;
+
+use crate::minhash::MinHash;
+
+/// Signature set for one table: one MinHash per column.
+#[derive(Debug, Clone)]
+pub struct TableSignature {
+    /// Table name.
+    pub name: String,
+    /// (column name, signature) pairs.
+    pub columns: Vec<(String, MinHash)>,
+}
+
+impl TableSignature {
+    /// Sketch every column of a table.
+    pub fn build(name: impl Into<String>, table: &Table, k: usize) -> rdi_table::Result<Self> {
+        let mut columns = Vec::with_capacity(table.num_columns());
+        for f in table.schema().fields() {
+            columns.push((f.name.clone(), MinHash::from_column(table, &f.name, k)?));
+        }
+        Ok(TableSignature {
+            name: name.into(),
+            columns,
+        })
+    }
+}
+
+/// Greedy best column matching between two signatures; returns
+/// `(query column, candidate column, score)` triples (each column used at
+/// most once, highest scores first).
+pub fn column_matching(q: &TableSignature, x: &TableSignature) -> Vec<(String, String, f64)> {
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, (_, qs)) in q.columns.iter().enumerate() {
+        for (j, (_, xs)) in x.columns.iter().enumerate() {
+            if qs.k() == xs.k() {
+                pairs.push((i, j, qs.jaccard(xs)));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let mut used_q = vec![false; q.columns.len()];
+    let mut used_x = vec![false; x.columns.len()];
+    let mut out = Vec::new();
+    for (i, j, s) in pairs {
+        if !used_q[i] && !used_x[j] && s > 0.0 {
+            used_q[i] = true;
+            used_x[j] = true;
+            out.push((q.columns[i].0.clone(), x.columns[j].0.clone(), s));
+        }
+    }
+    out
+}
+
+/// Table unionability: mean matched score over the query's columns
+/// (unmatched query columns contribute 0).
+pub fn table_unionability(q: &TableSignature, x: &TableSignature) -> f64 {
+    if q.columns.is_empty() {
+        return 0.0;
+    }
+    let matched = column_matching(q, x);
+    matched.iter().map(|(_, _, s)| s).sum::<f64>() / q.columns.len() as f64
+}
+
+/// A ranked union-search index over table signatures.
+#[derive(Debug, Default)]
+pub struct UnionSearchIndex {
+    tables: Vec<TableSignature>,
+}
+
+impl UnionSearchIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        UnionSearchIndex::default()
+    }
+
+    /// Register a table signature.
+    pub fn insert(&mut self, sig: TableSignature) {
+        self.tables.push(sig);
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Top-k unionable tables for a query, as `(name, score)` descending.
+    pub fn top_k(&self, query: &TableSignature, k: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(String, f64)> = self
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), table_unionability(query, t)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema, Value};
+
+    fn table(cols: &[(&str, &[&str])]) -> Table {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, _)| Field::new(*n, DataType::Str))
+                .collect(),
+        );
+        let n = cols[0].1.len();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(cols.iter().map(|(_, vs)| Value::str(vs[i])).collect())
+                .unwrap();
+        }
+        t
+    }
+
+    fn cities() -> Table {
+        table(&[
+            ("city", &["chicago", "detroit", "nyc", "boston"]),
+            ("state", &["il", "mi", "ny", "ma"]),
+        ])
+    }
+
+    #[test]
+    fn identical_tables_score_one() {
+        let q = TableSignature::build("q", &cities(), 64).unwrap();
+        let x = TableSignature::build("x", &cities(), 64).unwrap();
+        assert!((table_unionability(&q, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_pairs_same_domain_columns() {
+        let q = TableSignature::build("q", &cities(), 64).unwrap();
+        // same domains, different column order and names
+        let other = table(&[
+            ("st", &["il", "mi", "ny", "ma"]),
+            ("town", &["chicago", "detroit", "nyc", "boston"]),
+        ]);
+        let x = TableSignature::build("x", &other, 64).unwrap();
+        let m = column_matching(&q, &x);
+        assert_eq!(m.len(), 2);
+        let city_match = m.iter().find(|(a, _, _)| a == "city").unwrap();
+        assert_eq!(city_match.1, "town");
+    }
+
+    #[test]
+    fn unrelated_tables_score_near_zero() {
+        let q = TableSignature::build("q", &cities(), 128).unwrap();
+        let other = table(&[
+            ("gene", &["brca1", "tp53", "egfr", "kras"]),
+            ("chrom", &["17", "17b", "7", "12"]),
+        ]);
+        let x = TableSignature::build("x", &other, 128).unwrap();
+        assert!(table_unionability(&q, &x) < 0.05);
+    }
+
+    #[test]
+    fn index_ranks_by_unionability() {
+        let mut idx = UnionSearchIndex::new();
+        idx.insert(TableSignature::build("twin", &cities(), 64).unwrap());
+        let partial = table(&[
+            ("city", &["chicago", "detroit", "nyc", "boston"]),
+            ("mayor", &["a", "b", "c", "d"]),
+        ]);
+        idx.insert(TableSignature::build("partial", &partial, 64).unwrap());
+        let unrelated = table(&[("gene", &["brca1", "tp53", "egfr", "kras"])]);
+        idx.insert(TableSignature::build("unrelated", &unrelated, 64).unwrap());
+
+        let q = TableSignature::build("q", &cities(), 64).unwrap();
+        let top = idx.top_k(&q, 3);
+        assert_eq!(top[0].0, "twin");
+        assert_eq!(top[1].0, "partial");
+        assert!(top[0].1 > top[1].1 && top[1].1 > top[2].1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: sketch estimates track exact set statistics on random
+//! inputs.
+
+use proptest::prelude::*;
+use rdi_discovery::{KmvSketch, MinHash};
+use rdi_table::{DataType, Field, Schema, Table, Value};
+
+fn set_table(ids: &[u16]) -> Table {
+    let schema = Schema::new(vec![Field::new("v", DataType::Str)]);
+    let mut t = Table::new(schema);
+    for &i in ids {
+        t.push_row(vec![Value::str(format!("x{i}"))]).unwrap();
+    }
+    t
+}
+
+fn exact_jaccard(a: &[u16], b: &[u16]) -> f64 {
+    let sa: std::collections::HashSet<u16> = a.iter().copied().collect();
+    let sb: std::collections::HashSet<u16> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / (sa.len() + sb.len() - inter) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MinHash estimate within a Chernoff-ish band of true Jaccard.
+    #[test]
+    fn minhash_tracks_exact_jaccard(
+        a in prop::collection::vec(0u16..300, 1..150),
+        b in prop::collection::vec(0u16..300, 1..150))
+    {
+        let ta = set_table(&a);
+        let tb = set_table(&b);
+        let k = 512;
+        let ma = MinHash::from_column(&ta, "v", k).unwrap();
+        let mb = MinHash::from_column(&tb, "v", k).unwrap();
+        let est = ma.jaccard(&mb);
+        let truth = exact_jaccard(&a, &b);
+        // se = sqrt(J(1-J)/k) ≤ 0.5/sqrt(k) ≈ 0.022; allow 6σ
+        prop_assert!((est - truth).abs() < 0.14, "est={est} truth={truth}");
+    }
+
+    /// Identical multisets always sketch identically (duplicates ignored).
+    #[test]
+    fn minhash_is_multiset_invariant(a in prop::collection::vec(0u16..50, 1..60)) {
+        let mut doubled = a.clone();
+        doubled.extend_from_slice(&a);
+        let ma = MinHash::from_column(&set_table(&a), "v", 64).unwrap();
+        let md = MinHash::from_column(&set_table(&doubled), "v", 64).unwrap();
+        prop_assert_eq!(ma.jaccard(&md), 1.0);
+    }
+
+    /// KMV distinct estimate: exact below k, within 3·(d/√k) above.
+    #[test]
+    fn kmv_distinct_estimate_is_sane(ids in prop::collection::vec(0u16..2000, 1..400)) {
+        let t = set_table(&ids);
+        let k = 128;
+        let s = KmvSketch::build(&t, "v", None, k).unwrap();
+        let truth = ids.iter().collect::<std::collections::HashSet<_>>().len() as f64;
+        let est = s.distinct_estimate();
+        if truth < k as f64 {
+            // sketch not full → count is exact
+            prop_assert_eq!(est, truth);
+        } else {
+            // full sketch → (k−1)/u_k estimator with ~truth/√k std error
+            let band = 4.0 * truth / (k as f64).sqrt();
+            prop_assert!((est - truth).abs() < band, "est={est} truth={truth}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Sample debiasing for open-world query answering (§5; after the Themis
+//! system of Orr, Balazinska, Suciu — SIGMOD 2020).
+//!
+//! When the database is itself a *biased sample* of a population (the
+//! open-world view), raw aggregates answer questions about the sample,
+//! not the world. If the population marginal of a stratifying attribute
+//! is known (e.g. census race fractions), **post-stratification** assigns
+//! each row the weight `population_fraction(g) / sample_fraction(g)` and
+//! answers COUNT/SUM/AVG with weights — removing the representation bias
+//! that the raw aggregates propagate into downstream applications.
+
+use std::collections::HashMap;
+
+use rdi_table::{GroupKey, GroupSpec, Predicate, Table, TableError};
+
+/// Per-row post-stratification weights for `table`, so that the weighted
+/// group fractions over `spec` match `population` (keys must cover every
+/// group present in the table; fractions must be positive and sum to ≈1).
+pub fn post_stratification_weights(
+    table: &Table,
+    spec: &GroupSpec,
+    population: &HashMap<GroupKey, f64>,
+) -> rdi_table::Result<Vec<f64>> {
+    let total: f64 = population.values().sum();
+    if !(0.99..=1.01).contains(&total) {
+        return Err(TableError::SchemaMismatch(format!(
+            "population fractions sum to {total}, expected 1"
+        )));
+    }
+    let counts = spec.counts(table)?;
+    let n = table.num_rows() as f64;
+    let mut weight_of: HashMap<GroupKey, f64> = HashMap::new();
+    for (k, &c) in &counts {
+        let Some(&pop) = population.get(k) else {
+            return Err(TableError::SchemaMismatch(format!(
+                "group {k} present in the sample but missing from the population marginal"
+            )));
+        };
+        if pop <= 0.0 {
+            return Err(TableError::SchemaMismatch(format!(
+                "population fraction for {k} must be positive"
+            )));
+        }
+        let sample_frac = c as f64 / n;
+        weight_of.insert(k.clone(), pop / sample_frac);
+    }
+    let mut weights = Vec::with_capacity(table.num_rows());
+    for i in 0..table.num_rows() {
+        weights.push(weight_of[&spec.key_of(table, i)?]);
+    }
+    Ok(weights)
+}
+
+/// A weighted view of a table for debiased aggregates.
+pub struct DebiasedView<'a> {
+    table: &'a Table,
+    weights: Vec<f64>,
+}
+
+impl<'a> DebiasedView<'a> {
+    /// Build from a table, the stratifying spec, and the known population
+    /// marginal.
+    pub fn new(
+        table: &'a Table,
+        spec: &GroupSpec,
+        population: &HashMap<GroupKey, f64>,
+    ) -> rdi_table::Result<Self> {
+        Ok(DebiasedView {
+            table,
+            weights: post_stratification_weights(table, spec, population)?,
+        })
+    }
+
+    /// The per-row weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Debiased fraction of the population matching `pred` (weighted
+    /// COUNT / total weight).
+    pub fn fraction(&self, pred: &Predicate) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let matched: f64 = (0..self.table.num_rows())
+            .filter(|&i| pred.eval(self.table, i))
+            .map(|i| self.weights[i])
+            .sum();
+        matched / total
+    }
+
+    /// Debiased AVG of a numeric column over rows matching `pred`
+    /// (weighted mean over non-null cells; `None` if nothing matches).
+    pub fn avg(&self, column: &str, pred: &Predicate) -> rdi_table::Result<Option<f64>> {
+        let col = self.table.column(column)?;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..self.table.num_rows() {
+            if !pred.eval(self.table, i) {
+                continue;
+            }
+            if let Some(x) = col.value(i).as_f64() {
+                num += self.weights[i] * x;
+                den += self.weights[i];
+            }
+        }
+        Ok(if den > 0.0 { Some(num / den) } else { None })
+    }
+
+    /// Debiased SUM of a numeric column over rows matching `pred`,
+    /// scaled to a population of `population_size` individuals.
+    pub fn sum_scaled(
+        &self,
+        column: &str,
+        pred: &Predicate,
+        population_size: f64,
+    ) -> rdi_table::Result<f64> {
+        let col = self.table.column(column)?;
+        let total_w: f64 = self.weights.iter().sum();
+        if total_w == 0.0 {
+            return Ok(0.0);
+        }
+        let mut s = 0.0;
+        for i in 0..self.table.num_rows() {
+            if !pred.eval(self.table, i) {
+                continue;
+            }
+            if let Some(x) = col.value(i).as_f64() {
+                s += self.weights[i] * x;
+            }
+        }
+        Ok(s / total_w * population_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Role, Schema, Value};
+
+    /// population: 50/50; sample: 90 maj / 10 min; maj earns 10, min 30.
+    fn biased_sample() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive),
+            Field::new("income", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for _ in 0..90 {
+            t.push_row(vec![Value::str("maj"), Value::Float(10.0)]).unwrap();
+        }
+        for _ in 0..10 {
+            t.push_row(vec![Value::str("min"), Value::Float(30.0)]).unwrap();
+        }
+        t
+    }
+
+    fn population() -> HashMap<GroupKey, f64> {
+        let mut m = HashMap::new();
+        m.insert(GroupKey(vec![Value::str("maj")]), 0.5);
+        m.insert(GroupKey(vec![Value::str("min")]), 0.5);
+        m
+    }
+
+    #[test]
+    fn weights_rebalance_group_fractions() {
+        let t = biased_sample();
+        let spec = GroupSpec::new(vec!["g"]);
+        let w = post_stratification_weights(&t, &spec, &population()).unwrap();
+        // maj weight = 0.5/0.9, min weight = 0.5/0.1
+        assert!((w[0] - 0.5 / 0.9).abs() < 1e-12);
+        assert!((w[99] - 5.0).abs() < 1e-12);
+        // weighted minority fraction is exactly 0.5
+        let view = DebiasedView::new(&t, &spec, &population()).unwrap();
+        let f = view.fraction(&Predicate::eq("g", Value::str("min")));
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debiased_avg_matches_population_truth() {
+        let t = biased_sample();
+        let spec = GroupSpec::new(vec!["g"]);
+        let view = DebiasedView::new(&t, &spec, &population()).unwrap();
+        // raw AVG = 0.9·10 + 0.1·30 = 12; population truth = 20
+        let raw = t.mean("income").unwrap().unwrap();
+        assert!((raw - 12.0).abs() < 1e-12);
+        let fair = view.avg("income", &Predicate::True).unwrap().unwrap();
+        assert!((fair - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_sum_extrapolates() {
+        let t = biased_sample();
+        let spec = GroupSpec::new(vec!["g"]);
+        let view = DebiasedView::new(&t, &spec, &population()).unwrap();
+        // a population of 1000 people earning an average of 20 → 20 000
+        let s = view
+            .sum_scaled("income", &Predicate::True, 1_000.0)
+            .unwrap();
+        assert!((s - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_or_invalid_population_rejected() {
+        let t = biased_sample();
+        let spec = GroupSpec::new(vec!["g"]);
+        // missing group
+        let mut m = HashMap::new();
+        m.insert(GroupKey(vec![Value::str("maj")]), 1.0);
+        assert!(post_stratification_weights(&t, &spec, &m).is_err());
+        // doesn't sum to one
+        let mut m = population();
+        m.insert(GroupKey(vec![Value::str("maj")]), 0.9);
+        assert!(post_stratification_weights(&t, &spec, &m).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Divergences and distances between discrete distributions.
+//!
+//! Used throughout the toolkit to quantify how far a collected/integrated
+//! data set is from a desired underlying distribution (tutorial §2.1), and
+//! by `rdi-entitycollect` as the objective of distribution-aware entity
+//! collection (§4.1).
+
+use crate::distribution::Categorical;
+
+fn check_aligned(p: &Categorical, q: &Categorical) {
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "distributions must be over the same domain"
+    );
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q) = Σ pᵢ ln(pᵢ/qᵢ)` in nats.
+///
+/// Returns `f64::INFINITY` when some `pᵢ > 0` has `qᵢ = 0`; callers that
+/// need finiteness should smooth `q` first
+/// (see [`Categorical::from_counts_smoothed`]).
+pub fn kl_divergence(p: &Categorical, q: &Categorical) -> f64 {
+    check_aligned(p, q);
+    let mut s = 0.0;
+    for (pi, qi) in p.probs().iter().zip(q.probs()) {
+        if *pi > 0.0 {
+            if *qi == 0.0 {
+                return f64::INFINITY;
+            }
+            s += pi * (pi / qi).ln();
+        }
+    }
+    s.max(0.0)
+}
+
+/// Jensen–Shannon divergence (symmetric, bounded by `ln 2`).
+pub fn js_divergence(p: &Categorical, q: &Categorical) -> f64 {
+    check_aligned(p, q);
+    let m = p.mix(q, 0.5);
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Total variation distance `½ Σ |pᵢ − qᵢ| ∈ [0, 1]`.
+pub fn total_variation(p: &Categorical, q: &Categorical) -> f64 {
+    check_aligned(p, q);
+    0.5 * p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Pearson χ² divergence `Σ (pᵢ − qᵢ)²/qᵢ` (infinite if some `qᵢ = 0` with
+/// `pᵢ ≠ qᵢ`).
+pub fn chi_square(p: &Categorical, q: &Categorical) -> f64 {
+    check_aligned(p, q);
+    let mut s = 0.0;
+    for (pi, qi) in p.probs().iter().zip(q.probs()) {
+        if *qi == 0.0 {
+            if *pi != 0.0 {
+                return f64::INFINITY;
+            }
+        } else {
+            s += (pi - qi).powi(2) / qi;
+        }
+    }
+    s
+}
+
+/// Hellinger distance `(1/√2)·‖√p − √q‖₂ ∈ [0, 1]`.
+pub fn hellinger(p: &Categorical, q: &Categorical) -> f64 {
+    check_aligned(p, q);
+    let s: f64 = p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(a, b)| (a.sqrt() - b.sqrt()).powi(2))
+        .sum();
+    (s / 2.0).sqrt()
+}
+
+/// 1-D earth mover's (Wasserstein-1) distance between distributions over an
+/// *ordered* domain with unit spacing: `Σᵢ |CDF_p(i) − CDF_q(i)|`.
+pub fn emd_1d(p: &Categorical, q: &Categorical) -> f64 {
+    check_aligned(p, q);
+    let mut cp = 0.0;
+    let mut cq = 0.0;
+    let mut s = 0.0;
+    for (pi, qi) in p.probs().iter().zip(q.probs()) {
+        cp += pi;
+        cq += qi;
+        s += (cp - cq).abs();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(w: &[f64]) -> Categorical {
+        Categorical::from_weights(w)
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = d(&[0.3, 0.7]);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        let q = d(&[0.5, 0.5]);
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        let p = d(&[0.5, 0.5]);
+        let q = d(&[1.0, 1e-300]);
+        assert!(kl_divergence(&p, &q).is_finite());
+        let q0 = Categorical::from_weights(&[1.0, 0.0]);
+        assert!(kl_divergence(&p, &q0).is_infinite());
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = d(&[0.9, 0.1]);
+        let q = d(&[0.1, 0.9]);
+        let a = js_divergence(&p, &q);
+        let b = js_divergence(&q, &p);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn tv_of_disjoint_is_one() {
+        let p = Categorical::from_weights(&[1.0, 0.0]);
+        let q = Categorical::from_weights(&[0.0, 1.0]);
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+        assert!((hellinger(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_respects_order() {
+        // moving mass one bin costs less than moving it two bins
+        let p = Categorical::from_weights(&[1.0, 0.0, 0.0]);
+        let near = Categorical::from_weights(&[0.0, 1.0, 0.0]);
+        let far = Categorical::from_weights(&[0.0, 0.0, 1.0]);
+        assert!(emd_1d(&p, &near) < emd_1d(&p, &far));
+        assert!((emd_1d(&p, &far) - 2.0).abs() < 1e-12);
+        // TV cannot tell them apart
+        assert_eq!(total_variation(&p, &near), total_variation(&p, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "same domain")]
+    fn mismatched_domains_panic() {
+        kl_divergence(&d(&[1.0]), &d(&[0.5, 0.5]));
+    }
+
+    proptest! {
+        #[test]
+        fn divergence_axioms(ws in prop::collection::vec(0.01f64..10.0, 2..6),
+                             vs in prop::collection::vec(0.01f64..10.0, 2..6)) {
+            let k = ws.len().min(vs.len());
+            let p = d(&ws[..k]);
+            let q = d(&vs[..k]);
+            // non-negativity
+            prop_assert!(kl_divergence(&p, &q) >= 0.0);
+            prop_assert!(js_divergence(&p, &q) >= -1e-12);
+            prop_assert!(total_variation(&p, &q) >= 0.0);
+            prop_assert!(hellinger(&p, &q) >= 0.0);
+            // identity of indiscernibles (p,p)
+            prop_assert!(kl_divergence(&p, &p).abs() < 1e-12);
+            prop_assert!(total_variation(&p, &p).abs() < 1e-12);
+            // bounds
+            prop_assert!(total_variation(&p, &q) <= 1.0 + 1e-12);
+            prop_assert!(hellinger(&p, &q) <= 1.0 + 1e-12);
+            // Pinsker: TV ≤ sqrt(KL/2)
+            let kl = kl_divergence(&p, &q);
+            prop_assert!(total_variation(&p, &q) <= (kl / 2.0).sqrt() + 1e-9);
+        }
+    }
+}

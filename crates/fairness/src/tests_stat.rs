@@ -1,0 +1,212 @@
+//! Statistical significance tests.
+//!
+//! Association *magnitudes* (Cramér's V, lift) can look alarming on tiny
+//! samples; audits and nutritional labels should only flag dependencies
+//! the data actually supports. This module provides Pearson's χ² test of
+//! independence with a p-value computed from the regularized upper
+//! incomplete gamma function (χ²_k survival function), implemented from
+//! scratch per the workspace's no-new-dependencies rule.
+
+use std::collections::HashMap;
+
+/// Result of a χ² independence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareTest {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(r−1)(c−1)`.
+    pub dof: usize,
+    /// P(χ²_dof ≥ statistic) under independence.
+    pub p_value: f64,
+}
+
+/// Pearson's χ² test of independence between two label vectors.
+///
+/// Returns `None` when the test is undefined: fewer than 2 categories on
+/// either side, or an empty input.
+pub fn chi_square_test<A, B>(xs: &[A], ys: &[B]) -> Option<ChiSquareTest>
+where
+    A: Eq + std::hash::Hash + Clone,
+    B: Eq + std::hash::Hash + Clone,
+{
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let n = xs.len();
+    if n == 0 {
+        return None;
+    }
+    let mut joint: HashMap<(A, B), f64> = HashMap::new();
+    let mut px: HashMap<A, f64> = HashMap::new();
+    let mut py: HashMap<B, f64> = HashMap::new();
+    for (x, y) in xs.iter().zip(ys) {
+        *joint.entry((x.clone(), y.clone())).or_insert(0.0) += 1.0;
+        *px.entry(x.clone()).or_insert(0.0) += 1.0;
+        *py.entry(y.clone()).or_insert(0.0) += 1.0;
+    }
+    let r = px.len();
+    let c = py.len();
+    if r < 2 || c < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mut chi2 = 0.0;
+    for (x, nx) in &px {
+        for (y, ny) in &py {
+            let expected = nx * ny / nf;
+            let observed = joint.get(&(x.clone(), y.clone())).copied().unwrap_or(0.0);
+            chi2 += (observed - expected).powi(2) / expected;
+        }
+    }
+    let dof = (r - 1) * (c - 1);
+    Some(ChiSquareTest {
+        statistic: chi2,
+        dof,
+        p_value: chi2_sf(chi2, dof),
+    })
+}
+
+/// Survival function of the χ² distribution with `k` degrees of freedom:
+/// `P(X ≥ x) = Q(k/2, x/2)` (regularized upper incomplete gamma).
+pub fn chi2_sf(x: f64, k: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - lower_reg_gamma(k as f64 / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma `P(a, x)` via the standard series /
+/// continued-fraction split (Numerical Recipes style).
+fn lower_reg_gamma(a: f64, x: f64) -> f64 {
+    if x < 0.0 || a <= 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // series representation
+        let mut sum = 1.0 / a;
+        let mut term = sum;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+    } else {
+        // continued fraction for Q(a, x), then P = 1 − Q
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_reference_values() {
+        // χ²(1): P(X ≥ 3.841) ≈ 0.05
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 0.001);
+        // χ²(2): P(X ≥ 5.991) ≈ 0.05
+        assert!((chi2_sf(5.991, 2) - 0.05).abs() < 0.001);
+        // χ²(10): P(X ≥ 18.307) ≈ 0.05
+        assert!((chi2_sf(18.307, 10) - 0.05).abs() < 0.001);
+        // edges
+        assert_eq!(chi2_sf(0.0, 3), 1.0);
+        assert!(chi2_sf(1e6, 3) < 1e-12);
+    }
+
+    #[test]
+    fn dependent_labels_are_significant() {
+        let xs: Vec<u8> = (0..400).map(|i| (i % 2) as u8).collect();
+        let ys = xs.clone(); // perfectly dependent
+        let t = chi_square_test(&xs, &ys).unwrap();
+        assert_eq!(t.dof, 1);
+        assert!(t.statistic > 300.0);
+        assert!(t.p_value < 1e-10);
+    }
+
+    #[test]
+    fn independent_labels_are_not_significant() {
+        let xs: Vec<u8> = (0..400).map(|i| (i % 2) as u8).collect();
+        let ys: Vec<u8> = (0..400).map(|i| ((i / 2) % 2) as u8).collect();
+        let t = chi_square_test(&xs, &ys).unwrap();
+        assert!(t.statistic < 1.0);
+        assert!(t.p_value > 0.3, "p={}", t.p_value);
+    }
+
+    #[test]
+    fn small_biased_sample_is_inconclusive() {
+        // 6 rows with an apparent pattern: magnitude high, significance low
+        let xs = ["a", "a", "a", "b", "b", "b"];
+        let ys = ["1", "1", "0", "0", "0", "1"];
+        let t = chi_square_test(&xs, &ys).unwrap();
+        assert!(t.p_value > 0.05, "p={}", t.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let xs = ["a", "a"];
+        let ys = ["1", "2"];
+        assert!(chi_square_test(&xs, &ys).is_none()); // constant x
+        let empty: [&str; 0] = [];
+        assert!(chi_square_test(&empty, &empty).is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! Coverage-based query relaxation (Accinelli, Catania, Guerrini, Minisi).
+//!
+//! Instead of bounding *disparity*, coverage-based rewriting minimally
+//! **widens** a range predicate until every demographic group has at
+//! least `k` rows in the output — rewriting "only relaxes", never drops
+//! rows the user asked for.
+
+use rdi_table::{GroupKey, GroupSpec, Table};
+use serde::{Deserialize, Serialize};
+
+/// Result of a relaxation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relaxation {
+    /// Relaxed lower bound (≤ original lo).
+    pub lo: f64,
+    /// Relaxed upper bound (≥ original hi).
+    pub hi: f64,
+    /// Rows added relative to the original output.
+    pub added_rows: usize,
+    /// Per-group counts in the relaxed output, sorted by key.
+    pub group_counts: Vec<(String, usize)>,
+    /// Whether every group reached the required count (false only when
+    /// the whole data set cannot supply it).
+    pub satisfied: bool,
+}
+
+/// Minimally widen `[lo, hi]` on `attribute` until every group under
+/// `spec` has at least `k` selected rows (or the data is exhausted).
+///
+/// Greedy two-pointer over the sorted attribute values: at each step the
+/// widening (left or right) that adds a row of a *deficient* group closer
+/// to the current boundary is taken.
+pub fn relax_for_coverage(
+    table: &Table,
+    attribute: &str,
+    spec: &GroupSpec,
+    lo: f64,
+    hi: f64,
+    k: usize,
+) -> rdi_table::Result<Relaxation> {
+    let col = table.column(attribute)?;
+    let mut pts: Vec<(f64, GroupKey)> = Vec::new();
+    for i in 0..table.num_rows() {
+        if let Some(x) = col.value(i).as_f64() {
+            pts.push((x, spec.key_of(table, i)?));
+        }
+    }
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let keys = spec.keys(table)?;
+
+    let mut i = pts.partition_point(|(x, _)| *x < lo);
+    let mut j = pts.partition_point(|(x, _)| *x <= hi);
+    let original = j - i;
+    let mut counts: std::collections::HashMap<&GroupKey, usize> =
+        keys.iter().map(|k| (k, 0)).collect();
+    for (_, g) in &pts[i..j] {
+        *counts.get_mut(g).expect("key known") += 1;
+    }
+
+    let deficient =
+        |counts: &std::collections::HashMap<&GroupKey, usize>| keys.iter().any(|g| counts[g] < k);
+
+    while deficient(&counts) {
+        // candidate expansions: take pts[i-1] (left) or pts[j] (right);
+        // prefer the one that helps a deficient group; tie → smaller gap.
+        let left = i.checked_sub(1).map(|p| &pts[p]);
+        let right = pts.get(j);
+        let helps = |p: Option<&(f64, GroupKey)>| p.map_or(false, |(_, g)| counts[g] < k);
+        let pick_left = match (left, right) {
+            (None, None) => break, // data exhausted
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(l), Some(r)) => match (helps(Some(l)), helps(Some(r))) {
+                (true, false) => true,
+                (false, true) => false,
+                // both help or neither: take the closer value
+                _ => (lo - l.0).abs() <= (r.0 - hi).abs(),
+            },
+        };
+        if pick_left {
+            i -= 1;
+            *counts.get_mut(&pts[i].1).expect("key known") += 1;
+        } else {
+            *counts.get_mut(&pts[j].1).expect("key known") += 1;
+            j += 1;
+        }
+    }
+
+    let satisfied = !deficient(&counts);
+    let (new_lo, new_hi) = if i < j {
+        (pts[i].0.min(lo), pts[j - 1].0.max(hi))
+    } else {
+        (lo, hi)
+    };
+    let mut group_counts: Vec<(String, usize)> = keys
+        .iter()
+        .map(|g| (g.to_string(), counts[g]))
+        .collect();
+    group_counts.sort();
+    Ok(Relaxation {
+        lo: new_lo,
+        hi: new_hi,
+        added_rows: (j - i).saturating_sub(original),
+        group_counts,
+        satisfied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Role, Schema, Value};
+
+    fn t(rows: &[(f64, &str)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("g", DataType::Str).with_role(Role::Sensitive),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, g) in rows {
+            t.push_row(vec![Value::Float(*x), Value::str(*g)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn no_relaxation_needed_when_covered() {
+        let table = t(&[(1.0, "a"), (2.0, "b"), (3.0, "a"), (4.0, "b")]);
+        let spec = GroupSpec::new(vec!["g"]);
+        let r = relax_for_coverage(&table, "x", &spec, 1.0, 4.0, 1).unwrap();
+        assert!(r.satisfied);
+        assert_eq!(r.added_rows, 0);
+        assert_eq!(r.lo, 1.0);
+        assert_eq!(r.hi, 4.0);
+    }
+
+    #[test]
+    fn widens_toward_missing_group() {
+        // group b only exists above 10
+        let table = t(&[
+            (1.0, "a"),
+            (2.0, "a"),
+            (3.0, "a"),
+            (11.0, "b"),
+            (12.0, "b"),
+        ]);
+        let spec = GroupSpec::new(vec!["g"]);
+        let r = relax_for_coverage(&table, "x", &spec, 0.0, 5.0, 2).unwrap();
+        assert!(r.satisfied);
+        assert_eq!(r.hi, 12.0);
+        assert_eq!(r.lo, 0.0);
+        assert_eq!(r.added_rows, 2);
+        let b = r.group_counts.iter().find(|(g, _)| g.contains('b')).unwrap();
+        assert_eq!(b.1, 2);
+    }
+
+    #[test]
+    fn reports_unsatisfiable() {
+        let table = t(&[(1.0, "a"), (2.0, "a")]);
+        let spec = GroupSpec::new(vec!["g"]);
+        // only one group exists with 2 rows; k=3 impossible
+        let r = relax_for_coverage(&table, "x", &spec, 1.0, 2.0, 3).unwrap();
+        assert!(!r.satisfied);
+    }
+
+    #[test]
+    fn relaxation_never_shrinks() {
+        let table = t(&[(0.0, "a"), (5.0, "b"), (10.0, "a"), (15.0, "b")]);
+        let spec = GroupSpec::new(vec!["g"]);
+        let r = relax_for_coverage(&table, "x", &spec, 4.0, 6.0, 2).unwrap();
+        assert!(r.lo <= 4.0);
+        assert!(r.hi >= 6.0);
+        assert!(r.satisfied);
+    }
+
+    #[test]
+    fn works_with_three_groups() {
+        let table = t(&[
+            (1.0, "a"),
+            (2.0, "b"),
+            (3.0, "c"),
+            (4.0, "a"),
+            (5.0, "b"),
+            (6.0, "c"),
+        ]);
+        let spec = GroupSpec::new(vec!["g"]);
+        let r = relax_for_coverage(&table, "x", &spec, 1.0, 2.0, 1).unwrap();
+        assert!(r.satisfied);
+        assert!(r.hi >= 3.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact uniform sampling over *chain* joins (the generalized framework
+//! of Zhao et al., SIGMOD 2018, instantiated with exact weights).
+//!
+//! Wander join is independent but non-uniform; the generalized framework
+//! observes that if each tuple knows `W(t)` — the number of full join
+//! results extending it — a walk that picks each next tuple with
+//! probability proportional to its `W` is **exactly uniform** over the
+//! join result, with no rejection. For chain joins `W` is computable by
+//! one bottom-up dynamic-programming sweep, which is this module.
+
+use rand::Rng;
+use rdi_table::{Table, TableError, Value};
+
+use crate::index::JoinIndex;
+use crate::wander::WanderPath;
+
+/// Exact-weight uniform sampler over a chain `T0 ⋈ T1 ⋈ … ⋈ Tk`.
+pub struct ExactChainSampler<'a> {
+    tables: Vec<&'a Table>,
+    /// Key column index of `T_i` toward `T_{i+1}`.
+    out_key: Vec<usize>,
+    /// Join index of `T_{i+1}` on its join column.
+    indexes: Vec<JoinIndex>,
+    /// `weights[i][r]` = number of full suffix-join results extending row
+    /// `r` of table `i`.
+    weights: Vec<Vec<u64>>,
+    /// Total join size.
+    total: u64,
+}
+
+impl<'a> ExactChainSampler<'a> {
+    /// Build (one bottom-up DP sweep, O(total rows)).
+    pub fn new(tables: Vec<&'a Table>, keys: &[(&str, &str)]) -> rdi_table::Result<Self> {
+        if tables.len() < 2 || keys.len() != tables.len() - 1 {
+            return Err(TableError::SchemaMismatch(
+                "chain needs n tables and n-1 key pairs".into(),
+            ));
+        }
+        let mut out_key = Vec::new();
+        let mut indexes = Vec::new();
+        for (i, (lk, rk)) in keys.iter().enumerate() {
+            out_key.push(tables[i].schema().index_of(lk)?);
+            indexes.push(JoinIndex::build(tables[i + 1], rk)?);
+        }
+        // bottom-up: last table's rows each extend to exactly 1 result
+        let k = tables.len();
+        let mut weights: Vec<Vec<u64>> = vec![Vec::new(); k];
+        weights[k - 1] = vec![1; tables[k - 1].num_rows()];
+        for i in (0..k - 1).rev() {
+            let mut w = vec![0u64; tables[i].num_rows()];
+            for (r, slot) in w.iter_mut().enumerate() {
+                let key = tables[i].column_at(out_key[i]).value(r);
+                if key.is_null() {
+                    continue;
+                }
+                *slot = indexes[i]
+                    .rows(&key)
+                    .iter()
+                    .map(|&n| weights[i + 1][n])
+                    .sum();
+            }
+            weights[i] = w;
+        }
+        let total = weights[0].iter().sum();
+        Ok(ExactChainSampler {
+            tables,
+            out_key,
+            indexes,
+            weights,
+            total,
+        })
+    }
+
+    /// Exact size of the chain join.
+    pub fn join_size(&self) -> u64 {
+        self.total
+    }
+
+    /// Draw one exactly-uniform join result (`None` iff the join is empty).
+    /// Never rejects: every step samples proportional to suffix weights.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<WanderPath> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut rows = Vec::with_capacity(self.tables.len());
+        // first table: weight-proportional
+        let r0 = weighted_pick(&self.weights[0], rng)?;
+        rows.push(r0);
+        let mut current = r0;
+        for i in 0..self.indexes.len() {
+            let key = self.tables[i].column_at(self.out_key[i]).value(current);
+            debug_assert!(!key.is_null());
+            let partners = self.indexes[i].rows(&key);
+            let w: Vec<u64> = partners.iter().map(|&n| self.weights[i + 1][n]).collect();
+            let pick = weighted_pick(&w, rng)?;
+            let next = partners[pick];
+            rows.push(next);
+            current = next;
+        }
+        Some(WanderPath {
+            rows,
+            probability: 1.0 / self.total as f64,
+        })
+    }
+
+    /// Draw `n` i.i.d. uniform samples.
+    pub fn sample_n<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<WanderPath> {
+        (0..n).filter_map(|_| self.sample(rng)).collect()
+    }
+
+    /// Value of `col` in chain table `table_idx` on a sampled path.
+    pub fn path_value(
+        &self,
+        path: &WanderPath,
+        table_idx: usize,
+        col: &str,
+    ) -> rdi_table::Result<Value> {
+        self.tables[table_idx].value(path.rows[table_idx], col)
+    }
+}
+
+fn weighted_pick<R: Rng>(weights: &[u64], rng: &mut R) -> Option<usize> {
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut u = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return Some(i);
+        }
+        u -= w;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{hash_join, DataType, Field, Schema};
+    use std::collections::HashMap;
+
+    fn keyed(keys: &[i64]) -> Table {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for &k in keys {
+            t.push_row(vec![Value::Int(k)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn join_size_matches_hash_join_chain() {
+        let a = keyed(&[1, 2, 3, 4]);
+        let b = keyed(&[1, 1, 2, 3, 3]);
+        let c = keyed(&[1, 2, 2, 3, 3, 3]);
+        let ab = hash_join(&a, &b, "k", "k").unwrap();
+        let truth = hash_join(&ab, &c, "k", "k").unwrap().num_rows() as u64;
+        let s = ExactChainSampler::new(vec![&a, &b, &c], &[("k", "k"), ("k", "k")]).unwrap();
+        assert_eq!(s.join_size(), truth);
+    }
+
+    #[test]
+    fn samples_are_uniform_no_rejection() {
+        // skewed multiplicities
+        let a = keyed(&[1, 2]);
+        let b = keyed(&[1, 1, 1, 2]);
+        let c = keyed(&[1, 2, 2, 2, 2, 2]);
+        let s = ExactChainSampler::new(vec![&a, &b, &c], &[("k", "k"), ("k", "k")]).unwrap();
+        // join: key1 → 1*3*1 = 3 results; key2 → 1*1*5 = 5 results; total 8
+        assert_eq!(s.join_size(), 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for p in s.sample_n(n, &mut rng) {
+            assert!((p.probability - 1.0 / 8.0).abs() < 1e-12);
+            *counts.entry(p.rows).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 8, "all 8 results must appear");
+        let expected = n as f64 / 8.0;
+        for (path, c) in counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "path {path:?}: count {c}, dev {dev}");
+        }
+    }
+
+    #[test]
+    fn empty_join_returns_none() {
+        let a = keyed(&[1]);
+        let b = keyed(&[2]);
+        let s = ExactChainSampler::new(vec![&a, &b], &[("k", "k")]).unwrap();
+        assert_eq!(s.join_size(), 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(s.sample(&mut rng).is_none());
+        assert!(s.sample_n(10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn dead_end_rows_get_zero_weight() {
+        // key 9 in a never joins; sampler must never start there
+        let a = keyed(&[1, 9]);
+        let b = keyed(&[1, 1]);
+        let s = ExactChainSampler::new(vec![&a, &b], &[("k", "k")]).unwrap();
+        assert_eq!(s.join_size(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in s.sample_n(200, &mut rng) {
+            assert_eq!(p.rows[0], 0, "must never start at the dead-end row");
+        }
+    }
+
+    #[test]
+    fn two_table_agrees_with_exact_join_size() {
+        let a = keyed(&(0..50).collect::<Vec<i64>>());
+        let b = keyed(&(0..50).flat_map(|k| vec![k; (k % 4) as usize]).collect::<Vec<i64>>());
+        let s = ExactChainSampler::new(vec![&a, &b], &[("k", "k")]).unwrap();
+        let truth = hash_join(&a, &b, "k", "k").unwrap().num_rows() as u64;
+        assert_eq!(s.join_size(), truth);
+    }
+}

@@ -1,0 +1,113 @@
+//! Join index: key → row indices, with frequency statistics.
+
+use std::collections::HashMap;
+
+use rdi_table::{Table, Value};
+
+/// A hash index from join-key values to the row indices holding them,
+/// with the max multiplicity needed by accept-reject sampling.
+#[derive(Debug, Clone)]
+pub struct JoinIndex {
+    map: HashMap<Value, Vec<usize>>,
+    max_multiplicity: usize,
+}
+
+impl JoinIndex {
+    /// Build over `table[key]`. Null keys are not indexed (they never
+    /// join).
+    pub fn build(table: &Table, key: &str) -> rdi_table::Result<Self> {
+        let idx = table.schema().index_of(key)?;
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for i in 0..table.num_rows() {
+            let v = table.column_at(idx).value(i);
+            if !v.is_null() {
+                map.entry(v).or_default().push(i);
+            }
+        }
+        let max_multiplicity = map.values().map(Vec::len).max().unwrap_or(0);
+        Ok(JoinIndex {
+            map,
+            max_multiplicity,
+        })
+    }
+
+    /// Rows holding `key` (empty if none).
+    pub fn rows(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Multiplicity of `key`.
+    pub fn multiplicity(&self, key: &Value) -> usize {
+        self.rows(key).len()
+    }
+
+    /// Largest multiplicity of any key.
+    pub fn max_multiplicity(&self) -> usize {
+        self.max_multiplicity
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Exact size of `left ⋈ this` given the left table's key column:
+    /// Σ over left rows of the key's multiplicity here.
+    pub fn join_size(&self, left: &Table, left_key: &str) -> rdi_table::Result<usize> {
+        let idx = left.schema().index_of(left_key)?;
+        let mut total = 0;
+        for i in 0..left.num_rows() {
+            let v = left.column_at(idx).value(i);
+            if !v.is_null() {
+                total += self.multiplicity(&v);
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{hash_join, DataType, Field, Schema};
+
+    fn t(keys: &[i64]) -> Table {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for &k in keys {
+            t.push_row(vec![Value::Int(k)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn multiplicities() {
+        let idx = JoinIndex::build(&t(&[1, 1, 2, 3, 3, 3]), "k").unwrap();
+        assert_eq!(idx.multiplicity(&Value::Int(1)), 2);
+        assert_eq!(idx.multiplicity(&Value::Int(3)), 3);
+        assert_eq!(idx.multiplicity(&Value::Int(9)), 0);
+        assert_eq!(idx.max_multiplicity(), 3);
+        assert_eq!(idx.num_keys(), 3);
+    }
+
+    #[test]
+    fn join_size_matches_hash_join() {
+        let left = t(&[1, 2, 3, 4]);
+        let right = t(&[1, 1, 3, 3, 3]);
+        let idx = JoinIndex::build(&right, "k").unwrap();
+        let size = idx.join_size(&left, "k").unwrap();
+        let j = hash_join(&left, &right, "k", "k").unwrap();
+        assert_eq!(size, j.num_rows());
+        assert_eq!(size, 5);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let mut tb = Table::new(schema);
+        tb.push_row(vec![Value::Null]).unwrap();
+        tb.push_row(vec![Value::Int(1)]).unwrap();
+        let idx = JoinIndex::build(&tb, "k").unwrap();
+        assert_eq!(idx.num_keys(), 1);
+    }
+}

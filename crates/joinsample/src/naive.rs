@@ -1,0 +1,96 @@
+//! The negative control: sample, then join.
+//!
+//! Taking independent Bernoulli samples of each input and joining them is
+//! the "obvious" plan — and the seminal observation of Chaudhuri et al.
+//! (SIGMOD 1999) is that its output is *not* a uniform sample of the join:
+//! a join tuple survives only if **both** parents survive, so tuples whose
+//! key has multiplicity `m` on the other side appear with probability
+//! proportional to the number of surviving partners, skewing any
+//! downstream aggregate toward heavy keys. We keep it as the baseline the
+//! experiments measure bias against.
+
+use rand::Rng;
+use rdi_table::{hash_join, Table};
+
+/// Bernoulli-sample each input at `rate`, then hash-join the samples.
+pub fn sample_then_join<R: Rng>(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    rate: f64,
+    rng: &mut R,
+) -> rdi_table::Result<Table> {
+    assert!((0.0..=1.0).contains(&rate));
+    let ls: Vec<usize> = (0..left.num_rows())
+        .filter(|_| rng.gen::<f64>() < rate)
+        .collect();
+    let rs: Vec<usize> = (0..right.num_rows())
+        .filter(|_| rng.gen::<f64>() < rate)
+        .collect();
+    hash_join(&left.take(&ls), &right.take(&rs), left_key, right_key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, Schema, Value};
+
+    fn keyed(keys: &[i64]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("id", DataType::Int),
+        ]);
+        let mut t = Table::new(schema);
+        for (i, &k) in keys.iter().enumerate() {
+            t.push_row(vec![Value::Int(k), Value::Int(i as i64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn expected_output_rate_is_rate_squared() {
+        // 1:1 join → each join tuple survives with p = rate².
+        let keys: Vec<i64> = (0..5000).collect();
+        let left = keyed(&keys);
+        let right = keyed(&keys);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_then_join(&left, &right, "k", "k", 0.3, &mut rng).unwrap();
+        let frac = s.num_rows() as f64 / 5000.0;
+        assert!((frac - 0.09).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn skew_toward_heavy_keys() {
+        // key 0 has multiplicity 50 on the right; keys 1..=500 have 1.
+        // In the TRUE join, heavy-key tuples are 50/550 ≈ 9%. In
+        // sample-then-join output they are over-represented relative to
+        // per-tuple inclusion only through pairing, but the *variance*
+        // explodes; the cleanest observable bias: conditional on one left
+        // sample of key 0 surviving, ~rate·50 join tuples appear at once
+        // (correlated), whereas light keys yield 0/1. Check correlation:
+        // the heavy key's output count is either 0 or large.
+        let mut left_keys = vec![0i64];
+        left_keys.extend(1..=500);
+        let mut right_keys: Vec<i64> = std::iter::repeat(0i64).take(50).collect();
+        right_keys.extend(1..=500);
+        let left = keyed(&left_keys);
+        let right = keyed(&right_keys);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut heavy_counts = Vec::new();
+        for _ in 0..200 {
+            let s = sample_then_join(&left, &right, "k", "k", 0.2, &mut rng).unwrap();
+            let heavy = (0..s.num_rows())
+                .filter(|&i| s.value(i, "k").unwrap() == Value::Int(0))
+                .count();
+            heavy_counts.push(heavy);
+        }
+        // bimodal: many zeros (left parent dropped) but big bursts otherwise
+        let zeros = heavy_counts.iter().filter(|&&c| c == 0).count();
+        let bursts = heavy_counts.iter().filter(|&&c| c >= 5).count();
+        assert!(zeros > 100, "zeros={zeros}");
+        assert!(bursts > 20, "bursts={bursts}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Uniform i.i.d. sampling over the **union of many sources** (the §5
+//! open problem "Uniform Sampling over Data Lakes").
+//!
+//! The subtlety is the same as for joins: sampling equally from each
+//! source over-represents small sources. Two remedies:
+//!
+//! * [`union_sample`] — when sizes are known, pick a source with
+//!   probability proportional to its size, then a uniform row;
+//! * [`ReservoirSampler`] — when sources arrive as *streams of unknown
+//!   size* (API pagination, logs), Vitter's Algorithm R maintains a
+//!   uniform sample of everything seen so far in one pass and constant
+//!   memory — feed it all sources in any order.
+
+use rand::Rng;
+use rdi_table::{Table, TableError};
+
+/// One-pass uniform reservoir sampler (Vitter's Algorithm R).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    seen: usize,
+    reservoir: Vec<T>,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Create a sampler keeping `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir needs positive capacity");
+        ReservoirSampler {
+            capacity,
+            seen: 0,
+            reservoir: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer one item.
+    pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if j < self.capacity {
+                self.reservoir[j] = item;
+            }
+        }
+    }
+
+    /// Items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// The current sample (uniform over everything offered).
+    pub fn sample(&self) -> &[T] {
+        &self.reservoir
+    }
+
+    /// Consume the sampler, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.reservoir
+    }
+}
+
+/// Draw `n` i.i.d. uniform rows from the union of `sources` (sizes
+/// known): source chosen ∝ size, row uniform within it. Returns
+/// `(source index, row index)` pairs.
+pub fn union_sample<R: Rng>(
+    sources: &[&Table],
+    n: usize,
+    rng: &mut R,
+) -> rdi_table::Result<Vec<(usize, usize)>> {
+    let total: usize = sources.iter().map(|t| t.num_rows()).sum();
+    if total == 0 {
+        return Err(TableError::SchemaMismatch("all sources are empty".into()));
+    }
+    // cumulative sizes for O(log s) source selection
+    let mut cum = Vec::with_capacity(sources.len());
+    let mut acc = 0usize;
+    for t in sources {
+        acc += t.num_rows();
+        cum.push(acc);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = rng.gen_range(0..total);
+        let s = cum.partition_point(|&c| c <= u);
+        let base = if s == 0 { 0 } else { cum[s - 1] };
+        out.push((s, u - base));
+    }
+    Ok(out)
+}
+
+/// Materialize union-sample picks as a table (all sources must share one
+/// schema).
+pub fn materialize_union_sample(
+    sources: &[&Table],
+    picks: &[(usize, usize)],
+) -> rdi_table::Result<Table> {
+    let first = sources
+        .first()
+        .ok_or_else(|| TableError::SchemaMismatch("no sources".into()))?;
+    let mut out = Table::new(first.schema().clone());
+    for &(s, r) in picks {
+        out.push_row(sources[s].row(r)?)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, Schema, Value};
+
+    fn table(tag: &str, n: usize) -> Table {
+        let schema = Schema::new(vec![Field::new("src", DataType::Str)]);
+        let mut t = Table::new(schema);
+        for _ in 0..n {
+            t.push_row(vec![Value::str(tag)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn union_sample_weights_by_source_size() {
+        let big = table("big", 9_000);
+        let small = table("small", 1_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = union_sample(&[&big, &small], 20_000, &mut rng).unwrap();
+        let from_small = picks.iter().filter(|(s, _)| *s == 1).count();
+        let frac = from_small as f64 / picks.len() as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac={frac}");
+        // row indices always in range
+        assert!(picks.iter().all(|&(s, r)| r < [&big, &small][s].num_rows()));
+    }
+
+    #[test]
+    fn materialized_union_sample_has_right_mix() {
+        let a = table("a", 500);
+        let b = table("b", 1_500);
+        let mut rng = StdRng::seed_from_u64(2);
+        let picks = union_sample(&[&a, &b], 4_000, &mut rng).unwrap();
+        let t = materialize_union_sample(&[&a, &b], &picks).unwrap();
+        let a_count = (0..t.num_rows())
+            .filter(|&i| t.value(i, "src").unwrap() == Value::str("a"))
+            .count();
+        let frac = a_count as f64 / t.num_rows() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn empty_union_is_an_error() {
+        let e = table("e", 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(union_sample(&[&e], 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reservoir_is_uniform_over_stream() {
+        // stream 0..1000 in order; each item should land in a 100-item
+        // reservoir with probability 0.1
+        let trials = 400;
+        let mut hits_first = 0;
+        let mut hits_last = 0;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut r = ReservoirSampler::new(100);
+            for i in 0..1_000 {
+                r.offer(i, &mut rng);
+            }
+            assert_eq!(r.seen(), 1_000);
+            assert_eq!(r.sample().len(), 100);
+            if r.sample().contains(&0) {
+                hits_first += 1;
+            }
+            if r.sample().contains(&999) {
+                hits_last += 1;
+            }
+        }
+        // both expected at trials × 0.1 = 40
+        assert!((hits_first as i64 - 40).abs() < 20, "first={hits_first}");
+        assert!((hits_last as i64 - 40).abs() < 20, "last={hits_last}");
+    }
+
+    #[test]
+    fn reservoir_shorter_stream_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = ReservoirSampler::new(10);
+        for i in 0..5 {
+            r.offer(i, &mut rng);
+        }
+        let mut s = r.into_sample();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reservoir_across_multiple_sources_is_source_size_proportional() {
+        // feed two "sources" sequentially; sample composition should be
+        // proportional to their sizes, unlike equal-per-source sampling
+        let trials = 200;
+        let mut from_small = 0usize;
+        let mut total = 0usize;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let mut r = ReservoirSampler::new(50);
+            for _ in 0..900 {
+                r.offer("big", &mut rng);
+            }
+            for _ in 0..100 {
+                r.offer("small", &mut rng);
+            }
+            from_small += r.sample().iter().filter(|&&s| s == "small").count();
+            total += 50;
+        }
+        let frac = from_small as f64 / total as f64;
+        assert!((frac - 0.1).abs() < 0.02, "frac={frac}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: join-sampling invariants on random key multisets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_joinsample::{chaudhuri_sample, olken_sample, ExactChainSampler, JoinIndex, WanderJoin};
+use rdi_table::{hash_join, DataType, Field, Schema, Table, Value};
+
+fn keyed(keys: &[u8]) -> Table {
+    let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+    let mut t = Table::new(schema);
+    for &k in keys {
+        t.push_row(vec![Value::Int(k as i64)]).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The exact-chain DP size always equals the materialized join size,
+    /// for 2- and 3-table chains.
+    #[test]
+    fn exact_chain_size_matches_hash_join(
+        a in prop::collection::vec(0u8..6, 1..25),
+        b in prop::collection::vec(0u8..6, 1..25),
+        c in prop::collection::vec(0u8..6, 1..25))
+    {
+        let ta = keyed(&a);
+        let tb = keyed(&b);
+        let tc = keyed(&c);
+        let two = ExactChainSampler::new(vec![&ta, &tb], &[("k", "k")]).unwrap();
+        let truth2 = hash_join(&ta, &tb, "k", "k").unwrap().num_rows() as u64;
+        prop_assert_eq!(two.join_size(), truth2);
+        let three = ExactChainSampler::new(vec![&ta, &tb, &tc], &[("k", "k"), ("k", "k")]).unwrap();
+        let ab = hash_join(&ta, &tb, "k", "k").unwrap();
+        let truth3 = hash_join(&ab, &tc, "k", "k").unwrap().num_rows() as u64;
+        prop_assert_eq!(three.join_size(), truth3);
+    }
+
+    /// Every sampler only ever returns genuine join tuples, and the two
+    /// uniform samplers agree on feasibility.
+    #[test]
+    fn samples_are_valid_join_tuples(
+        a in prop::collection::vec(0u8..8, 1..30),
+        b in prop::collection::vec(0u8..8, 1..30),
+        seed in 0u64..500)
+    {
+        let ta = keyed(&a);
+        let tb = keyed(&b);
+        let idx = JoinIndex::build(&tb, "k").unwrap();
+        let join_empty = hash_join(&ta, &tb, "k", "k").unwrap().is_empty();
+        let mut rng = StdRng::seed_from_u64(seed);
+        match chaudhuri_sample(&ta, "k", &idx, 20, &mut rng) {
+            Err(_) => prop_assert!(join_empty),
+            Ok(samples) => {
+                prop_assert!(!join_empty);
+                for s in &samples {
+                    prop_assert_eq!(
+                        ta.value(s.left, "k").unwrap(),
+                        tb.value(s.right, "k").unwrap()
+                    );
+                }
+                // olken agrees and also yields valid tuples
+                let (olken, _) = olken_sample(&ta, "k", &idx, 10, &mut rng).unwrap();
+                for s in &olken {
+                    prop_assert_eq!(
+                        ta.value(s.left, "k").unwrap(),
+                        tb.value(s.right, "k").unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Wander-join COUNT is unbiased enough: the estimate's 95% CI covers
+    /// the truth for the vast majority of random instances.
+    #[test]
+    fn wander_count_ci_covers_truth(
+        a in prop::collection::vec(0u8..5, 2..20),
+        b in prop::collection::vec(0u8..5, 2..20),
+        seed in 0u64..200)
+    {
+        let ta = keyed(&a);
+        let tb = keyed(&b);
+        let truth = hash_join(&ta, &tb, "k", "k").unwrap().num_rows() as f64;
+        let wj = WanderJoin::new(vec![&ta, &tb], &[("k", "k")]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = wj.count_estimate(3_000, &mut rng);
+        if truth == 0.0 {
+            prop_assert_eq!(est.value, 0.0);
+        } else {
+            // generous 5σ band — proptest runs many instances
+            prop_assert!(
+                (est.value - truth).abs() <= 5.0 * est.std_err.max(1e-9) + 1e-9,
+                "est={} ± {} truth={truth}", est.value, est.std_err
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Approximate functional-dependency checking.
+//!
+//! MithraLabel flags "functional dependencies between sensitive attributes
+//! and target variables": if `sensitive → target` (almost) holds, the
+//! target is (almost) determined by group membership — a strong bias
+//! signal. The *violation rate* is the minimum fraction of rows that must
+//! be removed for the FD `X → Y` to hold exactly (the `g3` error measure
+//! of Kivinen & Mannila).
+
+use std::collections::HashMap;
+
+use rdi_table::{Table, Value};
+
+/// Violation rate of the FD `lhs → rhs` in `[0, 1]`:
+/// `1 − (Σ_x max_y count(x, y)) / N`. 0 means the FD holds exactly.
+pub fn fd_violation_rate(table: &Table, lhs: &[&str], rhs: &str) -> rdi_table::Result<f64> {
+    let n = table.num_rows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut groups: HashMap<Vec<Value>, HashMap<Value, usize>> = HashMap::new();
+    for i in 0..n {
+        let mut key = Vec::with_capacity(lhs.len());
+        for c in lhs {
+            key.push(table.value(i, c)?);
+        }
+        let y = table.value(i, rhs)?;
+        *groups.entry(key).or_default().entry(y).or_insert(0) += 1;
+    }
+    let kept: usize = groups
+        .values()
+        .map(|ys| ys.values().copied().max().unwrap_or(0))
+        .sum();
+    Ok(1.0 - kept as f64 / n as f64)
+}
+
+/// True iff the FD holds with violation rate ≤ `epsilon`.
+pub fn holds_approximately(
+    table: &Table,
+    lhs: &[&str],
+    rhs: &str,
+    epsilon: f64,
+) -> rdi_table::Result<bool> {
+    Ok(fd_violation_rate(table, lhs, rhs)? <= epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema};
+
+    fn t(rows: &[(&str, &str)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Str),
+            Field::new("y", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, y) in rows {
+            t.push_row(vec![Value::str(*x), Value::str(*y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn exact_fd_has_zero_violation() {
+        let t = t(&[("a", "1"), ("a", "1"), ("b", "2")]);
+        assert_eq!(fd_violation_rate(&t, &["x"], "y").unwrap(), 0.0);
+        assert!(holds_approximately(&t, &["x"], "y", 0.0).unwrap());
+    }
+
+    #[test]
+    fn violations_counted_minimally() {
+        // x=a maps to 1 three times and 2 once → remove 1 row of 5
+        let t = t(&[("a", "1"), ("a", "1"), ("a", "1"), ("a", "2"), ("b", "9")]);
+        assert!((fd_violation_rate(&t, &["x"], "y").unwrap() - 0.2).abs() < 1e-12);
+        assert!(holds_approximately(&t, &["x"], "y", 0.25).unwrap());
+        assert!(!holds_approximately(&t, &["x"], "y", 0.1).unwrap());
+    }
+
+    #[test]
+    fn independent_attributes_violate_heavily() {
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            rows.push((if i % 2 == 0 { "a" } else { "b" }, ["1", "2", "3", "4"][i % 4]));
+        }
+        let t = t(&rows);
+        let rate = fd_violation_rate(&t, &["x"], "y").unwrap();
+        assert!(rate >= 0.5 - 1e-12, "rate={rate}");
+    }
+
+    #[test]
+    fn multi_column_lhs() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+            Field::new("y", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for (a, b, y) in [("0", "0", "p"), ("0", "1", "q"), ("1", "0", "r"), ("1", "1", "s")] {
+            t.push_row(vec![Value::str(a), Value::str(b), Value::str(y)])
+                .unwrap();
+        }
+        assert_eq!(fd_violation_rate(&t, &["a", "b"], "y").unwrap(), 0.0);
+        // single columns do not determine y
+        assert!(fd_violation_rate(&t, &["a"], "y").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_table_is_trivially_consistent() {
+        let t = t(&[]);
+        assert_eq!(fd_violation_rate(&t, &["x"], "y").unwrap(), 0.0);
+    }
+}

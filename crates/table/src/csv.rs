@@ -1,0 +1,283 @@
+//! Minimal CSV reader/writer with schema inference.
+//!
+//! Handles RFC-4180-style quoting (`"..."` fields, doubled quotes inside).
+//! Empty fields parse as null. Types are inferred column-wise as the most
+//! specific of `Int ⊂ Float ⊂ Str` / `Bool` over non-empty cells.
+
+use crate::error::TableError;
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// Parse one CSV line into raw string fields.
+fn split_line(line: &str) -> std::result::Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn infer_type(cells: &[Option<&str>]) -> DataType {
+    let mut seen_any = false;
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    for c in cells.iter().flatten() {
+        seen_any = true;
+        if c.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if c.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if !matches!(*c, "true" | "false") {
+            all_bool = false;
+        }
+    }
+    if !seen_any {
+        return DataType::Str;
+    }
+    if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_cell(raw: Option<&str>, dtype: DataType) -> Value {
+    let Some(s) = raw else { return Value::Null };
+    match dtype {
+        DataType::Int => s.parse::<i64>().map_or(Value::Null, Value::Int),
+        DataType::Float => s.parse::<f64>().map_or(Value::Null, |f| f.into()),
+        DataType::Bool => match s {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        DataType::Str => Value::Str(s.to_string()),
+    }
+}
+
+/// Read a table from CSV text. The first line is the header.
+///
+/// Column types are inferred; pass `schema` to
+/// [`read_csv_str_with_schema`] when the types are known.
+pub fn read_csv_str(text: &str) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| TableError::Csv("empty input".to_string()))?;
+    let names = split_line(header).map_err(TableError::Csv)?;
+
+    let mut raw_rows: Vec<Vec<Option<String>>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_line(line).map_err(|e| TableError::Csv(format!("line {}: {e}", lineno + 2)))?;
+        if fields.len() != names.len() {
+            return Err(TableError::Csv(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 2,
+                names.len(),
+                fields.len()
+            )));
+        }
+        raw_rows.push(
+            fields
+                .into_iter()
+                .map(|f| if f.is_empty() { None } else { Some(f) })
+                .collect(),
+        );
+    }
+
+    let mut fields = Vec::with_capacity(names.len());
+    for (j, name) in names.iter().enumerate() {
+        let cells: Vec<Option<&str>> = raw_rows.iter().map(|r| r[j].as_deref()).collect();
+        fields.push(Field::new(name.clone(), infer_type(&cells)));
+    }
+    let schema = Schema::new(fields);
+
+    let mut t = Table::with_capacity(schema.clone(), raw_rows.len());
+    for r in &raw_rows {
+        let row: Vec<Value> = r
+            .iter()
+            .zip(schema.fields())
+            .map(|(cell, f)| parse_cell(cell.as_deref(), f.dtype))
+            .collect();
+        t.push_row(row)?;
+    }
+    Ok(t)
+}
+
+/// Read CSV text against a known schema (header must match field names).
+pub fn read_csv_str_with_schema(text: &str, schema: &Schema) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| TableError::Csv("empty input".to_string()))?;
+    let names = split_line(header).map_err(TableError::Csv)?;
+    let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+    if names != expected {
+        return Err(TableError::Csv(format!(
+            "header {names:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut t = Table::new(schema.clone());
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_line(line).map_err(|e| TableError::Csv(format!("line {}: {e}", lineno + 2)))?;
+        if fields.len() != expected.len() {
+            return Err(TableError::Csv(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 2,
+                expected.len(),
+                fields.len()
+            )));
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(schema.fields())
+            .map(|(cell, f)| {
+                let raw = if cell.is_empty() { None } else { Some(cell.as_str()) };
+                parse_cell(raw, f.dtype)
+            })
+            .collect();
+        t.push_row(row)?;
+    }
+    Ok(t)
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize a table to CSV text (nulls become empty fields).
+pub fn write_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for i in 0..table.num_rows() {
+        let row: Vec<String> = (0..table.num_columns())
+            .map(|j| {
+                let v = table.column_at(j).value(i);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape(&v.to_string())
+                }
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_inference() {
+        let csv = "age,race,score,ok\n30,white,0.5,true\n40,black,1.5,false\n";
+        let t = read_csv_str(csv).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field("age").unwrap().dtype, DataType::Int);
+        assert_eq!(t.schema().field("score").unwrap().dtype, DataType::Float);
+        assert_eq!(t.schema().field("ok").unwrap().dtype, DataType::Bool);
+        let back = write_csv_string(&t);
+        let t2 = read_csv_str(&back).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let csv = "x,y\n1,\n,b\n";
+        let t = read_csv_str(csv).unwrap();
+        assert!(t.value(0, "y").unwrap().is_null());
+        assert!(t.value(1, "x").unwrap().is_null());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n";
+        let t = read_csv_str(csv).unwrap();
+        assert_eq!(t.value(0, "name").unwrap(), Value::str("a,b"));
+        assert_eq!(t.value(1, "name").unwrap(), Value::str("say \"hi\""));
+        // round-trips
+        let t2 = read_csv_str(&write_csv_string(&t)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        assert!(read_csv_str(csv).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv_str("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn mixed_int_float_column_becomes_float() {
+        let t = read_csv_str("x\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().dtype, DataType::Float);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn schema_directed_read_checks_header() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        assert!(read_csv_str_with_schema("y\n1\n", &schema).is_err());
+        let t = read_csv_str_with_schema("x\n7\n", &schema).unwrap();
+        assert_eq!(t.value(0, "x").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn all_empty_column_is_str() {
+        let t = read_csv_str("x,y\n,1\n,2\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().dtype, DataType::Str);
+        assert_eq!(t.column("x").unwrap().null_count(), 2);
+    }
+}

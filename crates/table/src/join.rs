@@ -1,0 +1,224 @@
+//! Hash joins and join-multiplicity statistics.
+//!
+//! Besides the plain inner [`hash_join`], this module exposes
+//! [`join_multiplicity`] — the per-key match counts that join-sampling
+//! algorithms (Olken / Chaudhuri accept-reject, wander join; tutorial §3.4)
+//! need as their "frequency statistics".
+
+use std::collections::HashMap;
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// Which side of a join a column came from (used for disambiguation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The left (probe) input.
+    Left,
+    /// The right (build) input.
+    Right,
+}
+
+/// Inner equi-join of `left` and `right` on `left_key = right_key`.
+///
+/// Output schema: all left columns, then all right columns except the join
+/// key. Name collisions on non-key columns are resolved by suffixing the
+/// right column with `_r`. Null join keys never match (SQL semantics).
+pub fn hash_join(left: &Table, right: &Table, left_key: &str, right_key: &str) -> Result<Table> {
+    let rk_idx = right.schema().index_of(right_key)?;
+    left.schema().index_of(left_key)?; // validate
+
+    // Build phase: key -> right row indices.
+    let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
+    for i in 0..right.num_rows() {
+        let k = right.column_at(rk_idx).value(i);
+        if !k.is_null() {
+            build.entry(k).or_default().push(i);
+        }
+    }
+
+    // Output schema.
+    let mut fields = left.schema().fields().to_vec();
+    let left_names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+    let mut right_cols: Vec<usize> = Vec::new();
+    for (j, f) in right.schema().fields().iter().enumerate() {
+        if f.name == right_key {
+            continue;
+        }
+        let mut f = f.clone();
+        if left_names.contains(&f.name) {
+            f.name = format!("{}_r", f.name);
+        }
+        fields.push(f);
+        right_cols.push(j);
+    }
+    let schema = Schema::new(fields);
+
+    // Probe phase: collect matching (left, right) index pairs.
+    let lk_idx = left.schema().index_of(left_key)?;
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    for i in 0..left.num_rows() {
+        let k = left.column_at(lk_idx).value(i);
+        if k.is_null() {
+            continue;
+        }
+        if let Some(matches) = build.get(&k) {
+            for &j in matches {
+                lidx.push(i);
+                ridx.push(j);
+            }
+        }
+    }
+
+    // Materialize by gathering each side.
+    let mut columns: Vec<crate::Column> = (0..left.num_columns())
+        .map(|c| left.column_at(c).gather(&lidx))
+        .collect();
+    for &j in &right_cols {
+        columns.push(right.column_at(j).gather(&ridx));
+    }
+    Table::from_columns(schema, columns)
+}
+
+/// For each row of `left`, the number of rows of `right` it joins with.
+///
+/// Null keys have multiplicity 0.
+pub fn join_multiplicity(left: &Table, right: &Table, left_key: &str, right_key: &str) -> Result<Vec<usize>> {
+    let freq = key_frequencies(right, right_key)?;
+    let lk_idx = left.schema().index_of(left_key)?;
+    Ok((0..left.num_rows())
+        .map(|i| {
+            let k = left.column_at(lk_idx).value(i);
+            if k.is_null() {
+                0
+            } else {
+                freq.get(&k).copied().unwrap_or(0)
+            }
+        })
+        .collect())
+}
+
+/// Frequency of each non-null key value in a column.
+pub fn key_frequencies(table: &Table, key: &str) -> Result<HashMap<Value, usize>> {
+    let idx = table.schema().index_of(key)?;
+    let mut m = HashMap::new();
+    for i in 0..table.num_rows() {
+        let k = table.column_at(idx).value(i);
+        if !k.is_null() {
+            *m.entry(k).or_insert(0) += 1;
+        }
+    }
+    Ok(m)
+}
+
+/// Row indices of `table` whose `key` column equals `value` — a simple
+/// join index used by sampling algorithms.
+pub fn rows_with_key(table: &Table, key: &str, value: &Value) -> Result<Vec<usize>> {
+    let idx = table.schema().index_of(key)?;
+    if value.is_null() {
+        return Err(TableError::SchemaMismatch(
+            "cannot index rows by a null key".to_string(),
+        ));
+    }
+    Ok((0..table.num_rows())
+        .filter(|&i| &table.column_at(idx).value(i) == value)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn patients() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("hospital", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for (p, h) in [(1, "north"), (2, "south"), (3, "north"), (4, "west")] {
+            t.push_row(vec![Value::Int(p), Value::str(h)]).unwrap();
+        }
+        t
+    }
+
+    fn visits() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("cost", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (p, c) in [(1, 10.0), (1, 20.0), (2, 5.0), (9, 99.0)] {
+            t.push_row(vec![Value::Int(p), Value::Float(c)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn inner_join_cardinality() {
+        let j = hash_join(&patients(), &visits(), "pid", "pid").unwrap();
+        // pid=1 matches twice, pid=2 once, 3/4 none, 9 unmatched on left
+        assert_eq!(j.num_rows(), 3);
+        assert_eq!(j.num_columns(), 3); // pid, hospital, cost
+        assert_eq!(j.schema().fields()[2].name, "cost");
+    }
+
+    #[test]
+    fn join_values_are_correct() {
+        let j = hash_join(&patients(), &visits(), "pid", "pid").unwrap();
+        let total: f64 = j.sum("cost").unwrap();
+        assert!((total - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_keys_do_not_match() {
+        let mut l = patients();
+        l.push_row(vec![Value::Null, Value::str("ghost")]).unwrap();
+        let mut r = visits();
+        r.push_row(vec![Value::Null, Value::Float(1.0)]).unwrap();
+        let j = hash_join(&l, &r, "pid", "pid").unwrap();
+        assert_eq!(j.num_rows(), 3);
+    }
+
+    #[test]
+    fn name_collision_suffixes_right() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("x", DataType::Int),
+        ]);
+        let mut a = Table::new(schema.clone());
+        a.push_row(vec![Value::Int(1), Value::Int(10)]).unwrap();
+        let mut b = Table::new(schema);
+        b.push_row(vec![Value::Int(1), Value::Int(20)]).unwrap();
+        let j = hash_join(&a, &b, "k", "k").unwrap();
+        assert_eq!(j.schema().fields()[2].name, "x_r");
+        assert_eq!(j.value(0, "x_r").unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn multiplicity_counts_matches() {
+        let m = join_multiplicity(&patients(), &visits(), "pid", "pid").unwrap();
+        assert_eq!(m, vec![2, 1, 0, 0]);
+        let total: usize = m.iter().sum();
+        let j = hash_join(&patients(), &visits(), "pid", "pid").unwrap();
+        assert_eq!(total, j.num_rows());
+    }
+
+    #[test]
+    fn rows_with_key_finds_indices() {
+        let r = rows_with_key(&visits(), "pid", &Value::Int(1)).unwrap();
+        assert_eq!(r, vec![0, 1]);
+        assert!(rows_with_key(&visits(), "pid", &Value::Null).is_err());
+    }
+
+    #[test]
+    fn key_frequencies_counts() {
+        let f = key_frequencies(&visits(), "pid").unwrap();
+        assert_eq!(f[&Value::Int(1)], 2);
+        assert_eq!(f[&Value::Int(9)], 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the table substrate's core laws.
+
+use proptest::prelude::*;
+use rdi_table::{
+    hash_join, read_csv_str, write_csv_string, DataType, Field, Predicate, Schema, Table, Value,
+};
+
+/// Arbitrary cell for a given column type.
+fn arb_value(dtype: DataType) -> BoxedStrategy<Value> {
+    match dtype {
+        DataType::Int => prop_oneof![
+            3 => (-1000i64..1000).prop_map(Value::Int),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Float => prop_oneof![
+            3 => (-1000.0f64..1000.0).prop_map(Value::Float),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Str => prop_oneof![
+            3 => "[a-z]{0,8}".prop_map(Value::Str),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Bool => prop_oneof![
+            3 => any::<bool>().prop_map(Value::Bool),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("s", DataType::Str),
+        Field::new("b", DataType::Bool),
+    ])
+}
+
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    let row = (
+        arb_value(DataType::Int),
+        arb_value(DataType::Float),
+        arb_value(DataType::Str),
+        arb_value(DataType::Bool),
+    );
+    prop::collection::vec(row, 0..max_rows).prop_map(|rows| {
+        let mut t = Table::new(schema());
+        for (i, f, s, b) in rows {
+            t.push_row(vec![i, f, s, b]).unwrap();
+        }
+        t
+    })
+}
+
+proptest! {
+    /// CSV write→read is the identity (strings here avoid leading/trailing
+    /// whitespace, which plain CSV cannot represent distinctly).
+    #[test]
+    fn csv_roundtrip(t in arb_table(40)) {
+        let text = write_csv_string(&t);
+        let back = read_csv_str(&text).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        // compare cell-by-cell: types may be re-inferred (e.g. an all-null
+        // float column reads back as Str), but values must agree.
+        for i in 0..t.num_rows() {
+            for j in 0..t.num_columns() {
+                let a = t.column_at(j).value(i);
+                let b = back.column_at(j).value(i);
+                match (&a, &b) {
+                    (Value::Null, Value::Null) => {}
+                    _ => prop_assert_eq!(a.to_string(), b.to_string()),
+                }
+            }
+        }
+    }
+
+    /// filter(p) ∪ filter(¬p) partitions the rows.
+    #[test]
+    fn filter_partitions(t in arb_table(60), threshold in -1000i64..1000) {
+        let p = Predicate::ge("i", Value::Int(threshold));
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        let yes = t.filter(&p);
+        let no = t.filter(&not_p);
+        // Not is plain boolean negation (two-valued logic), so null cells
+        // — which never satisfy a comparison — fall into the ¬p branch.
+        prop_assert_eq!(yes.num_rows() + no.num_rows(), t.num_rows());
+        let nulls = Predicate::IsNull("i".into()).count(&t);
+        prop_assert!(no.num_rows() >= nulls);
+    }
+
+    /// take() preserves row content.
+    #[test]
+    fn take_preserves_rows(t in arb_table(30), seed in any::<u64>()) {
+        if t.is_empty() { return Ok(()); }
+        let idx: Vec<usize> = (0..10).map(|k| ((seed as usize).wrapping_add(k * 7)) % t.num_rows()).collect();
+        let s = t.take(&idx);
+        prop_assert_eq!(s.num_rows(), idx.len());
+        for (out_i, &src_i) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(out_i).unwrap(), t.row(src_i).unwrap());
+        }
+    }
+
+    /// |A ⋈ B| = Σ_k freq_A(k)·freq_B(k), and join is size-symmetric.
+    #[test]
+    fn join_size_law(keys_a in prop::collection::vec(0i64..10, 0..30),
+                     keys_b in prop::collection::vec(0i64..10, 0..30)) {
+        let mk = |keys: &[i64]| {
+            let mut t = Table::new(Schema::new(vec![Field::new("k", DataType::Int)]));
+            for &k in keys {
+                t.push_row(vec![Value::Int(k)]).unwrap();
+            }
+            t
+        };
+        let a = mk(&keys_a);
+        let b = mk(&keys_b);
+        let ab = hash_join(&a, &b, "k", "k").unwrap();
+        let ba = hash_join(&b, &a, "k", "k").unwrap();
+        prop_assert_eq!(ab.num_rows(), ba.num_rows());
+        let expected: usize = (0..10)
+            .map(|k| {
+                keys_a.iter().filter(|&&x| x == k).count()
+                    * keys_b.iter().filter(|&&x| x == k).count()
+            })
+            .sum();
+        prop_assert_eq!(ab.num_rows(), expected);
+    }
+
+    /// concat length and append associativity.
+    #[test]
+    fn concat_lengths(a in arb_table(20), b in arb_table(20), c in arb_table(20)) {
+        let abc = Table::concat(&[&a, &b, &c]).unwrap();
+        prop_assert_eq!(abc.num_rows(), a.num_rows() + b.num_rows() + c.num_rows());
+        let mut ab = a.clone();
+        ab.append(&b).unwrap();
+        let mut ab_c = ab.clone();
+        ab_c.append(&c).unwrap();
+        prop_assert_eq!(abc, ab_c);
+    }
+
+    /// select then select commutes with direct selection.
+    #[test]
+    fn select_composes(t in arb_table(20)) {
+        let wide = t.select(&["i", "s", "b"]).unwrap();
+        let narrow = wide.select(&["b", "i"]).unwrap();
+        let direct = t.select(&["b", "i"]).unwrap();
+        prop_assert_eq!(narrow, direct);
+    }
+}

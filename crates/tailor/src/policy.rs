@@ -1,0 +1,561 @@
+//! Source-selection policies.
+//!
+//! A policy decides, given the remaining per-group needs, which source to
+//! query next. Known-distribution policies read the true source
+//! frequencies once at construction; the unknown-distribution policy
+//! ([`UcbColl`]) learns them online from its own observations, balancing
+//! exploration and exploitation (tutorial §4.2).
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+
+use crate::source::TableSource;
+
+/// A source-selection policy.
+pub trait Policy {
+    /// Pick the source index to query next, given per-group remaining
+    /// needs (`remaining[g] > 0` means group `g` still needs samples).
+    fn choose(&mut self, remaining: &[usize], rng: &mut dyn RngCore) -> usize;
+
+    /// Observe the result of the last draw: the queried source and the
+    /// target-group index of the drawn tuple (None = out-of-scope tuple).
+    fn observe(&mut self, _source: usize, _group: Option<usize>) {}
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn gen_range(rng: &mut dyn RngCore, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // Simple unbiased-enough choice for policy tie-breaking.
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// Baseline: pick a source uniformly at random.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    num_sources: usize,
+}
+
+impl RandomPolicy {
+    /// Build for `num_sources` sources.
+    pub fn new(num_sources: usize) -> Self {
+        assert!(num_sources > 0);
+        RandomPolicy { num_sources }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn choose(&mut self, _remaining: &[usize], rng: &mut dyn RngCore) -> usize {
+        gen_range(rng, self.num_sources)
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Baseline: cycle through sources in order.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    num_sources: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Build for `num_sources` sources.
+    pub fn new(num_sources: usize) -> Self {
+        assert!(num_sources > 0);
+        RoundRobin {
+            num_sources,
+            next: 0,
+        }
+    }
+}
+
+impl Policy for RoundRobin {
+    fn choose(&mut self, _remaining: &[usize], _rng: &mut dyn RngCore) -> usize {
+        let s = self.next;
+        self.next = (self.next + 1) % self.num_sources;
+        s
+    }
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+}
+
+/// Known-distribution heuristic in the spirit of the paper's RatioColl:
+/// identify the *bottleneck group* — the group whose remaining need is
+/// most expensive to fill even at its best source — and query that group's
+/// best source.
+///
+/// For group `g`, the best source is `i*(g) = argmax_i P_i(g)/cost_i`, and
+/// the expected cost to finish `g` alone is
+/// `remaining[g] · cost_{i*} / P_{i*}(g)`. Filling the bottleneck first is
+/// near-optimal because samples for abundant groups arrive "for free"
+/// while chasing the rare one.
+#[derive(Debug, Clone)]
+pub struct RatioColl {
+    costs: Vec<f64>,
+    /// `freqs[i][g]` = P_i(g).
+    freqs: Vec<Vec<f64>>,
+}
+
+impl RatioColl {
+    /// Build from explicit costs and frequencies.
+    pub fn new(costs: Vec<f64>, freqs: Vec<Vec<f64>>) -> Self {
+        assert_eq!(costs.len(), freqs.len());
+        assert!(!costs.is_empty());
+        RatioColl { costs, freqs }
+    }
+
+    /// Build by reading the true frequencies off table sources.
+    pub fn from_sources(sources: &[TableSource]) -> Self {
+        RatioColl::new(
+            sources.iter().map(TableSource::cost).collect(),
+            sources.iter().map(|s| s.frequencies().to_vec()).collect(),
+        )
+    }
+
+    /// Best source for group `g` by rate-per-cost; None when no source
+    /// ever yields `g`.
+    fn best_source_for(&self, g: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, f) in self.freqs.iter().enumerate() {
+            let rate = f[g] / self.costs[i];
+            if rate > 0.0 && best.map_or(true, |(_, r)| rate > r) {
+                best = Some((i, rate));
+            }
+        }
+        best
+    }
+}
+
+impl Policy for RatioColl {
+    fn choose(&mut self, remaining: &[usize], rng: &mut dyn RngCore) -> usize {
+        let mut bottleneck: Option<(usize, f64)> = None; // (source, expected fill cost)
+        for (g, &need) in remaining.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            if let Some((i, rate)) = self.best_source_for(g) {
+                let fill_cost = need as f64 / rate;
+                if bottleneck.map_or(true, |(_, c)| fill_cost > c) {
+                    bottleneck = Some((i, fill_cost));
+                }
+            }
+        }
+        match bottleneck {
+            Some((i, _)) => i,
+            // Nothing fillable: fall back to random (runner will hit its
+            // draw cap and report unsatisfied).
+            None => gen_range(rng, self.costs.len()),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "ratio_coll"
+    }
+}
+
+/// Exact expected-cost-optimal policy by dynamic programming over the
+/// remaining-needs state space (known distributions).
+///
+/// For state `s` and source `i` with useful probability
+/// `u_i(s) = Σ_{g: s_g>0} P_i(g)`, the renewal equation gives
+///
+/// ```text
+/// E[s] = min_i ( cost_i + Σ_{g: s_g>0} P_i(g)·E[s − e_g] ) / u_i(s)
+/// ```
+///
+/// State count is `Π_g (R_g + 1)`, so this is the small-instance *oracle*
+/// the heuristics are compared against (paper's optimal baseline).
+#[derive(Debug, Clone)]
+pub struct OracleDp {
+    costs: Vec<f64>,
+    freqs: Vec<Vec<f64>>,
+    memo: HashMap<Vec<u16>, (f64, usize)>,
+}
+
+impl OracleDp {
+    /// Build from explicit costs and frequencies.
+    pub fn new(costs: Vec<f64>, freqs: Vec<Vec<f64>>) -> Self {
+        assert_eq!(costs.len(), freqs.len());
+        assert!(!costs.is_empty());
+        OracleDp {
+            costs,
+            freqs,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Build by reading the true frequencies off table sources.
+    pub fn from_sources(sources: &[TableSource]) -> Self {
+        OracleDp::new(
+            sources.iter().map(TableSource::cost).collect(),
+            sources.iter().map(|s| s.frequencies().to_vec()).collect(),
+        )
+    }
+
+    /// Expected cost and best source for a remaining-needs state.
+    /// Returns `(f64::INFINITY, 0)` for infeasible states.
+    pub fn solve(&mut self, state: &[u16]) -> (f64, usize) {
+        if state.iter().all(|&x| x == 0) {
+            return (0.0, 0);
+        }
+        if let Some(&v) = self.memo.get(state) {
+            return v;
+        }
+        let mut best = (f64::INFINITY, 0usize);
+        for i in 0..self.costs.len() {
+            let mut useful = 0.0;
+            let mut expect_next = 0.0;
+            for (g, &need) in state.iter().enumerate() {
+                if need > 0 && self.freqs[i][g] > 0.0 {
+                    useful += self.freqs[i][g];
+                    let mut next = state.to_vec();
+                    next[g] -= 1;
+                    expect_next += self.freqs[i][g] * self.solve(&next).0;
+                }
+            }
+            if useful > 0.0 {
+                let v = (self.costs[i] + expect_next) / useful;
+                if v < best.0 {
+                    best = (v, i);
+                }
+            }
+        }
+        self.memo.insert(state.to_vec(), best);
+        best
+    }
+
+    /// Expected total cost from a fresh start with the given needs.
+    pub fn expected_cost(&mut self, needs: &[usize]) -> f64 {
+        let state: Vec<u16> = needs.iter().map(|&n| n as u16).collect();
+        self.solve(&state).0
+    }
+}
+
+impl Policy for OracleDp {
+    fn choose(&mut self, remaining: &[usize], _rng: &mut dyn RngCore) -> usize {
+        let state: Vec<u16> = remaining.iter().map(|&n| n.min(u16::MAX as usize) as u16).collect();
+        self.solve(&state).1
+    }
+    fn name(&self) -> &'static str {
+        "oracle_dp"
+    }
+}
+
+/// Unknown-distribution explore/exploit policy: a UCB1-style bandit where
+/// an arm is a source and the reward of a draw is "the tuple fell in a
+/// still-needed group", normalized by the source's cost.
+///
+/// With no prior knowledge the policy must *estimate* source usefulness
+/// from its own draws; the exploration bonus `c·√(ln t / n_i)` keeps
+/// revisiting rarely-tried sources in case the needed groups hide there —
+/// exactly the trade-off the paper's unknown-distribution algorithms
+/// manage with "customized reward functions".
+#[derive(Debug, Clone)]
+pub struct UcbColl {
+    costs: Vec<f64>,
+    /// Exploration constant (√2 is the classic choice).
+    pub exploration: f64,
+    /// Draws per source.
+    n: Vec<usize>,
+    /// Per-source per-group observed counts.
+    counts: Vec<Vec<usize>>,
+    /// Total draws.
+    t: usize,
+    num_groups: usize,
+}
+
+impl UcbColl {
+    /// Build for `num_sources` sources and `num_groups` target groups.
+    pub fn new(costs: Vec<f64>, num_groups: usize, exploration: f64) -> Self {
+        assert!(!costs.is_empty());
+        assert!(exploration >= 0.0);
+        let k = costs.len();
+        UcbColl {
+            costs,
+            exploration,
+            n: vec![0; k],
+            counts: vec![vec![0; num_groups]; k],
+            t: 0,
+            num_groups,
+        }
+    }
+
+    /// Build from sources, reading only their *costs* (not frequencies).
+    pub fn from_sources(sources: &[TableSource], num_groups: usize, exploration: f64) -> Self {
+        UcbColl::new(
+            sources.iter().map(TableSource::cost).collect(),
+            num_groups,
+            exploration,
+        )
+    }
+
+    /// Laplace-smoothed estimate of P_i(g in still-needed groups).
+    fn usefulness(&self, i: usize, remaining: &[usize]) -> f64 {
+        let alpha = 1.0;
+        let needed: usize = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &need)| need > 0)
+            .map(|(g, _)| self.counts[i][g])
+            .sum();
+        (needed as f64 + alpha) / (self.n[i] as f64 + alpha * (self.num_groups as f64 + 1.0))
+    }
+}
+
+impl Policy for UcbColl {
+    fn choose(&mut self, remaining: &[usize], _rng: &mut dyn RngCore) -> usize {
+        // Try every source once first.
+        if let Some(i) = self.n.iter().position(|&n| n == 0) {
+            return i;
+        }
+        let t = self.t.max(1) as f64;
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for i in 0..self.costs.len() {
+            let exploit = self.usefulness(i, remaining) / self.costs[i];
+            let explore = self.exploration * (t.ln() / self.n[i] as f64).sqrt() / self.costs[i];
+            let score = exploit + explore;
+            if score > best.0 {
+                best = (score, i);
+            }
+        }
+        best.1
+    }
+
+    fn observe(&mut self, source: usize, group: Option<usize>) {
+        self.t += 1;
+        self.n[source] += 1;
+        if let Some(g) = group {
+            self.counts[source][g] += 1;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ucb_coll"
+    }
+}
+
+/// Unknown-distribution ε-greedy baseline: with probability `epsilon`
+/// pick a uniformly random source, otherwise exploit the same smoothed
+/// usefulness-per-cost estimate [`UcbColl`] uses (without its confidence
+/// bonus). The classic alternative the bandit literature compares UCB
+/// against.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    costs: Vec<f64>,
+    /// Exploration probability ε ∈ [0, 1].
+    pub epsilon: f64,
+    n: Vec<usize>,
+    counts: Vec<Vec<usize>>,
+    num_groups: usize,
+}
+
+impl EpsilonGreedy {
+    /// Build for the given source costs and group count.
+    pub fn new(costs: Vec<f64>, num_groups: usize, epsilon: f64) -> Self {
+        assert!(!costs.is_empty());
+        assert!((0.0..=1.0).contains(&epsilon));
+        let k = costs.len();
+        EpsilonGreedy {
+            costs,
+            epsilon,
+            n: vec![0; k],
+            counts: vec![vec![0; num_groups]; k],
+            num_groups,
+        }
+    }
+
+    /// Build from sources, reading only their costs.
+    pub fn from_sources(sources: &[TableSource], num_groups: usize, epsilon: f64) -> Self {
+        EpsilonGreedy::new(
+            sources.iter().map(TableSource::cost).collect(),
+            num_groups,
+            epsilon,
+        )
+    }
+
+    fn usefulness(&self, i: usize, remaining: &[usize]) -> f64 {
+        let alpha = 1.0;
+        let needed: usize = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &need)| need > 0)
+            .map(|(g, _)| self.counts[i][g])
+            .sum();
+        (needed as f64 + alpha) / (self.n[i] as f64 + alpha * (self.num_groups as f64 + 1.0))
+    }
+}
+
+impl Policy for EpsilonGreedy {
+    fn choose(&mut self, remaining: &[usize], rng: &mut dyn RngCore) -> usize {
+        if let Some(i) = self.n.iter().position(|&n| n == 0) {
+            return i;
+        }
+        let u = rng.next_u64() as f64 / u64::MAX as f64;
+        if u < self.epsilon {
+            return gen_range(rng, self.costs.len());
+        }
+        (0..self.costs.len())
+            .max_by(|&a, &b| {
+                (self.usefulness(a, remaining) / self.costs[a])
+                    .total_cmp(&(self.usefulness(b, remaining) / self.costs[b]))
+            })
+            .expect("non-empty")
+    }
+
+    fn observe(&mut self, source: usize, group: Option<usize>) {
+        self.n[source] += 1;
+        if let Some(g) = group {
+            self.counts[source][g] += 1;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "epsilon_greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks: Vec<usize> = (0..6).map(|_| p.choose(&[1], &mut rng)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_policy_in_range() {
+        let mut p = RandomPolicy::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(p.choose(&[1], &mut rng) < 4);
+        }
+    }
+
+    #[test]
+    fn ratio_coll_targets_bottleneck() {
+        // source 0: 90% group A / 10% group B; source 1: reversed.
+        let mut p = RatioColl::new(
+            vec![1.0, 1.0],
+            vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        // Need mostly B → bottleneck is B → query source 1.
+        assert_eq!(p.choose(&[1, 10], &mut rng), 1);
+        // Need mostly A → source 0.
+        assert_eq!(p.choose(&[10, 1], &mut rng), 0);
+        // Only A needed → source 0 regardless.
+        assert_eq!(p.choose(&[1, 0], &mut rng), 0);
+    }
+
+    #[test]
+    fn ratio_coll_accounts_for_cost() {
+        // source 1 is better per draw for A but 10× the cost.
+        let mut p = RatioColl::new(
+            vec![1.0, 10.0],
+            vec![vec![0.5, 0.0], vec![0.9, 0.0]],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(p.choose(&[5, 0], &mut rng), 0);
+    }
+
+    #[test]
+    fn oracle_dp_single_group_closed_form() {
+        // one group, one source with P = 0.25, cost 2 → E = 2/0.25 per
+        // sample, 3 samples → 24.
+        let mut dp = OracleDp::new(vec![2.0], vec![vec![0.25]]);
+        let e = dp.expected_cost(&[3]);
+        assert!((e - 24.0).abs() < 1e-9, "e={e}");
+    }
+
+    #[test]
+    fn oracle_dp_prefers_better_source() {
+        let mut dp = OracleDp::new(vec![1.0, 1.0], vec![vec![0.1], vec![0.5]]);
+        assert_eq!(dp.solve(&[4]).1, 1);
+        let e = dp.expected_cost(&[4]);
+        assert!((e - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_dp_infeasible_state() {
+        let mut dp = OracleDp::new(vec![1.0], vec![vec![0.0, 1.0]]);
+        assert!(dp.expected_cost(&[1, 0]).is_infinite());
+        assert_eq!(dp.expected_cost(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_single_source_strategies() {
+        // two groups, two specialists; oracle expected cost must not
+        // exceed the cost of using either source alone.
+        let freqs = vec![vec![0.8, 0.2], vec![0.2, 0.8]];
+        let mut dp = OracleDp::new(vec![1.0, 1.0], freqs.clone());
+        let oracle = dp.expected_cost(&[5, 5]);
+        // single-source expected cost via DP restricted to one source
+        for i in 0..2 {
+            let mut solo = OracleDp::new(vec![1.0], vec![freqs[i].clone()]);
+            assert!(oracle <= solo.expected_cost(&[5, 5]) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_exploits_the_best_source() {
+        let mut p = EpsilonGreedy::new(vec![1.0, 1.0, 1.0], 1, 0.1);
+        let mut rng = StdRng::seed_from_u64(6);
+        // probe phase covers all sources; then feed observations where
+        // only source 2 is useful
+        for _ in 0..30 {
+            let s = p.choose(&[10], &mut rng);
+            p.observe(s, if s == 2 { Some(0) } else { None });
+        }
+        let picks: Vec<usize> = (0..40)
+            .map(|_| {
+                let s = p.choose(&[10], &mut rng);
+                p.observe(s, if s == 2 { Some(0) } else { None });
+                s
+            })
+            .collect();
+        let twos = picks.iter().filter(|&&s| s == 2).count();
+        assert!(twos >= 30, "twos={twos}");
+        // with epsilon > 0 it still explores occasionally
+        let others = picks.len() - twos;
+        assert!(others <= 10);
+    }
+
+    #[test]
+    fn ucb_tries_all_sources_then_exploits() {
+        let mut p = UcbColl::new(vec![1.0, 1.0, 1.0], 1, 0.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        // first three picks cover all sources
+        let mut first: Vec<usize> = Vec::new();
+        for _ in 0..3 {
+            let s = p.choose(&[10], &mut rng);
+            first.push(s);
+            // source 1 always yields the needed group, others never
+            p.observe(s, if s == 1 { Some(0) } else { None });
+        }
+        first.sort();
+        assert_eq!(first, vec![0, 1, 2]);
+        // feed more observations to sharpen estimates
+        for _ in 0..30 {
+            let s = p.choose(&[10], &mut rng);
+            p.observe(s, if s == 1 { Some(0) } else { None });
+        }
+        // exploitation should now prefer source 1 most of the time
+        let picks: Vec<usize> = (0..20).map(|_| {
+            let s = p.choose(&[10], &mut rng);
+            p.observe(s, if s == 1 { Some(0) } else { None });
+            s
+        }).collect();
+        let ones = picks.iter().filter(|&&s| s == 1).count();
+        assert!(ones >= 15, "ones={ones}");
+    }
+}

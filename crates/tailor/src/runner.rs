@@ -1,0 +1,412 @@
+//! The tailoring simulation loop.
+
+use rand::Rng;
+use rdi_table::{Table, TableError};
+
+use crate::policy::Policy;
+use crate::problem::DtProblem;
+use crate::source::TableSource;
+
+/// Result of a tailoring run.
+#[derive(Debug, Clone)]
+pub struct TailorOutcome {
+    /// Total cost paid across all draws.
+    pub total_cost: f64,
+    /// Total draws issued (including discarded ones).
+    pub draws: usize,
+    /// Per-group collected counts (parallel to the problem's groups).
+    pub per_group: Vec<usize>,
+    /// Whether every group reached its `lo` requirement.
+    pub satisfied: bool,
+    /// The collected (kept) tuples.
+    pub collected: Table,
+    /// Draws issued to each source.
+    pub per_source_draws: Vec<usize>,
+}
+
+/// Drive `policy` against `sources` until the problem's requirements are
+/// met or `max_draws` draws have been issued.
+///
+/// Semantics follow the DT paper: each draw costs the source's fee whether
+/// or not the tuple is useful; a tuple is kept iff its group still needs
+/// samples (`collected < hi` for range requirements, and only counted
+/// toward satisfaction up to `lo`); out-of-scope tuples are discarded.
+///
+/// All sources must share one schema (the integration step proper —
+/// schema matching — is handled upstream by `rdi-discovery`).
+pub fn run_tailoring<R: Rng>(
+    sources: &mut [TableSource],
+    problem: &DtProblem,
+    policy: &mut dyn Policy,
+    rng: &mut R,
+    max_draws: usize,
+) -> rdi_table::Result<TailorOutcome> {
+    problem.validate()?;
+    if sources.is_empty() {
+        return Err(TableError::SchemaMismatch("no sources".into()));
+    }
+    let schema = sources[0].schema().clone();
+    for s in sources.iter() {
+        if s.schema() != &schema {
+            return Err(TableError::SchemaMismatch(format!(
+                "source `{}` schema differs; integrate schemas before tailoring",
+                s.name()
+            )));
+        }
+    }
+
+    let g = problem.num_groups();
+    let mut per_group = vec![0usize; g];
+    let mut per_source_draws = vec![0usize; sources.len()];
+    let mut total_cost = 0.0;
+    let mut draws = 0usize;
+    let mut collected = Table::new(schema);
+
+    let satisfied = |per_group: &[usize]| -> bool {
+        per_group
+            .iter()
+            .zip(&problem.requirements)
+            .all(|(&c, r)| c >= r.lo)
+    };
+
+    while !satisfied(&per_group) && draws < max_draws {
+        let remaining: Vec<usize> = per_group
+            .iter()
+            .zip(&problem.requirements)
+            .map(|(&c, r)| r.lo.saturating_sub(c))
+            .collect();
+        let s = policy.choose(&remaining, rng);
+        assert!(s < sources.len(), "policy chose invalid source {s}");
+        let (group, row) = sources[s].draw(rng);
+        draws += 1;
+        per_source_draws[s] += 1;
+        total_cost += sources[s].cost();
+        policy.observe(s, group.filter(|&gi| remaining[gi] > 0));
+        if let Some(gi) = group {
+            // keep while under the hi cap
+            if per_group[gi] < problem.requirements[gi].hi {
+                per_group[gi] += 1;
+                collected.push_row(row)?;
+            }
+        }
+    }
+
+    let ok = satisfied(&per_group);
+    Ok(TailorOutcome {
+        total_cost,
+        draws,
+        per_group,
+        satisfied: ok,
+        collected,
+        per_source_draws,
+    })
+}
+
+/// Dedup-aware tailoring for **overlapping sources** (tutorial §5: "data
+/// sources may or may not have overlap").
+///
+/// Identical to [`run_tailoring`] except a drawn tuple only counts when
+/// its `id_column` value has not been collected before — re-drawing a
+/// record another source already supplied wastes its cost, exactly the
+/// effect overlap-aware source selection must reason about. Returns the
+/// outcome plus the number of duplicate draws paid for.
+pub fn run_tailoring_dedup<R: Rng>(
+    sources: &mut [TableSource],
+    problem: &DtProblem,
+    policy: &mut dyn Policy,
+    id_column: &str,
+    rng: &mut R,
+    max_draws: usize,
+) -> rdi_table::Result<(TailorOutcome, usize)> {
+    problem.validate()?;
+    if sources.is_empty() {
+        return Err(TableError::SchemaMismatch("no sources".into()));
+    }
+    let schema = sources[0].schema().clone();
+    schema.index_of(id_column)?;
+    for s in sources.iter() {
+        if s.schema() != &schema {
+            return Err(TableError::SchemaMismatch(format!(
+                "source `{}` schema differs",
+                s.name()
+            )));
+        }
+    }
+    let id_idx = schema.index_of(id_column)?;
+    let g = problem.num_groups();
+    let mut per_group = vec![0usize; g];
+    let mut per_source_draws = vec![0usize; sources.len()];
+    let mut seen = std::collections::HashSet::new();
+    let mut duplicates = 0usize;
+    let mut total_cost = 0.0;
+    let mut draws = 0usize;
+    let mut collected = Table::new(schema);
+
+    let satisfied = |per_group: &[usize]| {
+        per_group
+            .iter()
+            .zip(&problem.requirements)
+            .all(|(&c, r)| c >= r.lo)
+    };
+
+    while !satisfied(&per_group) && draws < max_draws {
+        let remaining: Vec<usize> = per_group
+            .iter()
+            .zip(&problem.requirements)
+            .map(|(&c, r)| r.lo.saturating_sub(c))
+            .collect();
+        let s = policy.choose(&remaining, rng);
+        assert!(s < sources.len(), "policy chose invalid source {s}");
+        let (group, row) = sources[s].draw(rng);
+        draws += 1;
+        per_source_draws[s] += 1;
+        total_cost += sources[s].cost();
+        let id = row[id_idx].clone();
+        let fresh = !id.is_null() && seen.insert(id);
+        if !fresh {
+            duplicates += 1;
+            policy.observe(s, None);
+            continue;
+        }
+        policy.observe(s, group.filter(|&gi| remaining[gi] > 0));
+        if let Some(gi) = group {
+            if per_group[gi] < problem.requirements[gi].hi {
+                per_group[gi] += 1;
+                collected.push_row(row)?;
+            }
+        }
+    }
+
+    let ok = satisfied(&per_group);
+    Ok((
+        TailorOutcome {
+            total_cost,
+            draws,
+            per_group,
+            satisfied: ok,
+            collected,
+            per_source_draws,
+        },
+        duplicates,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RandomPolicy, RatioColl};
+    use crate::problem::CountRequirement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Value};
+
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)])
+    }
+
+    fn source(name: &str, frac_a: f64, n: usize, cost: f64, p: &DtProblem) -> TableSource {
+        let mut t = Table::new(schema());
+        for i in 0..n {
+            let g = if (i as f64) < frac_a * n as f64 { "a" } else { "b" };
+            t.push_row(vec![Value::str(g)]).unwrap();
+        }
+        TableSource::new(name, t, cost, p).unwrap()
+    }
+
+    fn problem(na: usize, nb: usize) -> DtProblem {
+        DtProblem::exact_counts(
+            GroupSpec::new(vec!["g"]),
+            vec![
+                (GroupKey(vec![Value::str("a")]), na),
+                (GroupKey(vec![Value::str("b")]), nb),
+            ],
+        )
+    }
+
+    #[test]
+    fn collects_exact_requirements() {
+        let p = problem(5, 7);
+        let mut sources = vec![source("s0", 0.5, 100, 1.0, &p)];
+        let mut policy = RandomPolicy::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_tailoring(&mut sources, &p, &mut policy, &mut rng, 100_000).unwrap();
+        assert!(out.satisfied);
+        assert!(out.per_group[0] >= 5 && out.per_group[1] >= 7);
+        assert_eq!(out.collected.num_rows(), out.per_group.iter().sum::<usize>());
+        assert_eq!(out.total_cost, out.draws as f64);
+    }
+
+    #[test]
+    fn hi_cap_discards_surplus() {
+        let p = DtProblem::ranged(
+            GroupSpec::new(vec!["g"]),
+            vec![
+                (GroupKey(vec![Value::str("a")]), CountRequirement::range(2, 2)),
+                (GroupKey(vec![Value::str("b")]), CountRequirement::range(50, 50)),
+            ],
+        );
+        let mut sources = vec![source("s0", 0.9, 100, 1.0, &p)];
+        let mut policy = RandomPolicy::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_tailoring(&mut sources, &p, &mut policy, &mut rng, 1_000_000).unwrap();
+        assert!(out.satisfied);
+        // group a capped at exactly 2 despite 90% abundance
+        assert_eq!(out.per_group[0], 2);
+        assert_eq!(out.per_group[1], 50);
+        assert_eq!(out.collected.num_rows(), 52);
+    }
+
+    #[test]
+    fn max_draws_caps_run() {
+        let p = problem(1000, 1000);
+        let mut sources = vec![source("s0", 0.5, 100, 1.0, &p)];
+        let mut policy = RandomPolicy::new(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_tailoring(&mut sources, &p, &mut policy, &mut rng, 50).unwrap();
+        assert!(!out.satisfied);
+        assert_eq!(out.draws, 50);
+    }
+
+    #[test]
+    fn ratio_coll_cheaper_than_random_when_minority_is_rare() {
+        let p = problem(20, 20);
+        // s0 is the only decent source of "a"; s1 nearly pure "b".
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = |policy: &mut dyn Policy, rng: &mut StdRng| -> f64 {
+            let mut sources = vec![
+                source("s0", 0.5, 1000, 1.0, &p),
+                source("s1", 0.01, 1000, 1.0, &p),
+            ];
+            let mut total = 0.0;
+            for _ in 0..10 {
+                let out =
+                    run_tailoring(&mut sources, &p, policy, rng, 1_000_000).unwrap();
+                assert!(out.satisfied);
+                total += out.total_cost;
+            }
+            total / 10.0
+        };
+        let sources = vec![
+            source("s0", 0.5, 1000, 1.0, &p),
+            source("s1", 0.01, 1000, 1.0, &p),
+        ];
+        let mut rc = RatioColl::from_sources(&sources);
+        let mut rand_pol = RandomPolicy::new(2);
+        let smart = run(&mut rc, &mut rng);
+        let dumb = run(&mut rand_pol, &mut rng);
+        assert!(
+            smart < dumb,
+            "ratio_coll {smart} should beat random {dumb}"
+        );
+    }
+
+    fn keyed_source(name: &str, ids: std::ops::Range<i64>, p: &DtProblem) -> TableSource {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("g", DataType::Str).with_role(Role::Sensitive),
+        ]);
+        let mut t = Table::new(schema);
+        for i in ids {
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            t.push_row(vec![Value::Int(i), Value::str(g)]).unwrap();
+        }
+        TableSource::new(name, t, 1.0, p).unwrap()
+    }
+
+    fn keyed_problem(n: usize) -> DtProblem {
+        DtProblem::exact_counts(
+            GroupSpec::new(vec!["g"]),
+            vec![
+                (GroupKey(vec![Value::str("a")]), n),
+                (GroupKey(vec![Value::str("b")]), n),
+            ],
+        )
+    }
+
+    #[test]
+    fn dedup_collects_unique_rows_only() {
+        let p = keyed_problem(30);
+        // two fully-overlapping sources over ids 0..100
+        let mut sources = vec![keyed_source("s0", 0..100, &p), keyed_source("s1", 0..100, &p)];
+        let mut policy = RandomPolicy::new(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (out, duplicates) =
+            run_tailoring_dedup(&mut sources, &p, &mut policy, "id", &mut rng, 1_000_000).unwrap();
+        assert!(out.satisfied);
+        // every collected id distinct
+        let ids = out.collected.distinct("id").unwrap();
+        assert_eq!(ids.len(), out.collected.num_rows());
+        assert!(duplicates > 0, "sampling with replacement must hit repeats");
+        assert!(out.draws >= out.collected.num_rows() + duplicates);
+    }
+
+    #[test]
+    fn overlap_makes_collection_more_expensive_than_disjoint() {
+        let p = keyed_problem(40);
+        let mut rng = StdRng::seed_from_u64(10);
+        let runs = 10;
+        let mut cost_overlap = 0.0;
+        let mut cost_disjoint = 0.0;
+        for _ in 0..runs {
+            let mut overlapping =
+                vec![keyed_source("s0", 0..100, &p), keyed_source("s1", 0..100, &p)];
+            let mut policy = RandomPolicy::new(2);
+            let (out, _) = run_tailoring_dedup(
+                &mut overlapping,
+                &p,
+                &mut policy,
+                "id",
+                &mut rng,
+                1_000_000,
+            )
+            .unwrap();
+            cost_overlap += out.total_cost;
+
+            let mut disjoint =
+                vec![keyed_source("s0", 0..100, &p), keyed_source("s1", 100..200, &p)];
+            let mut policy = RandomPolicy::new(2);
+            let (out, _) = run_tailoring_dedup(
+                &mut disjoint,
+                &p,
+                &mut policy,
+                "id",
+                &mut rng,
+                1_000_000,
+            )
+            .unwrap();
+            cost_disjoint += out.total_cost;
+        }
+        assert!(
+            cost_overlap > cost_disjoint,
+            "overlap {cost_overlap} vs disjoint {cost_disjoint}"
+        );
+    }
+
+    #[test]
+    fn dedup_requires_valid_id_column() {
+        let p = keyed_problem(1);
+        let mut sources = vec![keyed_source("s0", 0..10, &p)];
+        let mut policy = RandomPolicy::new(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(run_tailoring_dedup(&mut sources, &p, &mut policy, "nope", &mut rng, 10).is_err());
+    }
+
+    #[test]
+    fn mismatched_schemas_rejected() {
+        let p = problem(1, 1);
+        let other_schema = Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive),
+            Field::new("x", DataType::Int),
+        ]);
+        let mut t2 = Table::new(other_schema);
+        t2.push_row(vec![Value::str("a"), Value::Int(1)]).unwrap();
+        let mut sources = vec![
+            source("s0", 0.5, 10, 1.0, &p),
+            TableSource::new("s1", t2, 1.0, &p).unwrap(),
+        ];
+        let mut policy = RandomPolicy::new(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(run_tailoring(&mut sources, &p, &mut policy, &mut rng, 10).is_err());
+    }
+}

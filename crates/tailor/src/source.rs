@@ -1,0 +1,166 @@
+//! Cost-annotated data sources for tailoring.
+
+use rand::Rng;
+use rdi_table::{Table, TableError, Value};
+
+use crate::problem::DtProblem;
+
+/// A source backed by an in-memory table, sampled **with replacement** —
+/// the paper's model of querying an external API whose each request
+/// returns one random record at a fixed cost.
+///
+/// Group membership of every row is precomputed against the problem's
+/// [`rdi_table::GroupSpec`]; rows in none of the target groups report
+/// `None`.
+#[derive(Debug, Clone)]
+pub struct TableSource {
+    name: String,
+    table: Table,
+    cost: f64,
+    /// Per-row target-group index (None = not a target group).
+    row_group: Vec<Option<usize>>,
+    /// True per-group frequencies P_i(g) (fraction of rows in each target
+    /// group) — available to *known-distribution* policies only.
+    frequencies: Vec<f64>,
+}
+
+impl TableSource {
+    /// Wrap a table as a source with per-sample `cost`.
+    pub fn new(
+        name: impl Into<String>,
+        table: Table,
+        cost: f64,
+        problem: &DtProblem,
+    ) -> rdi_table::Result<Self> {
+        if table.is_empty() {
+            return Err(TableError::SchemaMismatch("empty source table".into()));
+        }
+        if !(cost > 0.0) {
+            return Err(TableError::SchemaMismatch(
+                "source cost must be positive".into(),
+            ));
+        }
+        let mut row_group = Vec::with_capacity(table.num_rows());
+        let mut counts = vec![0usize; problem.num_groups()];
+        for i in 0..table.num_rows() {
+            let key = problem.spec.key_of(&table, i)?;
+            let g = problem.group_index(&key);
+            if let Some(g) = g {
+                counts[g] += 1;
+            }
+            row_group.push(g);
+        }
+        let n = table.num_rows() as f64;
+        let frequencies = counts.iter().map(|&c| c as f64 / n).collect();
+        Ok(TableSource {
+            name: name.into(),
+            table,
+            cost,
+            row_group,
+            frequencies,
+        })
+    }
+
+    /// Source name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-sample cost.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// True group frequencies `P_i(g)` over the problem's target groups.
+    /// Policies modelling the *unknown*-distribution setting must not read
+    /// this.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Draw one random record (uniform with replacement): returns the
+    /// row's target-group index (if any) and its values.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> (Option<usize>, Vec<Value>) {
+        let i = rng.gen_range(0..self.table.num_rows());
+        let row = self.table.row(i).expect("index in range");
+        (self.row_group[i], row)
+    }
+
+    /// The backing table's schema.
+    pub fn schema(&self) -> &rdi_table::Schema {
+        self.table.schema()
+    }
+
+    /// Number of backing rows.
+    pub fn num_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema};
+
+    fn problem() -> DtProblem {
+        DtProblem::exact_counts(
+            GroupSpec::new(vec!["g"]),
+            vec![
+                (GroupKey(vec![Value::str("a")]), 2),
+                (GroupKey(vec![Value::str("b")]), 2),
+            ],
+        )
+    }
+
+    fn table(rows: &[&str]) -> Table {
+        let schema =
+            Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)]);
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.push_row(vec![Value::str(*r)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn frequencies_computed_over_target_groups() {
+        let s = TableSource::new("s", table(&["a", "a", "b", "c"]), 1.0, &problem()).unwrap();
+        assert_eq!(s.frequencies(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn draw_returns_group_membership() {
+        let s = TableSource::new("s", table(&["a", "c"]), 1.0, &problem()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_none = false;
+        let mut seen_a = false;
+        for _ in 0..100 {
+            match s.draw(&mut rng).0 {
+                Some(0) => seen_a = true,
+                None => seen_none = true,
+                other => panic!("unexpected group {other:?}"),
+            }
+        }
+        assert!(seen_none && seen_a);
+    }
+
+    #[test]
+    fn empty_table_and_bad_cost_rejected() {
+        let p = problem();
+        assert!(TableSource::new("s", table(&[]), 1.0, &p).is_err());
+        assert!(TableSource::new("s", table(&["a"]), 0.0, &p).is_err());
+        assert!(TableSource::new("s", table(&["a"]), -1.0, &p).is_err());
+    }
+
+    #[test]
+    fn draw_is_uniform_with_replacement() {
+        let s = TableSource::new("s", table(&["a", "b"]), 1.0, &problem()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let a = (0..n).filter(|_| s.draw(&mut rng).0 == Some(0)).count();
+        let frac = a as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac={frac}");
+    }
+}

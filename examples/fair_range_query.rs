@@ -1,0 +1,97 @@
+//! Fairness-aware range queries (tutorial §5): a recruiter filters
+//! candidates by an age range; the raw result is badly gender-imbalanced.
+//! The engine proposes the most similar range whose disparity is bounded,
+//! and the coverage-based relaxer widens the range until every group is
+//! represented.
+//!
+//! ```bash
+//! cargo run --example fair_range_query
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use responsible_data_integration::fairquery::{relax_for_coverage, RangeQuery2d, RangeQueryEngine};
+use responsible_data_integration::table::{
+    DataType, Field, GroupSpec, Role, Schema, Table, Value,
+};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Synthetic candidate pool: women skew younger in this pool, so an
+    // age filter of 35–55 returns mostly men.
+    let schema = Schema::new(vec![
+        Field::new("gender", DataType::Str).with_role(Role::Sensitive),
+        Field::new("age", DataType::Float),
+    ]);
+    let mut pool = Table::new(schema);
+    for _ in 0..3_000 {
+        let (g, age) = if rng.gen::<f64>() < 0.5 {
+            ("F", 22.0 + rng.gen::<f64>() * 20.0) // 22–42
+        } else {
+            ("M", 30.0 + rng.gen::<f64>() * 30.0) // 30–60
+        };
+        pool.push_row(vec![Value::str(g), Value::Float(age)]).unwrap();
+    }
+
+    let spec = GroupSpec::new(vec!["gender"]);
+    let engine = RangeQueryEngine::build(&pool, "age", &spec).unwrap();
+
+    let (lo, hi) = (35.0, 55.0);
+    println!("original query: 35 ≤ age ≤ 55");
+    println!("  output disparity |#F − #M| = {}", engine.disparity(lo, hi));
+
+    for eps in [200, 50, 10, 0] {
+        let fr = engine.fair_range_exact(lo, hi, eps);
+        println!(
+            "  ε={eps:<4} → propose {:.1} ≤ age ≤ {:.1}  (disparity {}, similarity {:.3}, {} rows)",
+            fr.lo, fr.hi, fr.disparity, fr.similarity, fr.selected
+        );
+    }
+
+    // The greedy heuristic gets close at a fraction of the cost:
+    let exact = engine.fair_range_exact(lo, hi, 10);
+    let greedy = engine.fair_range_greedy(lo, hi, 10);
+    println!(
+        "\nexact vs greedy at ε=10: similarity {:.3} vs {:.3}",
+        exact.similarity, greedy.similarity
+    );
+
+    // Top-k alternatives: genuinely different fair trade-offs for the
+    // user to explore (the paper's interactive loop).
+    println!("\ntop-3 distinct fair alternatives at ε=10:");
+    for alt in engine.fair_range_top_k(lo, hi, 10, 3) {
+        println!(
+            "  {:.1} ≤ age ≤ {:.1}  (similarity {:.3}, {} rows)",
+            alt.lo, alt.hi, alt.similarity, alt.selected
+        );
+    }
+
+    // 2-D: age × years-of-experience box queries.
+    let pts: Vec<(f64, f64, bool)> = (0..pool.num_rows())
+        .map(|i| {
+            let age = pool.value(i, "age").unwrap().as_f64().unwrap();
+            let is_f = pool.value(i, "gender").unwrap() == Value::str("F");
+            let exp = (age - 22.0).max(0.0) * 0.6; // experience tracks age
+            (age, exp, is_f)
+        })
+        .collect();
+    let e2 = RangeQuery2d::from_points(&pts, 12);
+    let orig2 = e2.disparity(35.0, 55.0, 5.0, 20.0);
+    let fb = e2.fair_box(35.0, 55.0, 5.0, 20.0, 20);
+    println!(
+        "\n2-D query 35≤age≤55 ∧ 5≤exp≤20: disparity {orig2} → proposed \
+         [{:.1},{:.1}]×[{:.1},{:.1}] disparity {} similarity {:.3}",
+        fb.x_lo, fb.x_hi, fb.y_lo, fb.y_hi, fb.disparity, fb.similarity
+    );
+
+    // Coverage-based relaxation: both genders must have ≥ 400 rows.
+    let relaxed = relax_for_coverage(&pool, "age", &spec, lo, hi, 400).unwrap();
+    println!(
+        "\ncoverage relaxation (≥400 per gender): {:.1} ≤ age ≤ {:.1}, +{} rows, satisfied={}",
+        relaxed.lo, relaxed.hi, relaxed.added_rows, relaxed.satisfied
+    );
+    for (g, c) in &relaxed.group_counts {
+        println!("  {g}: {c}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Tutorial Example 1, end to end: integrate Chicago-style hospital data
+//! with the responsible pipeline — tailor equal racial representation
+//! from four skewed hospitals, impute, label, and audit — then show the
+//! downstream payoff: a screening model trained on the tailored data has
+//! a far smaller accuracy gap for minority patients than one trained on
+//! a single hospital's records.
+//!
+//! ```bash
+//! cargo run --release --example healthcare_tailoring
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use responsible_data_integration::acquisition::ml::{design_matrix, evaluate, LogisticRegression};
+use responsible_data_integration::core::prelude::*;
+use responsible_data_integration::core::requirement::Requirement;
+use responsible_data_integration::datagen::{
+    healthcare_population, healthcare_sources, HealthcareConfig,
+};
+use responsible_data_integration::profile::LabelConfig;
+use responsible_data_integration::tailor::prelude::*;
+use responsible_data_integration::table::{Table, Value};
+
+const RACES: [&str; 4] = ["white", "black", "hispanic", "asian"];
+const FEATURES: [&str; 2] = ["tumor_marker", "screening_score"];
+
+fn train_and_eval(train: &Table, test: &Table, rng: &mut StdRng) -> (f64, Vec<(String, f64)>) {
+    let (xs, ys, _) = design_matrix(train, &FEATURES, "diagnosis").unwrap();
+    let model = LogisticRegression::train(&xs, &ys, 8, 0.05, 1e-4, rng);
+    let spec = GroupSpec::new(vec!["race"]);
+    let eval = evaluate(test, &FEATURES, "diagnosis", &spec, |x| model.predict(x)).unwrap();
+    (eval.accuracy, eval.group_accuracy)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = HealthcareConfig {
+        population_size: 30_000,
+        rows_per_hospital: 25_000,
+    };
+
+    // The reference population (what production traffic looks like).
+    let test_population = healthcare_population(&cfg, &mut rng);
+    let hospitals = healthcare_sources(&cfg, &mut rng);
+
+    println!("=== Hospital skews ===");
+    for (name, src) in &hospitals {
+        let fr = GroupSpec::new(vec!["race"]).fractions(&src.table).unwrap();
+        let rendered: Vec<String> = fr
+            .iter()
+            .map(|(k, f)| format!("{}={:.0}%", k.0[0], f * 100.0))
+            .collect();
+        println!("  {name:<12} cost {:.1}  {}", src.cost, rendered.join("  "));
+    }
+
+    // Baseline: train only on the north-side hospital (white-dominant).
+    let north = &hospitals[0].1.table;
+    let (acc, groups) = train_and_eval(north, &test_population, &mut rng);
+    println!("\n=== Model trained on north_side only ===");
+    println!("  overall accuracy {acc:.3}");
+    for (g, a) in &groups {
+        println!("  accuracy {g}: {a:.3}");
+    }
+
+    // Responsible pipeline: tailor 2 000 per race across hospitals.
+    let problem = DtProblem::exact_counts(
+        GroupSpec::new(vec!["race"]),
+        RACES
+            .iter()
+            .map(|r| (GroupKey(vec![Value::str(*r)]), 2_000))
+            .collect(),
+    );
+    let mut sources: Vec<TableSource> = hospitals
+        .into_iter()
+        .map(|(name, g)| TableSource::new(name, g.table, g.cost, &problem).unwrap())
+        .collect();
+    let mut policy = RatioColl::from_sources(&sources);
+    let pipeline = Pipeline {
+        problem,
+        imputations: vec![],
+        label_config: LabelConfig::default(),
+        spec: RequirementSpec::default()
+            .with(Requirement::GroupRepresentation {
+                threshold: 1_500,
+                max_uncovered_patterns: 0,
+            })
+            .with(Requirement::ScopeOfUse { min_scope_notes: 1 })
+            .with_note(
+                "Integrated from 4 simulated Chicago hospitals with differing racial skews; \
+                 tailored to equal representation for breast-cancer screening research.",
+            ),
+        max_draws: 5_000_000,
+    };
+    let result = pipeline.run(&mut sources, &mut policy, &mut rng).unwrap();
+    println!("\n=== Responsible pipeline ===");
+    for p in &result.provenance {
+        println!("  {p}");
+    }
+    println!("\n{}", result.audit.to_markdown());
+    assert!(result.audit.passed());
+
+    let (acc, groups) = train_and_eval(&result.data, &test_population, &mut rng);
+    println!("=== Model trained on tailored data ===");
+    println!("  overall accuracy {acc:.3}");
+    for (g, a) in &groups {
+        println!("  accuracy {g}: {a:.3}");
+    }
+    println!("\nTailoring cost paid: {:.0} units", result.total_cost);
+}

@@ -1,0 +1,133 @@
+//! Approximate query answering over joins (tutorial §3.4): why
+//! sample-then-join is biased, how accept-reject fixes it, and how ripple
+//! and wander joins answer aggregates online — including the
+//! responsibility angle: per-group AVG error is worst for minority
+//! groups under naive sampling.
+//!
+//! ```bash
+//! cargo run --release --example join_sampling_aqp
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use responsible_data_integration::joinsample::olken::materialize_samples;
+use responsible_data_integration::joinsample::ripple::Side;
+use responsible_data_integration::joinsample::{
+    chaudhuri_sample, sample_then_join, JoinIndex, RippleJoin, WanderJoin,
+};
+use responsible_data_integration::table::{
+    hash_join, DataType, Field, GroupSpec, Role, Schema, Table, Value,
+};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // patients(pid, group)  ⋈  visits(pid, cost): minority patients have
+    // fewer visits each (lower key multiplicity), the classic skew that
+    // biases naive join sampling.
+    let pschema = Schema::new(vec![
+        Field::new("pid", DataType::Int),
+        Field::new("group", DataType::Str).with_role(Role::Sensitive),
+    ]);
+    let vschema = Schema::new(vec![
+        Field::new("pid", DataType::Int),
+        Field::new("cost", DataType::Float),
+    ]);
+    let mut patients = Table::new(pschema);
+    let mut visits = Table::new(vschema);
+    for pid in 0..2_000i64 {
+        let minority = pid % 10 == 0;
+        let group = if minority { "min" } else { "maj" };
+        patients
+            .push_row(vec![Value::Int(pid), Value::str(group)])
+            .unwrap();
+        let n_visits = if minority { 1 } else { 5 };
+        let base = if minority { 300.0 } else { 100.0 };
+        for _ in 0..n_visits {
+            visits
+                .push_row(vec![
+                    Value::Int(pid),
+                    Value::Float(base + rng.gen::<f64>() * 20.0),
+                ])
+                .unwrap();
+        }
+    }
+
+    let truth = hash_join(&patients, &visits, "pid", "pid").unwrap();
+    let spec = GroupSpec::new(vec!["group"]);
+    let true_avg = |t: &Table, g: &str| -> f64 {
+        let stats = spec.stats(t, "cost").unwrap();
+        stats
+            .iter()
+            .find(|(k, _)| k.0[0] == Value::str(g))
+            .map(|(_, s)| s.mean)
+            .unwrap_or(f64::NAN)
+    };
+    println!("true join size: {}", truth.num_rows());
+    println!(
+        "true AVG(cost): maj={:.1}  min={:.1}",
+        true_avg(&truth, "maj"),
+        true_avg(&truth, "min")
+    );
+
+    // --- naive sample-then-join ---
+    let naive = sample_then_join(&patients, &visits, "pid", "pid", 0.1, &mut rng).unwrap();
+    println!(
+        "\nsample-then-join at 10%: {} rows (expected ~1% of join) — min AVG estimate {:.1}",
+        naive.num_rows(),
+        true_avg(&naive, "min")
+    );
+
+    // --- uniform accept-reject sample ---
+    let idx = JoinIndex::build(&visits, "pid").unwrap();
+    let samples = chaudhuri_sample(&patients, "pid", &idx, 2_000, &mut rng).unwrap();
+    let uniform = materialize_samples(&patients, &visits, "pid", &samples).unwrap();
+    println!(
+        "uniform join sample (2000): maj AVG {:.1}  min AVG {:.1}",
+        true_avg(&uniform, "maj"),
+        true_avg(&uniform, "min")
+    );
+
+    // --- ripple join: anytime COUNT with confidence interval ---
+    let mut ripple = RippleJoin::new(
+        &patients,
+        &visits,
+        "pid",
+        "pid",
+        Some(("cost", Side::Right)),
+        &mut rng,
+    )
+    .unwrap();
+    println!("\nripple join online COUNT estimates:");
+    for step in [200, 500, 1_000, 2_000] {
+        ripple.run(step);
+        let est = ripple.count_estimate();
+        let (lo, hi) = est.ci95();
+        println!(
+            "  after {:>4}/{:>4} tuples read: {:>8.0}  [{:.0}, {:.0}]",
+            ripple.progress().0,
+            ripple.progress().1,
+            est.value,
+            lo,
+            hi
+        );
+    }
+
+    // --- wander join: independent HT-weighted walks ---
+    let wj = WanderJoin::new(vec![&patients, &visits], &[("pid", "pid")]).unwrap();
+    let est = wj.count_estimate(5_000, &mut rng);
+    println!(
+        "\nwander join COUNT from 5000 walks: {:.0} ± {:.0} (truth {})",
+        est.value,
+        1.96 * est.std_err,
+        truth.num_rows()
+    );
+    let sum = wj.aggregate_estimate(5_000, &mut rng, |p| {
+        wj.path_value(p, 1, "cost").unwrap().as_f64().unwrap()
+    });
+    println!(
+        "wander join SUM(cost): {:.0} (truth {:.0})",
+        sum.value,
+        truth.sum("cost").unwrap()
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: profile a skewed dataset, audit it against the
+//! responsibility requirements, tailor a balanced dataset from skewed
+//! sources, and audit again.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use responsible_data_integration::core::prelude::*;
+use responsible_data_integration::datagen::{skewed_sources, PopulationSpec, SourceConfig};
+use responsible_data_integration::profile::{LabelConfig, NutritionalLabel};
+use responsible_data_integration::tailor::prelude::*;
+use responsible_data_integration::table::Value;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2022);
+
+    // 1. A population where 12% belong to the minority group, split into
+    //    four sources whose skews differ (tutorial Example 1 in miniature).
+    let population = PopulationSpec::two_group(0.12);
+    let sources_cfg = SourceConfig {
+        num_sources: 4,
+        rows_per_source: 20_000,
+        concentration: 0.8,
+        costs: vec![1.0, 1.0, 1.5, 2.0],
+    };
+    let generated = skewed_sources(&population, &sources_cfg, &mut rng);
+
+    // 2. Look at one source the way a data scientist would: profile it.
+    let label =
+        NutritionalLabel::generate(&generated[0].table, &LabelConfig::default()).unwrap();
+    println!("=== Nutritional label of source 0 (excerpt) ===");
+    for (g, f) in &label.group_fractions {
+        println!("  {g}: {:.1}%", f * 100.0);
+    }
+    println!("  representation disparity: {:.3}", label.representation_disparity);
+
+    // 3. Audit source 0 against the default responsibility requirements.
+    let spec = RequirementSpec::default_for(&generated[0].table).unwrap();
+    let report = audit(&generated[0].table, &spec).unwrap();
+    println!("\n=== Audit of source 0 ===\n{}", report.to_markdown());
+
+    // 4. Tailor a balanced dataset: 1 000 of each group, cheapest way.
+    // Range requirements (lo = hi) keep *exactly* 1 000 of each group —
+    // surplus majority tuples are discarded rather than collected.
+    let problem = DtProblem::ranged(
+        GroupSpec::new(vec!["group"]),
+        vec![
+            (GroupKey(vec![Value::str("maj")]), CountRequirement::range(1_000, 1_000)),
+            (GroupKey(vec![Value::str("min")]), CountRequirement::range(1_000, 1_000)),
+        ],
+    );
+    let mut sources: Vec<TableSource> = generated
+        .into_iter()
+        .enumerate()
+        .map(|(i, g)| TableSource::new(format!("source_{i}"), g.table, g.cost, &problem).unwrap())
+        .collect();
+    let mut policy = RatioColl::from_sources(&sources);
+    let outcome = run_tailoring(&mut sources, &problem, &mut policy, &mut rng, 2_000_000).unwrap();
+    println!(
+        "=== Tailoring ===\ncollected {} rows in {} draws, total cost {:.0}",
+        outcome.collected.num_rows(),
+        outcome.draws,
+        outcome.total_cost
+    );
+
+    // 5. Audit the tailored dataset — group representation now passes.
+    let spec = RequirementSpec::default_for(&outcome.collected)
+        .unwrap()
+        .with_note("tailored to 1000/1000 parity from 4 skewed sources");
+    let report = audit(&outcome.collected, &spec).unwrap();
+    println!("\n=== Audit of the tailored dataset ===\n{}", report.to_markdown());
+    assert!(report.passed(), "tailored dataset should pass the audit");
+}

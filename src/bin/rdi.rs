@@ -1,0 +1,31 @@
+//! `rdi` — the command-line face of the toolkit.
+//!
+//! ```text
+//! rdi label    <data.csv> [--sensitive a,b] [--target y] [--tau N] [--json]
+//! rdi audit    <data.csv> [--sensitive a,b] [--target y]
+//! rdi coverage <data.csv> --attrs a,b [--tau N] [--goal-level L]
+//! rdi fair-range <data.csv> --attr x --group g --lo L --hi H [--epsilon E]
+//! rdi datasheet <name>
+//! ```
+//!
+//! Arguments are parsed by hand (the workspace's dependency budget does
+//! not include a CLI framework); see [`cli::Args`].
+
+use std::process::ExitCode;
+
+use responsible_data_integration::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

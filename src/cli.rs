@@ -1,0 +1,361 @@
+//! Implementation of the `rdi` command-line tool.
+//!
+//! Kept in the library so the argument parsing and command dispatch are
+//! unit-testable without spawning processes.
+
+use std::collections::HashMap;
+
+use rdi_core::prelude::*;
+use rdi_coverage::{remedy_greedy, CoverageAnalyzer};
+use rdi_fairquery::RangeQueryEngine;
+use rdi_profile::{Datasheet, LabelConfig, NutritionalLabel};
+use rdi_table::{read_csv_str, Field, GroupSpec, Role, Schema, Table};
+
+/// The usage string printed on errors.
+pub const USAGE: &str = "\
+usage:
+  rdi label      <data.csv> [--sensitive a,b] [--target y] [--tau N] [--json]
+  rdi audit      <data.csv> [--sensitive a,b] [--target y]
+  rdi coverage   <data.csv> --attrs a,b [--tau N] [--goal-level L]
+  rdi fair-range <data.csv> --attr x --group g --lo L --hi H [--epsilon E]
+  rdi datasheet  <name>";
+
+/// Parsed command-line arguments: positional values plus `--key value`
+/// flags (`--json`-style boolean flags get the value `"true"`).
+#[derive(Debug, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` flags.
+    pub flags: HashMap<String, String>,
+}
+
+/// Parse raw arguments.
+pub fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let is_bool = matches!(key, "json");
+            if is_bool {
+                out.flags.insert(key.to_string(), "true".to_string());
+            } else {
+                let v = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                out.flags.insert(key.to_string(), v.clone());
+                i += 1;
+            }
+        } else {
+            out.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn load_table(path: &str, args: &Args) -> Result<Table, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let t = read_csv_str(&text).map_err(|e| e.to_string())?;
+    // re-annotate roles per flags
+    let sensitive: Vec<&str> = args
+        .flags
+        .get("sensitive")
+        .map(|s| s.split(',').collect())
+        .unwrap_or_default();
+    let target = args.flags.get("target").map(String::as_str);
+    let fields: Vec<Field> = t
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| {
+            let role = if sensitive.contains(&f.name.as_str()) {
+                Role::Sensitive
+            } else if Some(f.name.as_str()) == target {
+                Role::Target
+            } else {
+                Role::Feature
+            };
+            Field::new(f.name.clone(), f.dtype).with_role(role)
+        })
+        .collect();
+    // rebuild with annotated schema
+    let schema = Schema::new(fields);
+    let mut out = Table::with_capacity(schema, t.num_rows());
+    for i in 0..t.num_rows() {
+        out.push_row(t.row(i).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(out)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
+    match args.flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key}: {v}")),
+    }
+}
+
+fn require_flag<'a>(args: &'a Args, key: &str) -> Result<&'a str, String> {
+    args.flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+/// Run a CLI invocation; returns the text to print.
+pub fn run(raw: &[String]) -> Result<String, String> {
+    let args = parse_args(raw)?;
+    let cmd = args
+        .positional
+        .first()
+        .ok_or_else(|| "missing command".to_string())?
+        .clone();
+    match cmd.as_str() {
+        "label" => cmd_label(&args),
+        "audit" => cmd_audit(&args),
+        "coverage" => cmd_coverage(&args),
+        "fair-range" => cmd_fair_range(&args),
+        "datasheet" => cmd_datasheet(&args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn data_path(args: &Args) -> Result<&str, String> {
+    args.positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| "missing <data.csv> argument".to_string())
+}
+
+fn cmd_label(args: &Args) -> Result<String, String> {
+    let t = load_table(data_path(args)?, args)?;
+    let config = LabelConfig {
+        coverage_threshold: parse_flag(args, "tau", 10usize)?,
+        ..LabelConfig::default()
+    };
+    let label = NutritionalLabel::generate(&t, &config).map_err(|e| e.to_string())?;
+    if args.flags.contains_key("json") {
+        Ok(label.to_json())
+    } else {
+        Ok(label.to_markdown())
+    }
+}
+
+fn cmd_audit(args: &Args) -> Result<String, String> {
+    let t = load_table(data_path(args)?, args)?;
+    let spec = RequirementSpec::default_for(&t).map_err(|e| e.to_string())?;
+    let report = audit(&t, &spec).map_err(|e| e.to_string())?;
+    let mut out = report.to_markdown();
+    out.push_str(if report.passed() {
+        "\nresult: PASS\n"
+    } else {
+        "\nresult: FAIL\n"
+    });
+    Ok(out)
+}
+
+fn cmd_coverage(args: &Args) -> Result<String, String> {
+    let t = load_table(data_path(args)?, args)?;
+    let attrs_raw = require_flag(args, "attrs")?;
+    let attrs: Vec<&str> = attrs_raw.split(',').collect();
+    let tau = parse_flag(args, "tau", 1usize)?;
+    let analyzer = CoverageAnalyzer::new(&t, &attrs, tau).map_err(|e| e.to_string())?;
+    let mups = analyzer.maximal_uncovered_patterns();
+    let mut out = format!("maximal uncovered patterns at τ={tau}: {}\n", mups.len());
+    for m in &mups {
+        out.push_str(&format!("  {}\n", analyzer.describe(m)));
+    }
+    let goal = parse_flag(args, "goal-level", attrs.len())?;
+    let plan = remedy_greedy(&analyzer, goal);
+    if !plan.is_empty() {
+        out.push_str(&format!(
+            "remediation plan (goal level {goal}): add {} tuple(s)\n",
+            plan.len()
+        ));
+        for row in plan.iter().take(10) {
+            let rendered: Vec<String> = attrs
+                .iter()
+                .zip(row)
+                .map(|(a, v)| format!("{a}={v}"))
+                .collect();
+            out.push_str(&format!("  + {}\n", rendered.join(", ")));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_fair_range(args: &Args) -> Result<String, String> {
+    let t = load_table(data_path(args)?, args)?;
+    let attr = require_flag(args, "attr")?;
+    let group = require_flag(args, "group")?;
+    let lo: f64 = require_flag(args, "lo")?
+        .parse()
+        .map_err(|_| "invalid --lo".to_string())?;
+    let hi: f64 = require_flag(args, "hi")?
+        .parse()
+        .map_err(|_| "invalid --hi".to_string())?;
+    let epsilon = parse_flag(args, "epsilon", 0i64)?;
+    let spec = GroupSpec::new(vec![group]);
+    let engine = RangeQueryEngine::build(&t, attr, &spec).map_err(|e| e.to_string())?;
+    let original = engine.disparity(lo, hi);
+    let fair = engine.fair_range_exact(lo, hi, epsilon);
+    Ok(format!(
+        "original range [{lo}, {hi}]: disparity {original}\n\
+         fairest similar range (ε={epsilon}): [{:.4}, {:.4}]\n\
+         disparity {}, similarity {:.3}, {} rows selected",
+        fair.lo, fair.hi, fair.disparity, fair.similarity, fair.selected
+    ))
+}
+
+fn cmd_datasheet(args: &Args) -> Result<String, String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "missing dataset name".to_string())?;
+    Ok(Datasheet::template(name).to_markdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write;
+
+    fn write_csv(content: &str) -> tempfile_path::TempCsv {
+        tempfile_path::TempCsv::new(content)
+    }
+
+    /// Minimal self-cleaning temp file helper (std-only).
+    mod tempfile_path {
+        use std::path::PathBuf;
+
+        pub struct TempCsv(pub PathBuf);
+
+        impl TempCsv {
+            pub fn new(content: &str) -> Self {
+                let mut p = std::env::temp_dir();
+                let unique = format!(
+                    "rdi_cli_test_{}_{:p}.csv",
+                    std::process::id(),
+                    content.as_ptr()
+                );
+                p.push(unique);
+                std::fs::write(&p, content).unwrap();
+                TempCsv(p)
+            }
+            pub fn path(&self) -> &str {
+                self.0.to_str().unwrap()
+            }
+        }
+
+        impl Drop for TempCsv {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+    }
+
+    const CSV: &str = "\
+race,age,y
+w,30,true
+w,40,true
+b,29,false
+w,51,true
+b,33,false
+w,45,true
+b,38,true
+w,52,false
+";
+
+    #[test]
+    fn parse_args_flags_and_positionals() {
+        let raw: Vec<String> = ["label", "f.csv", "--sensitive", "race,sex", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = parse_args(&raw).unwrap();
+        assert_eq!(a.positional, vec!["label", "f.csv"]);
+        assert_eq!(a.flags["sensitive"], "race,sex");
+        assert_eq!(a.flags["json"], "true");
+        // missing value for a non-boolean flag
+        let raw: Vec<String> = ["label", "--tau"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&raw).is_err());
+    }
+
+    #[test]
+    fn label_command_markdown_and_json() {
+        let f = write_csv(CSV);
+        let raw: Vec<String> = ["label", f.path(), "--sensitive", "race", "--target", "y"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("Group representation"));
+        let raw: Vec<String> = [
+            "label", f.path(), "--sensitive", "race", "--target", "y", "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run(&raw).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["num_rows"], 8);
+    }
+
+    #[test]
+    fn audit_command_reports_pass_fail() {
+        let f = write_csv(CSV);
+        let raw: Vec<String> = ["audit", f.path(), "--sensitive", "race", "--target", "y"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("Responsibility Audit"));
+        assert!(out.contains("result: "));
+    }
+
+    #[test]
+    fn coverage_command_lists_mups() {
+        let csv = "g,r\nM,w\nM,b\nF,w\n";
+        let f = write_csv(csv);
+        let raw: Vec<String> = ["coverage", f.path(), "--attrs", "g,r"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("g=F, r=b"), "{out}");
+        assert!(out.contains("remediation plan"));
+    }
+
+    #[test]
+    fn fair_range_command() {
+        let mut csv = String::from("g,x\n");
+        for i in 0..50 {
+            let g = if i < 25 { "a" } else { "b" };
+            writeln!(csv, "{g},{i}").unwrap();
+        }
+        let f = write_csv(&csv);
+        let raw: Vec<String> = [
+            "fair-range", f.path(), "--attr", "x", "--group", "g", "--lo", "0", "--hi", "30",
+            "--epsilon", "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("disparity"));
+        assert!(out.contains("similarity"));
+    }
+
+    #[test]
+    fn datasheet_and_errors() {
+        let raw: Vec<String> = ["datasheet", "mydata"].iter().map(|s| s.to_string()).collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("Datasheet: mydata"));
+        assert!(run(&["bogus".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&["label".to_string()]).is_err());
+        assert!(run(&["label".to_string(), "/nonexistent.csv".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # responsible-data-integration
+//!
+//! Umbrella crate for the Responsible Data Integration (RDI) toolkit — a
+//! from-scratch Rust implementation of the techniques surveyed in
+//! *"Responsible Data Integration: Next-generation Challenges"*
+//! (Nargesian, Asudeh, Jagadish; SIGMOD 2022).
+//!
+//! Each sub-crate is re-exported under a short module name:
+//!
+//! | module | crate | what it does |
+//! |---|---|---|
+//! | [`table`] | `rdi-table` | typed columnar tables, predicates, joins, CSV |
+//! | [`datagen`] | `rdi-datagen` | synthetic populations, sources, missingness, data lakes |
+//! | [`fairness`] | `rdi-fairness` | divergences, association & fairness metrics |
+//! | [`coverage`] | `rdi-coverage` | MUP discovery & coverage remediation (§2.2) |
+//! | [`tailor`] | `rdi-tailor` | data distribution tailoring (§4.2) |
+//! | [`joinsample`] | `rdi-joinsample` | uniform/independent sampling over joins (§3.4) |
+//! | [`discovery`] | `rdi-discovery` | dataset & feature discovery sketches (§3.1) |
+//! | [`profile`] | `rdi-profile` | nutritional labels & datasheets (§3.2) |
+//! | [`cleaning`] | `rdi-cleaning` | imputation, error repair, ER, fairness audits (§3.3) |
+//! | [`acquisition`] | `rdi-acquisition` | slice-aware & market data acquisition |
+//! | [`entitycollect`] | `rdi-entitycollect` | distribution-aware crowd entity collection (§4.1) |
+//! | [`fairquery`] | `rdi-fairquery` | fairness-aware range queries (§5) |
+//! | [`core`] | `rdi-core` | the §2 requirements framework, audits, pipeline |
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use rdi_acquisition as acquisition;
+pub use rdi_cleaning as cleaning;
+pub use rdi_core as core;
+pub use rdi_coverage as coverage;
+pub use rdi_datagen as datagen;
+pub use rdi_discovery as discovery;
+pub use rdi_entitycollect as entitycollect;
+pub use rdi_fairness as fairness;
+pub use rdi_fairquery as fairquery;
+pub use rdi_joinsample as joinsample;
+pub use rdi_profile as profile;
+pub use rdi_table as table;
+pub use rdi_tailor as tailor;

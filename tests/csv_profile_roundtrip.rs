@@ -1,0 +1,67 @@
+//! Integration: CSV ingestion → role annotation → profiling → coverage →
+//! remediation, mimicking a user loading external data.
+
+use responsible_data_integration::coverage::{remedy_greedy, CoverageAnalyzer};
+use responsible_data_integration::profile::{LabelConfig, NutritionalLabel};
+use responsible_data_integration::table::{read_csv_str, write_csv_string, Table, Value};
+
+const CSV: &str = "\
+gender,race,age,outcome
+M,white,34,true
+M,white,40,true
+M,black,29,false
+F,white,51,true
+M,white,33,false
+F,white,45,true
+M,black,38,true
+M,white,52,false
+";
+
+#[test]
+fn csv_to_label_to_remediation() {
+    let t = read_csv_str(CSV).unwrap();
+    assert_eq!(t.num_rows(), 8);
+    assert_eq!(t.schema().field("age").unwrap().dtype.name(), "int");
+
+    // label without role annotations still profiles columns
+    let label = NutritionalLabel::generate(&t, &LabelConfig::default()).unwrap();
+    assert_eq!(label.columns.len(), 4);
+    let age = label.columns.iter().find(|c| c.name == "age").unwrap();
+    assert_eq!(age.distinct, 8);
+
+    // coverage over (gender, race): (F, black) is missing
+    let an = CoverageAnalyzer::new(&t, &["gender", "race"], 1).unwrap();
+    let mups = an.maximal_uncovered_patterns();
+    assert_eq!(mups.len(), 1);
+    assert_eq!(an.describe(&mups[0]), "gender=F, race=black");
+
+    // remediation proposes exactly that tuple
+    let plan = remedy_greedy(&an, 2);
+    assert_eq!(plan.len(), 1);
+    assert_eq!(plan[0], vec![Value::str("F"), Value::str("black")]);
+
+    // apply and verify coverage is fixed
+    let mut fixed_rows: Vec<Vec<Value>> = Vec::new();
+    for i in 0..t.num_rows() {
+        fixed_rows.push(t.row(i).unwrap());
+    }
+    let mut fixed: Table = Table::new(t.schema().clone());
+    for r in fixed_rows {
+        fixed.push_row(r).unwrap();
+    }
+    fixed
+        .push_row(vec![
+            Value::str("F"),
+            Value::str("black"),
+            Value::Int(30),
+            Value::Bool(true),
+        ])
+        .unwrap();
+    let an2 = CoverageAnalyzer::new(&fixed, &["gender", "race"], 1).unwrap();
+    assert!(an2.maximal_uncovered_patterns().is_empty());
+
+    // and the whole thing round-trips through CSV
+    let back = read_csv_str(&write_csv_string(&fixed)).unwrap();
+    assert_eq!(back.num_rows(), 9);
+    assert_eq!(back, fixed);
+}

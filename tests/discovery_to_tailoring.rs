@@ -1,0 +1,185 @@
+//! Integration: dataset discovery feeding distribution tailoring and
+//! join sampling — the "DT on data lakes" pipeline sketched in §5.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use responsible_data_integration::discovery::{
+    align_table, match_schemas, table_unionability, MinHash, OverlapIndex, TableSignature,
+};
+use responsible_data_integration::joinsample::{chaudhuri_sample, JoinIndex};
+use responsible_data_integration::table::{
+    hash_join, DataType, Field, GroupKey, GroupSpec, Role, Schema, Table, Value,
+};
+use responsible_data_integration::tailor::prelude::*;
+
+fn hospital_table(name_prefix: &str, races: &[&str], n: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("patient_id", DataType::Str),
+        Field::new("race", DataType::Str).with_role(Role::Sensitive),
+    ]);
+    let mut t = Table::new(schema);
+    for i in 0..n {
+        t.push_row(vec![
+            Value::str(format!("{name_prefix}{i}")),
+            Value::str(races[i % races.len()]),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+#[test]
+fn union_search_finds_integrable_sources_then_tailoring_balances() {
+    // a small lake: two hospital tables share the schema/domains, one
+    // unrelated table does not
+    let h1 = hospital_table("a", &["white", "white", "white", "black"], 2_000);
+    let h2 = hospital_table("b", &["black", "black", "hispanic", "white"], 2_000);
+    let unrelated = {
+        let schema = Schema::new(vec![
+            Field::new("gene", DataType::Str),
+            Field::new("chrom", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..500 {
+            t.push_row(vec![Value::str(format!("g{i}")), Value::str("17")])
+                .unwrap();
+        }
+        t
+    };
+
+    // discovery: which lake tables are unionable with h1?
+    let q = TableSignature::build("h1", &h1, 64).unwrap();
+    let s2 = TableSignature::build("h2", &h2, 64).unwrap();
+    let s3 = TableSignature::build("unrelated", &unrelated, 64).unwrap();
+    let u2 = table_unionability(&q, &s2);
+    let u3 = table_unionability(&q, &s3);
+    assert!(u2 > 0.25, "same-domain hospital should be unionable: {u2}");
+    assert!(u3 < 0.05, "gene table should not be unionable: {u3}");
+
+    // tailoring over the discovered sources
+    let problem = DtProblem::exact_counts(
+        GroupSpec::new(vec!["race"]),
+        vec![
+            (GroupKey(vec![Value::str("white")]), 100),
+            (GroupKey(vec![Value::str("black")]), 100),
+            (GroupKey(vec![Value::str("hispanic")]), 100),
+        ],
+    );
+    let mut sources = vec![
+        TableSource::new("h1", h1, 1.0, &problem).unwrap(),
+        TableSource::new("h2", h2, 1.0, &problem).unwrap(),
+    ];
+    let mut policy = RatioColl::from_sources(&sources);
+    let mut rng = StdRng::seed_from_u64(200);
+    let out = run_tailoring(&mut sources, &problem, &mut policy, &mut rng, 1_000_000).unwrap();
+    assert!(out.satisfied);
+    for (g, &c) in problem.groups.iter().zip(&out.per_group) {
+        assert!(c >= 100, "group {g} has {c}");
+    }
+}
+
+#[test]
+fn joinability_search_then_uniform_join_sample() {
+    // query: patients; lake candidates: visit tables with varying key overlap
+    let patients = hospital_table("p", &["white", "black"], 1_000);
+    let vschema = Schema::new(vec![
+        Field::new("patient_id", DataType::Str),
+        Field::new("cost", DataType::Float),
+    ]);
+    let mut visits_good = Table::new(vschema.clone());
+    for i in 0..800 {
+        for v in 0..(i % 3) + 1 {
+            visits_good
+                .push_row(vec![
+                    Value::str(format!("p{i}")),
+                    Value::Float((v * 10) as f64),
+                ])
+                .unwrap();
+        }
+    }
+    let mut visits_bad = Table::new(vschema);
+    for i in 0..800 {
+        visits_bad
+            .push_row(vec![Value::str(format!("z{i}")), Value::Float(1.0)])
+            .unwrap();
+    }
+
+    // exact overlap ranks the joinable candidate first
+    let mut idx = OverlapIndex::new();
+    idx.insert("good", &visits_good, "patient_id").unwrap();
+    idx.insert("bad", &visits_bad, "patient_id").unwrap();
+    let top = idx.top_k_containment(&patients, "patient_id", 2).unwrap();
+    assert_eq!(idx.name(top[0].0), "good");
+    assert!(top[0].1 > 0.7);
+
+    // minhash agrees
+    let mq = MinHash::from_column(&patients, "patient_id", 128).unwrap();
+    let mg = MinHash::from_column(&visits_good, "patient_id", 128).unwrap();
+    let mb = MinHash::from_column(&visits_bad, "patient_id", 128).unwrap();
+    assert!(mq.jaccard(&mg) > mq.jaccard(&mb));
+
+    // then sample the join uniformly and validate sample tuples
+    let jidx = JoinIndex::build(&visits_good, "patient_id").unwrap();
+    let mut rng = StdRng::seed_from_u64(201);
+    let samples = chaudhuri_sample(&patients, "patient_id", &jidx, 500, &mut rng).unwrap();
+    assert_eq!(samples.len(), 500);
+    let truth = hash_join(&patients, &visits_good, "patient_id", "patient_id").unwrap();
+    assert!(truth.num_rows() > 0);
+    for s in samples.iter().take(50) {
+        assert_eq!(
+            patients.value(s.left, "patient_id").unwrap(),
+            visits_good.value(s.right, "patient_id").unwrap()
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_sources_are_matched_aligned_and_tailored() {
+    // Two hospitals exporting the same information under different names.
+    let schema_a = Schema::new(vec![
+        Field::new("race", DataType::Str).with_role(Role::Sensitive),
+        Field::new("score", DataType::Float),
+    ]);
+    let mut a = Table::new(schema_a);
+    for i in 0..2_000 {
+        let r = if i % 10 == 0 { "black" } else { "white" };
+        a.push_row(vec![Value::str(r), Value::Float(i as f64)]).unwrap();
+    }
+    let schema_b = Schema::new(vec![
+        Field::new("risk_score", DataType::Float),
+        Field::new("patient_race", DataType::Str),
+    ]);
+    let mut b = Table::new(schema_b);
+    for i in 0..2_000 {
+        let r = if i % 10 == 0 { "white" } else { "black" };
+        b.push_row(vec![Value::Float(i as f64), Value::str(r)]).unwrap();
+    }
+
+    // match + align b onto a's schema
+    let matching = match_schemas(&a, &b, 0.5, 64, 0.1).unwrap();
+    assert_eq!(matching.len(), 2);
+    let b_aligned = align_table(&b, a.schema(), &matching).unwrap();
+    assert_eq!(b_aligned.schema(), a.schema());
+    // aligned source carries the sensitive role annotation over
+    assert_eq!(b_aligned.schema().sensitive(), vec!["race"]);
+
+    // now both sources feed one tailoring run
+    let problem = DtProblem::exact_counts(
+        GroupSpec::new(vec!["race"]),
+        vec![
+            (GroupKey(vec![Value::str("white")]), 400),
+            (GroupKey(vec![Value::str("black")]), 400),
+        ],
+    );
+    let mut sources = vec![
+        TableSource::new("a", a, 1.0, &problem).unwrap(),
+        TableSource::new("b", b_aligned, 1.0, &problem).unwrap(),
+    ];
+    let mut policy = RatioColl::from_sources(&sources);
+    let mut rng = StdRng::seed_from_u64(202);
+    let out = run_tailoring(&mut sources, &problem, &mut policy, &mut rng, 1_000_000).unwrap();
+    assert!(out.satisfied);
+    // RatioColl should pull the rare group from its rich source: source a
+    // is white-rich, source b is black-rich, so both get used
+    assert!(out.per_source_draws[0] > 0 && out.per_source_draws[1] > 0);
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the §5 extension features working together:
+//! marginal tailoring, dedup-aware collection, FairPrep grids,
+//! interventional repair, lake navigation, and sample debiasing.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use responsible_data_integration::acquisition::{run_grid, ModelKind};
+use responsible_data_integration::cleaning::{repair_conditional_independence, ImputeStrategy};
+use responsible_data_integration::discovery::{Navigator, TableSignature};
+use responsible_data_integration::fairness::{cramers_v, DebiasedView};
+use responsible_data_integration::table::{
+    DataType, Field, GroupKey, GroupSpec, Predicate, Role, Schema, Table, Value,
+};
+use responsible_data_integration::tailor::{
+    run_marginal_tailoring, MarginalProblem, MarginalSource, RandomPolicy,
+};
+
+fn hiring_table(n: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("gender", DataType::Str).with_role(Role::Sensitive),
+        Field::new("dept", DataType::Str),
+        Field::new("score", DataType::Float),
+        Field::new("hired", DataType::Bool).with_role(Role::Target),
+    ]);
+    let mut t = Table::new(schema);
+    for i in 0..n {
+        let gender = if i % 3 == 0 { "F" } else { "M" };
+        let dept = if (i / 3) % 2 == 0 { "eng" } else { "sales" };
+        let score = (i % 100) as f64 / 10.0;
+        // biased: men hired at +30% within every (dept, score band)
+        let threshold = if dept == "eng" { 6.0 } else { 4.0 };
+        let bump = if gender == "M" { 2.0 } else { -1.0 };
+        let hired = score + bump > threshold;
+        t.push_row(vec![
+            Value::str(gender),
+            Value::str(dept),
+            Value::Float(score),
+            Value::Bool(hired),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+#[test]
+fn marginal_tailoring_then_interventional_repair() {
+    let t = hiring_table(6_000);
+    // collect 300 per gender AND 300 per dept (marginal requirements)
+    let problem = MarginalProblem::default()
+        .require("gender", Value::str("F"), 300)
+        .require("gender", Value::str("M"), 300)
+        .require("dept", Value::str("eng"), 300)
+        .require("dept", Value::str("sales"), 300);
+    let mut sources = vec![MarginalSource::new("hr", t, 1.0, &problem).unwrap()];
+    let mut policy = RandomPolicy::new(1);
+    let mut rng = StdRng::seed_from_u64(77);
+    let out =
+        run_marginal_tailoring(&mut sources, &problem, &mut policy, &mut rng, 1_000_000).unwrap();
+    assert!(out.satisfied);
+
+    // the collected data still carries the hiring bias — repair it
+    let collected = out.collected;
+    let assoc = |t: &Table| {
+        let g: Vec<String> = (0..t.num_rows())
+            .map(|i| t.value(i, "gender").unwrap().to_string())
+            .collect();
+        let y: Vec<String> = (0..t.num_rows())
+            .map(|i| t.value(i, "hired").unwrap().to_string())
+            .collect();
+        cramers_v(&g, &y)
+    };
+    let before = assoc(&collected);
+    let rep =
+        repair_conditional_independence(&collected, &["dept"], "hired", &mut rng).unwrap();
+    let after = assoc(&rep.table);
+    assert!(after < before, "repair must reduce association: {before} → {after}");
+    assert!(after < 0.12, "after={after}");
+}
+
+#[test]
+fn fairprep_grid_over_hiring_data() {
+    let mut t = hiring_table(4_000);
+    // knock out some scores to give the interventions work
+    for i in (0..t.num_rows()).step_by(7) {
+        t.set_value(i, "score", Value::Null).unwrap();
+    }
+    let spec = GroupSpec::new(vec!["gender"]);
+    let mut rng = StdRng::seed_from_u64(78);
+    let results = run_grid(
+        &t,
+        "score",
+        &["score"],
+        "hired",
+        &spec,
+        &[
+            ("drop".to_string(), ImputeStrategy::DropRows),
+            ("mean".to_string(), ImputeStrategy::Mean),
+        ],
+        &[ModelKind::Logistic, ModelKind::NaiveBayes],
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(results.len(), 4);
+    for r in &results {
+        assert!(r.eval.accuracy > 0.6, "{}/{} acc={}", r.intervention, r.model, r.eval.accuracy);
+        // a score-only model is gender-blind, so its *predictions* show
+        // little parity gap — but the biased labels make its errors
+        // gender-dependent: the equalized-odds gap must be visible.
+        assert!(r.eval.equalized_odds > 0.1, "eo={}", r.eval.equalized_odds);
+    }
+}
+
+#[test]
+fn navigation_guides_to_unionable_sources_then_debias_answers_population_queries() {
+    // lake with two domains; navigate a query to its domain
+    let mk = |prefix: &str, t: usize| {
+        let vals: Vec<String> = (t * 3..t * 3 + 20).map(|i| format!("{prefix}{i}")).collect();
+        let schema = Schema::new(vec![Field::new("name", DataType::Str)]);
+        let mut tab = Table::new(schema);
+        for v in &vals {
+            tab.push_row(vec![Value::str(v.clone())]).unwrap();
+        }
+        TableSignature::build(format!("{prefix}_{t}"), &tab, 64).unwrap()
+    };
+    let mut sigs = Vec::new();
+    for t in 0..3 {
+        sigs.push(mk("person", t));
+    }
+    for t in 0..3 {
+        sigs.push(mk("chem", t));
+    }
+    let nav = Navigator::build(sigs);
+    let qvals: Vec<String> = (2..22).map(|i| format!("person{i}")).collect();
+    let qschema = Schema::new(vec![Field::new("name", DataType::Str)]);
+    let mut qtab = Table::new(qschema);
+    for v in &qvals {
+        qtab.push_row(vec![Value::str(v.clone())]).unwrap();
+    }
+    let q = TableSignature::build("q", &qtab, 64).unwrap();
+    let (reached, _) = nav.navigate(&q);
+    assert!(nav.signature(reached).name.starts_with("person"));
+
+    // debias a biased sample of the hiring population
+    let t = hiring_table(3_000);
+    let skewed_idx: Vec<usize> = (0..t.num_rows())
+        .filter(|&i| {
+            // keep all men, every third woman (women are the i % 3 == 0
+            // rows, so i % 9 == 0 keeps a third of them)
+            t.value(i, "gender").unwrap() == Value::str("M") || i % 9 == 0
+        })
+        .collect();
+    let sample = t.take(&skewed_idx);
+    let spec = GroupSpec::new(vec!["gender"]);
+    let population: HashMap<GroupKey, f64> = [("F", 1.0 / 3.0), ("M", 2.0 / 3.0)]
+        .iter()
+        .map(|(g, f)| (GroupKey(vec![Value::str(*g)]), *f))
+        .collect();
+    let view = DebiasedView::new(&sample, &spec, &population).unwrap();
+    let debiased_f = view.fraction(&Predicate::eq("gender", Value::str("F")));
+    assert!((debiased_f - 1.0 / 3.0).abs() < 1e-9);
+    // debiased hire rate must be below the raw sample's (women hired less)
+    let raw_rate = Predicate::eq("hired", Value::Bool(true)).count(&sample) as f64
+        / sample.num_rows() as f64;
+    let fair_rate = view.fraction(&Predicate::eq("hired", Value::Bool(true)));
+    assert!(fair_rate < raw_rate, "fair {fair_rate} raw {raw_rate}");
+}
