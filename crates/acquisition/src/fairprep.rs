@@ -204,7 +204,13 @@ mod tests {
         assert!(drop.train_rows < mean.train_rows);
         // all models must be well above chance
         for r in &results {
-            assert!(r.eval.accuracy > 0.7, "{}/{}: {}", r.intervention, r.model, r.eval.accuracy);
+            assert!(
+                r.eval.accuracy > 0.7,
+                "{}/{}: {}",
+                r.intervention,
+                r.model,
+                r.eval.accuracy
+            );
         }
         let md = grid_to_markdown(&results);
         assert!(md.contains("group_mean"));

@@ -46,4 +46,4 @@ pub use fairprep::{grid_to_markdown, run_grid, GridResult, ModelKind};
 pub use market::{acquire_from_market, AcquisitionStrategy, MarketProvider};
 pub use ml::{GaussianNb, LogisticRegression, ModelEval};
 pub use slicefinder::{find_problem_slices, Slice};
-pub use slicetuner::{allocate_budget, SliceTuner, SliceState};
+pub use slicetuner::{allocate_budget, SliceState, SliceTuner};

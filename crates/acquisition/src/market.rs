@@ -155,7 +155,9 @@ mod tests {
     use rdi_table::{DataType, Field, Role, Schema, Value};
 
     fn schema() -> Schema {
-        Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)])
+        Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive)
+        ])
     }
 
     fn table(rows: &[(&str, usize)]) -> Table {

@@ -13,6 +13,9 @@ use rdi_fairness::metrics::{
     demographic_parity_difference, equalized_odds_difference, tally_outcomes,
 };
 
+/// A design matrix: feature rows, boolean targets, and the kept row indices.
+pub type DesignMatrix = (Vec<Vec<f64>>, Vec<bool>, Vec<usize>);
+
 /// Extract an (X, y) design matrix from a table: the named numeric feature
 /// columns and a boolean target. Rows with a null feature or target are
 /// skipped; returns the kept row indices too.
@@ -20,7 +23,7 @@ pub fn design_matrix(
     table: &Table,
     features: &[&str],
     target: &str,
-) -> rdi_table::Result<(Vec<Vec<f64>>, Vec<bool>, Vec<usize>)> {
+) -> rdi_table::Result<DesignMatrix> {
     let cols: Vec<&rdi_table::Column> = features
         .iter()
         .map(|f| table.column(f))
@@ -85,7 +88,10 @@ impl LogisticRegression {
                 b -= lr * err;
             }
         }
-        LogisticRegression { weights: w, bias: b }
+        LogisticRegression {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Predicted probability of the positive class.
@@ -211,11 +217,10 @@ pub fn evaluate(
     }
     let correct = preds.iter().zip(&ys).filter(|(p, y)| p == y).count();
     let outcomes = tally_outcomes(&preds, &ys, &groups);
-    let mut group_accuracy: Vec<(String, f64)> =
-        rdi_fairness::metrics::group_accuracy(&outcomes)
-            .into_iter()
-            .map(|(k, a)| (k.to_string(), a))
-            .collect();
+    let mut group_accuracy: Vec<(String, f64)> = rdi_fairness::metrics::group_accuracy(&outcomes)
+        .into_iter()
+        .map(|(k, a)| (k.to_string(), a))
+        .collect();
     group_accuracy.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(ModelEval {
         accuracy: correct as f64 / preds.len().max(1) as f64,
@@ -298,7 +303,8 @@ mod tests {
             Field::new("y", DataType::Bool).with_role(Role::Target),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::Float(1.0), Value::Bool(true)]).unwrap();
+        t.push_row(vec![Value::Float(1.0), Value::Bool(true)])
+            .unwrap();
         t.push_row(vec![Value::Null, Value::Bool(false)]).unwrap();
         t.push_row(vec![Value::Float(2.0), Value::Null]).unwrap();
         let (xs, ys, keep) = design_matrix(&t, &["x"], "y").unwrap();
@@ -326,8 +332,16 @@ mod tests {
         let spec = GroupSpec::new(vec!["g"]);
         let eval = evaluate(&t, &["x"], "y", &spec, |x| x[0] > 0.0).unwrap();
         assert!((eval.accuracy - 0.5).abs() < 1e-9);
-        let a = eval.group_accuracy.iter().find(|(g, _)| g == "(a)").unwrap();
-        let b = eval.group_accuracy.iter().find(|(g, _)| g == "(b)").unwrap();
+        let a = eval
+            .group_accuracy
+            .iter()
+            .find(|(g, _)| g == "(a)")
+            .unwrap();
+        let b = eval
+            .group_accuracy
+            .iter()
+            .find(|(g, _)| g == "(b)")
+            .unwrap();
         assert_eq!(a.1, 1.0);
         assert_eq!(b.1, 0.0);
         assert!(eval.equalized_odds > 0.9);

@@ -60,8 +60,7 @@ pub fn find_problem_slices(
     if n == 0 {
         return Ok(Vec::new());
     }
-    let overall_error =
-        correct.iter().filter(|&&c| !c).count() as f64 / n as f64;
+    let overall_error = correct.iter().filter(|&&c| !c).count() as f64 / n as f64;
 
     // per-row attribute values (rendered), skipping nulls
     let cols: Vec<&rdi_table::Column> = attributes
@@ -79,8 +78,8 @@ pub fn find_problem_slices(
 
     // accumulate (size, errors) per slice key
     let mut acc: HashMap<Vec<(usize, String)>, (usize, usize)> = HashMap::new();
-    for i in 0..n {
-        let err = !correct[i] as usize;
+    for (i, &c) in correct.iter().enumerate().take(n) {
+        let err = !c as usize;
         // 1-attribute slices
         for a in 0..attributes.len() {
             if let Some(v) = value_of(a, i) {
@@ -144,7 +143,8 @@ mod tests {
         for i in 0..1_200 {
             let region = ["north", "south", "west"][i % 3];
             let age = ["young", "old"][(i / 3) % 2];
-            t.push_row(vec![Value::str(region), Value::str(age)]).unwrap();
+            t.push_row(vec![Value::str(region), Value::str(age)])
+                .unwrap();
             let bad_slice = region == "south" && age == "young";
             // 80% error in the bad slice, 10% elsewhere
             let err = if bad_slice { i % 10 < 8 } else { i % 10 == 0 };
@@ -156,8 +156,7 @@ mod tests {
     #[test]
     fn finds_the_planted_bad_slice_first() {
         let (t, correct) = setup();
-        let slices =
-            find_problem_slices(&t, &["region", "age_band"], &correct, 30, 5).unwrap();
+        let slices = find_problem_slices(&t, &["region", "age_band"], &correct, 30, 5).unwrap();
         assert!(!slices.is_empty());
         let top = &slices[0];
         assert_eq!(top.render(), "region=south ∧ age_band=young");
@@ -168,8 +167,7 @@ mod tests {
     #[test]
     fn one_attribute_parents_rank_below_the_intersection() {
         let (t, correct) = setup();
-        let slices =
-            find_problem_slices(&t, &["region", "age_band"], &correct, 30, 10).unwrap();
+        let slices = find_problem_slices(&t, &["region", "age_band"], &correct, 30, 10).unwrap();
         let south = slices.iter().position(|s| s.render() == "region=south");
         let inter = slices
             .iter()

@@ -13,6 +13,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::curve::LearningCurve;
 
+/// Pilot observations for one slice: `(name, current size, [(n, loss)…])`.
+pub type SlicePilot = (String, usize, Vec<(usize, f64)>);
+
 /// The acquisition state of one slice.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SliceState {
@@ -50,10 +53,7 @@ pub fn allocate_budget(
             .zip(&alloc)
             .map(|(s, &a)| s.curve.loss_at(s.current + a))
             .collect();
-        let worst = losses
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let worst = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut best = (f64::NEG_INFINITY, 0usize);
         for (i, s) in slices.iter().enumerate() {
             let gain = s.curve.marginal_gain(s.current + alloc[i], chunk);
@@ -88,11 +88,7 @@ impl SliceTuner {
     /// Build from per-slice pilot observations `(name, current size,
     /// [(n, loss)…])`. Slices whose curve cannot be fitted get a flat
     /// curve at their last observed loss (no predicted gain).
-    pub fn from_pilot(
-        pilots: &[(String, usize, Vec<(usize, f64)>)],
-        chunk: usize,
-        fairness_weight: f64,
-    ) -> Self {
+    pub fn from_pilot(pilots: &[SlicePilot], chunk: usize, fairness_weight: f64) -> Self {
         let slices = pilots
             .iter()
             .map(|(name, current, pts)| {
@@ -165,10 +161,7 @@ mod tests {
 
     #[test]
     fn uniform_slices_get_even_split() {
-        let slices = vec![
-            slice("a", 100, 0.5, 2.0),
-            slice("b", 100, 0.5, 2.0),
-        ];
+        let slices = vec![slice("a", 100, 0.5, 2.0), slice("b", 100, 0.5, 2.0)];
         let alloc = allocate_budget(&slices, 400, 50, 0.0);
         assert_eq!(alloc[0] + alloc[1], 400);
         assert!((alloc[0] as i64 - alloc[1] as i64).abs() <= 50);
@@ -190,7 +183,10 @@ mod tests {
         let (smart_avg, smart_gap) = tuner.predict_outcome(&smart);
         let (uni_avg, uni_gap) = tuner.predict_outcome(&uniform);
         assert!(smart_avg <= uni_avg + 1e-12);
-        assert!(smart_gap < uni_gap, "smart_gap={smart_gap} uni_gap={uni_gap}");
+        assert!(
+            smart_gap < uni_gap,
+            "smart_gap={smart_gap} uni_gap={uni_gap}"
+        );
     }
 
     #[test]
@@ -199,7 +195,11 @@ mod tests {
         let pilots = vec![(
             "s".to_string(),
             100,
-            vec![(10, c.loss_at(10)), (50, c.loss_at(50)), (100, c.loss_at(100))],
+            vec![
+                (10, c.loss_at(10)),
+                (50, c.loss_at(50)),
+                (100, c.loss_at(100)),
+            ],
         )];
         let tuner = SliceTuner::from_pilot(&pilots, 10, 0.0);
         assert!((tuner.slices[0].curve.a - 0.5).abs() < 1e-9);

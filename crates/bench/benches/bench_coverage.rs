@@ -17,7 +17,13 @@ fn skewed_table(n: usize, d: usize) -> Table {
         let row: Vec<Value> = (0..d)
             .map(|_| {
                 let u: f64 = rng.gen();
-                Value::str(if u < 0.7 { "0" } else if u < 0.95 { "1" } else { "2" })
+                Value::str(if u < 0.7 {
+                    "0"
+                } else if u < 0.95 {
+                    "1"
+                } else {
+                    "2"
+                })
             })
             .collect();
         t.push_row(row).unwrap();

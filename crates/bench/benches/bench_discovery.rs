@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdi_datagen::{LakeConfig, SyntheticLake};
 use rdi_discovery::{
-    match_schemas, CorrelationSketch, KeywordIndex, LshEnsemble, MinHash, MinHashLsh,
-    Navigator, OverlapIndex, TableSignature,
+    match_schemas, CorrelationSketch, KeywordIndex, LshEnsemble, MinHash, MinHashLsh, Navigator,
+    OverlapIndex, TableSignature,
 };
 
 fn lake() -> SyntheticLake {
@@ -82,8 +82,14 @@ fn bench_discovery(c: &mut Criterion) {
     // schema matching between two candidate tables
     group.bench_function("schema_match_2x2cols", |b| {
         b.iter(|| {
-            match_schemas(&lake.candidates[0].table, &lake.candidates[1].table, 0.5, 64, 0.1)
-                .unwrap()
+            match_schemas(
+                &lake.candidates[0].table,
+                &lake.candidates[1].table,
+                0.5,
+                64,
+                0.1,
+            )
+            .unwrap()
         })
     });
 

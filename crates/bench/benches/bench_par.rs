@@ -1,0 +1,80 @@
+//! Criterion bench: serial vs `rdi-par` parallel execution of the four
+//! routed kernels — column sketching, MUP enumeration, Olken sampling,
+//! and population generation — at 1, 2, and 4 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdi_coverage::CoverageAnalyzer;
+use rdi_datagen::{LakeConfig, PopulationSpec, SyntheticLake};
+use rdi_discovery::TableSignature;
+use rdi_joinsample::{olken_sample_par, JoinIndex};
+use rdi_par::Threads;
+use rdi_table::{DataType, Field, Schema, Table, Value};
+
+fn bench_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par");
+    group.sample_size(10);
+
+    let lake = SyntheticLake::generate_par(
+        &LakeConfig {
+            num_candidates: 20,
+            query_keys: 1_000,
+            candidate_rows: 2_000,
+            joinable_fraction: 0.4,
+        },
+        7,
+        Threads::serial(),
+    );
+    let mut left = Table::new(Schema::new(vec![Field::new("k", DataType::Int)]));
+    let mut right = Table::new(Schema::new(vec![Field::new("k", DataType::Int)]));
+    for k in 0..200i64 {
+        left.push_row(vec![Value::Int(k)]).unwrap();
+        for _ in 0..=(k % 10) {
+            right.push_row(vec![Value::Int(k)]).unwrap();
+        }
+    }
+    let idx = JoinIndex::build(&right, "k").unwrap();
+    let spec = PopulationSpec::two_group(0.2);
+
+    for tc in [1usize, 2, 4] {
+        let threads = Threads::fixed(tc);
+        group.bench_function(BenchmarkId::new("sketch_lake", tc), |b| {
+            b.iter(|| {
+                let mut sigs = Vec::with_capacity(lake.candidates.len());
+                for c in &lake.candidates {
+                    sigs.push(TableSignature::build_with(&c.name, &c.table, 128, threads).unwrap());
+                }
+                sigs
+            })
+        });
+        group.bench_function(BenchmarkId::new("olken_sample_50k", tc), |b| {
+            b.iter(|| olken_sample_par(&left, "k", &idx, 50_000, 3, threads).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("population_gen_50k", tc), |b| {
+            b.iter(|| spec.generate_par(50_000, 11, threads))
+        });
+    }
+
+    // MUP search over a modest lattice (the batched counts dominate)
+    let fields = (0..6)
+        .map(|i| Field::new(format!("a{i}"), DataType::Str))
+        .collect();
+    let mut t = Table::new(Schema::new(fields));
+    for r in 0..5_000usize {
+        let row: Vec<Value> = (0..6)
+            .map(|c| Value::str(((r * 31 + c * 17) % 3).to_string()))
+            .collect();
+        t.push_row(row).unwrap();
+    }
+    let attrs: Vec<String> = (0..6).map(|i| format!("a{i}")).collect();
+    let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let an = CoverageAnalyzer::new(&t, &attrs_ref, 25).unwrap();
+    for tc in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("mup_pattern_breaker", tc), |b| {
+            b.iter(|| an.mups_pattern_breaker_with(Threads::fixed(tc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par);
+criterion_main!(benches);

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdi_table::{
-    hash_join, read_csv_str, write_csv_string, DataType, Field, GroupSpec, Predicate, Role,
-    Schema, Table, Value,
+    hash_join, read_csv_str, write_csv_string, DataType, Field, GroupSpec, Predicate, Role, Schema,
+    Table, Value,
 };
 
 fn people(n: usize) -> Table {

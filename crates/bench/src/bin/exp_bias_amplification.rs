@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdi_bench::{f3, mean, print_table};
 use rdi_cleaning::{group_aggregate_error, impute, ImputeStrategy};
-use rdi_datagen::{corrupt_numeric, inject_missing, CorruptSpec, Mechanism, MissingSpec, PopulationSpec};
+use rdi_datagen::{
+    corrupt_numeric, inject_missing, CorruptSpec, Mechanism, MissingSpec, PopulationSpec,
+};
 use rdi_table::{GroupKey, GroupSpec, Value};
 
 fn main() {
@@ -50,7 +52,12 @@ fn main() {
     }
     print_table(
         "E4a — |AVG error| per group vs corruption rate (minority = 5%)",
-        &["corruption rate", "majority err", "minority err", "minority/majority"],
+        &[
+            "corruption rate",
+            "majority err",
+            "minority err",
+            "minority/majority",
+        ],
         &rows,
     );
 
@@ -86,7 +93,12 @@ fn main() {
     }
     print_table(
         "E4b — |AVG error| per group vs minority size (5% corruption)",
-        &["minority fraction", "majority err", "minority err", "minority/majority"],
+        &[
+            "minority fraction",
+            "majority err",
+            "minority err",
+            "minority/majority",
+        ],
         &rows,
     );
 
@@ -110,7 +122,12 @@ fn main() {
     .unwrap();
     let min_key = GroupKey(vec![Value::str("min")]);
     let clean_stats = spec.stats(&clean, "x2").unwrap();
-    let clean_min = clean_stats.iter().find(|(k, _)| k == &min_key).unwrap().1.clone();
+    let clean_min = clean_stats
+        .iter()
+        .find(|(k, _)| k == &min_key)
+        .unwrap()
+        .1
+        .clone();
     let mut rows = Vec::new();
     for (name, strat) in [
         ("drop rows", ImputeStrategy::DropRows),
@@ -131,7 +148,11 @@ fn main() {
     }
     rows.insert(
         0,
-        vec!["(clean)".into(), clean_min.count.to_string(), "0.000".into()],
+        vec![
+            "(clean)".into(),
+            clean_min.count.to_string(),
+            "0.000".into(),
+        ],
     );
     print_table(
         "E4c — minority group after MAR missingness resolution (true minority mean shift ≈ +1.0)",

@@ -70,7 +70,15 @@ fn main() {
     }
     print_table(
         "E2a — MUPs and work vs dimension (n=5000, τ=25)",
-        &["d", "MUPs", "PB nodes", "naive nodes", "PB ms", "naive ms", "frontier BFS/DFS"],
+        &[
+            "d",
+            "MUPs",
+            "PB nodes",
+            "naive nodes",
+            "PB ms",
+            "naive ms",
+            "frontier BFS/DFS",
+        ],
         &rows,
     );
 

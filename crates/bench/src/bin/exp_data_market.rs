@@ -82,7 +82,12 @@ fn main() {
     }
     print_table(
         "E12 — model accuracy after 20 market queries × 50 rows (mean of 10 runs)",
-        &["consumer's initial minority share", "random predicates", "explore/exploit", "minority rows held (E/E)"],
+        &[
+            "consumer's initial minority share",
+            "random predicates",
+            "explore/exploit",
+            "minority rows held (E/E)",
+        ],
         &rows,
     );
 }

@@ -68,7 +68,14 @@ fn main() {
     }
     print_table(
         "E8a — LSH-Ensemble containment search (120 candidates)",
-        &["containment τ", "true ≥τ", "returned", "recall", "precision", "query time"],
+        &[
+            "containment τ",
+            "true ≥τ",
+            "returned",
+            "recall",
+            "precision",
+            "query time",
+        ],
         &rows,
     );
 
@@ -97,7 +104,12 @@ fn main() {
     }
     print_table(
         "E8b — correlation-sketch |error| vs sketch size (planted join-correlations)",
-        &["sketch k", "estimable candidates", "mean abs error", "max abs error"],
+        &[
+            "sketch k",
+            "estimable candidates",
+            "mean abs error",
+            "max abs error",
+        ],
         &rows,
     );
 
@@ -130,7 +142,13 @@ fn main() {
         .fold(0.0f64, f64::max);
     print_table(
         "E8c — navigation over a 40-table organization",
-        &["organize time", "medoids compared", "lake size", "reached containment", "best in lake"],
+        &[
+            "organize time",
+            "medoids compared",
+            "lake size",
+            "reached containment",
+            "best in lake",
+        ],
         &[vec![
             format!("{build_ms:.0}ms"),
             comparisons.to_string(),

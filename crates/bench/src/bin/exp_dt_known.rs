@@ -12,10 +12,16 @@ use rdi_tailor::prelude::*;
 use rdi_tailor::OracleDp;
 
 fn source_table(frac_min: f64, n: usize) -> Table {
-    let schema = Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)]);
+    let schema = Schema::new(vec![
+        Field::new("g", DataType::Str).with_role(Role::Sensitive)
+    ]);
     let mut t = Table::new(schema);
     for i in 0..n {
-        let g = if (i as f64) < frac_min * n as f64 { "min" } else { "maj" };
+        let g = if (i as f64) < frac_min * n as f64 {
+            "min"
+        } else {
+            "maj"
+        };
         t.push_row(vec![Value::str(g)]).unwrap();
     }
     t
@@ -71,9 +77,27 @@ fn main() {
             runs,
             10,
         );
-        let oracle = avg_cost(&|s| Box::new(OracleDp::from_sources(s)), &p, &fracs, runs, 11);
-        let random = avg_cost(&|s| Box::new(RandomPolicy::new(s.len())), &p, &fracs, runs, 12);
-        let rrobin = avg_cost(&|s| Box::new(RoundRobin::new(s.len())), &p, &fracs, runs, 13);
+        let oracle = avg_cost(
+            &|s| Box::new(OracleDp::from_sources(s)),
+            &p,
+            &fracs,
+            runs,
+            11,
+        );
+        let random = avg_cost(
+            &|s| Box::new(RandomPolicy::new(s.len())),
+            &p,
+            &fracs,
+            runs,
+            12,
+        );
+        let rrobin = avg_cost(
+            &|s| Box::new(RoundRobin::new(s.len())),
+            &p,
+            &fracs,
+            runs,
+            13,
+        );
         rows.push(vec![
             format!("{:.0}%", minority_rate * 100.0),
             f1(oracle),
@@ -85,7 +109,14 @@ fn main() {
     }
     print_table(
         "E5a — mean cost to collect 50+50, equal requirement (25 runs)",
-        &["best source minority rate", "OracleDP", "RatioColl", "Random", "RoundRobin", "random/ratio"],
+        &[
+            "best source minority rate",
+            "OracleDP",
+            "RatioColl",
+            "Random",
+            "RoundRobin",
+            "random/ratio",
+        ],
         &rows,
     );
 
@@ -101,7 +132,13 @@ fn main() {
             runs,
             20,
         );
-        let random = avg_cost(&|s| Box::new(RandomPolicy::new(s.len())), &p, &fracs, runs, 21);
+        let random = avg_cost(
+            &|s| Box::new(RandomPolicy::new(s.len())),
+            &p,
+            &fracs,
+            runs,
+            21,
+        );
         rows.push(vec![
             format!("{:.0}%", minority_rate * 100.0),
             f1(ratio),
@@ -111,7 +148,12 @@ fn main() {
     }
     print_table(
         "E5b — proportional requirement (90 maj / 10 min)",
-        &["best source minority rate", "RatioColl", "Random", "random/ratio"],
+        &[
+            "best source minority rate",
+            "RatioColl",
+            "Random",
+            "random/ratio",
+        ],
         &rows,
     );
 
@@ -130,10 +172,7 @@ fn main() {
             let out = run_tailoring(&mut sources, &p, &mut policy, &mut rng, 10_000_000).unwrap();
             costs_ratio.push(out.total_cost);
         }
-        let mut dp = OracleDp::new(
-            vec![1.0, expensive],
-            vec![vec![0.95, 0.05], vec![0.5, 0.5]],
-        );
+        let mut dp = OracleDp::new(vec![1.0, expensive], vec![vec![0.95, 0.05], vec![0.5, 0.5]]);
         rows.push(vec![
             format!("{expensive:.0}"),
             f1(mean(&costs_ratio)),
@@ -142,7 +181,11 @@ fn main() {
     }
     print_table(
         "E5c — cost-aware selection: rich-but-expensive source",
-        &["rich source cost", "RatioColl mean cost", "OracleDP expected"],
+        &[
+            "rich source cost",
+            "RatioColl mean cost",
+            "OracleDP expected",
+        ],
         &rows,
     );
 }

@@ -12,10 +12,16 @@ use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Table, Value
 use rdi_tailor::prelude::*;
 
 fn source_table(frac_min: f64, n: usize) -> Table {
-    let schema = Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)]);
+    let schema = Schema::new(vec![
+        Field::new("g", DataType::Str).with_role(Role::Sensitive)
+    ]);
     let mut t = Table::new(schema);
     for i in 0..n {
-        let g = if (i as f64) < frac_min * n as f64 { "min" } else { "maj" };
+        let g = if (i as f64) < frac_min * n as f64 {
+            "min"
+        } else {
+            "maj"
+        };
         t.push_row(vec![Value::str(g)]).unwrap();
     }
     t
@@ -91,7 +97,15 @@ fn main() {
     }
     print_table(
         "E6a — unknown distributions: mean cost vs requirement size (20 runs)",
-        &["per-group need", "RatioColl (known)", "UCB (unknown)", "ε-greedy (0.1)", "Random", "ucb/known", "random/ucb"],
+        &[
+            "per-group need",
+            "RatioColl (known)",
+            "UCB (unknown)",
+            "ε-greedy (0.1)",
+            "Random",
+            "ucb/known",
+            "random/ucb",
+        ],
         &rows,
     );
 

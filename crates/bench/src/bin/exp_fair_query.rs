@@ -45,7 +45,13 @@ fn main() {
     }
     print_table(
         "E10a — similarity of fairest range vs disparity bound ε (n=2000)",
-        &["ε", "exact similarity", "greedy similarity", "achieved disparity", "rows selected"],
+        &[
+            "ε",
+            "exact similarity",
+            "greedy similarity",
+            "achieved disparity",
+            "rows selected",
+        ],
         &rows,
     );
 
@@ -78,7 +84,11 @@ fn main() {
             if rng.gen::<f64>() < 0.5 {
                 (22.0 + rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 8.0, true)
             } else {
-                (30.0 + rng.gen::<f64>() * 30.0, rng.gen::<f64>() * 25.0, false)
+                (
+                    30.0 + rng.gen::<f64>() * 30.0,
+                    rng.gen::<f64>() * 25.0,
+                    false,
+                )
             }
         })
         .collect();
@@ -99,7 +109,13 @@ fn main() {
     }
     print_table(
         "E10c — 2-D fair boxes (n=4000, ε=20): finer grids buy similarity with O(g⁴) time",
-        &["grid g", "original disparity", "achieved", "similarity", "search time"],
+        &[
+            "grid g",
+            "original disparity",
+            "achieved",
+            "similarity",
+            "search time",
+        ],
         &rows,
     );
 }

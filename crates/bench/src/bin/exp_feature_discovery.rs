@@ -65,7 +65,13 @@ fn main() {
         (0.05, 0.90), // pure proxy for the sensitive attribute
         (0.05, 0.05), // noise
     ];
-    let names = ["clean-strong", "biased-strong", "clean-weak", "proxy", "noise"];
+    let names = [
+        "clean-strong",
+        "biased-strong",
+        "clean-weak",
+        "proxy",
+        "noise",
+    ];
     let (q, cands) = build(8_000, &plan, &mut rng);
     let fq = FeatureQuery {
         table: &q,
@@ -94,7 +100,14 @@ fn main() {
     }
     print_table(
         "E3a — sketch estimates vs planted correlations (k=256), ranked at λ=1",
-        &["candidate", "planted target-corr", "estimated", "planted sensitive-corr", "estimated", "score"],
+        &[
+            "candidate",
+            "planted target-corr",
+            "estimated",
+            "planted sensitive-corr",
+            "estimated",
+            "score",
+        ],
         &rows,
     );
     assert_eq!(result[0].table, "clean-strong");

@@ -85,7 +85,12 @@ fn main() {
     }
     print_table(
         "E13 — imputation RMSE and accuracy-parity difference (x2 masked at 15%)",
-        &["mechanism", "imputation", "overall RMSE", "parity difference"],
+        &[
+            "mechanism",
+            "imputation",
+            "overall RMSE",
+            "parity difference",
+        ],
         &rows,
     );
 }

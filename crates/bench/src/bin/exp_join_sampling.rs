@@ -31,7 +31,8 @@ fn zipf_join(n_keys: usize, skew: f64, rng: &mut StdRng) -> (Table, Table) {
     let mut right = Table::new(rschema);
     for k in 0..n_keys {
         let grp = if k % 10 == 0 { "min" } else { "maj" };
-        left.push_row(vec![Value::Int(k as i64), Value::str(grp)]).unwrap();
+        left.push_row(vec![Value::Int(k as i64), Value::str(grp)])
+            .unwrap();
         let mult = (10.0 / (1.0 + (k % 50) as f64).powf(skew)).ceil() as usize;
         // value varies strongly *across* keys (and mildly within), so
         // key-clumped samples mis-estimate group averages
@@ -68,7 +69,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let (left, right) = zipf_join(500, 1.2, &mut rng);
     let truth = hash_join(&left, &right, "k", "k").unwrap();
-    println!("join: {} × {} → {} tuples", left.num_rows(), right.num_rows(), truth.num_rows());
+    println!(
+        "join: {} × {} → {} tuples",
+        left.num_rows(),
+        right.num_rows(),
+        truth.num_rows()
+    );
 
     // (a) estimator quality at matched sample size: sample-then-join
     // yields *correlated* tuples (whole key-clusters survive or vanish
@@ -97,7 +103,12 @@ fn main() {
     }
     print_table(
         "E7a — minority-group AVG estimator at ~60 sampled join tuples (300 trials)",
-        &["method", "trials w/ minority rows", "estimate std-dev", "mean sample size"],
+        &[
+            "method",
+            "trials w/ minority rows",
+            "estimate std-dev",
+            "mean sample size",
+        ],
         &[
             vec![
                 "sample-then-join".into(),
@@ -134,7 +145,12 @@ fn main() {
     }
     print_table(
         "E7b — throughput vs key skew (5000 samples)",
-        &["zipf skew", "olken acceptance rate", "olken ms", "chaudhuri ms"],
+        &[
+            "zipf skew",
+            "olken acceptance rate",
+            "olken ms",
+            "chaudhuri ms",
+        ],
         &rows,
     );
 
@@ -170,7 +186,12 @@ fn main() {
     }
     print_table(
         "E7c — relative AQP error vs sample size",
-        &["samples", "AVG err (majority)", "AVG err (minority)", "wander COUNT err"],
+        &[
+            "samples",
+            "AVG err (majority)",
+            "AVG err (minority)",
+            "wander COUNT err",
+        ],
         &rows,
     );
 
@@ -189,8 +210,8 @@ fn main() {
     };
     let left_k = left.select(&["k"]).unwrap();
     let wj3 = WanderJoin::new(vec![&left_k, &mid, &right], &[("k", "k"), ("k", "k")]).unwrap();
-    let exact = ExactChainSampler::new(vec![&left_k, &mid, &right], &[("k", "k"), ("k", "k")])
-        .unwrap();
+    let exact =
+        ExactChainSampler::new(vec![&left_k, &mid, &right], &[("k", "k"), ("k", "k")]).unwrap();
     let truth3 = exact.join_size() as f64;
     let mut rows = Vec::new();
     for n in [500, 2_000, 10_000] {

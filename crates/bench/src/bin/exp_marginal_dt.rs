@@ -44,16 +44,16 @@ fn main() {
             // marginal: `need` of every value of every attribute
             let mut mp = MarginalProblem::default();
             for i in 0..d {
-                mp = mp
-                    .require(format!("a{i}"), Value::str("0"), need)
-                    .require(format!("a{i}"), Value::str("1"), need);
+                mp = mp.require(format!("a{i}"), Value::str("0"), need).require(
+                    format!("a{i}"),
+                    Value::str("1"),
+                    need,
+                );
             }
-            let mut msources =
-                vec![MarginalSource::new("s", table.clone(), 1.0, &mp).unwrap()];
+            let mut msources = vec![MarginalSource::new("s", table.clone(), 1.0, &mp).unwrap()];
             let mut policy = RandomPolicy::new(1);
-            let out =
-                run_marginal_tailoring(&mut msources, &mp, &mut policy, &mut rng, 10_000_000)
-                    .unwrap();
+            let out = run_marginal_tailoring(&mut msources, &mp, &mut policy, &mut rng, 10_000_000)
+                .unwrap();
             assert!(out.satisfied);
             marginal_cost.push(out.total_cost);
 
@@ -74,8 +74,7 @@ fn main() {
             let ip = DtProblem::exact_counts(spec, combos);
             let mut isources = vec![TableSource::new("s", table, 1.0, &ip).unwrap()];
             let mut policy = RandomPolicy::new(1);
-            let out =
-                run_tailoring(&mut isources, &ip, &mut policy, &mut rng, 10_000_000).unwrap();
+            let out = run_tailoring(&mut isources, &ip, &mut policy, &mut rng, 10_000_000).unwrap();
             assert!(out.satisfied);
             intersectional_cost.push(out.total_cost);
         }

@@ -46,7 +46,10 @@ fn main() {
         let train = pop.generate_with_marginals(
             8_000,
             &mut rng,
-            Some(&Categorical::from_weights(&[1.0 - minority_frac, minority_frac])),
+            Some(&Categorical::from_weights(&[
+                1.0 - minority_frac,
+                minority_frac,
+            ])),
         );
         let (xs, ys, _) = design_matrix(&train, &["x1", "x2"], "y").unwrap();
         let model = LogisticRegression::train(&xs, &ys, 10, 0.05, 1e-4, &mut rng);
@@ -68,7 +71,13 @@ fn main() {
     }
     print_table(
         "E1 — test accuracy vs minority share of the training source",
-        &["minority share", "overall", "majority acc", "minority acc", "gap"],
+        &[
+            "minority share",
+            "overall",
+            "majority acc",
+            "minority acc",
+            "gap",
+        ],
         &rows,
     );
 }

@@ -8,7 +8,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdi_acquisition::ml::{design_matrix, evaluate, LogisticRegression};
-use rdi_acquisition::{allocate_budget, find_problem_slices, LearningCurve, SliceState, SliceTuner};
+use rdi_acquisition::{
+    allocate_budget, find_problem_slices, LearningCurve, SliceState, SliceTuner,
+};
 use rdi_bench::{f3, print_table};
 use rdi_table::{DataType, Field, GroupSpec, Role, Schema, Table, Value};
 
@@ -67,7 +69,14 @@ fn main() {
     }
     print_table(
         "E11a — loss and unfairness at equal budget: uniform vs slice-aware",
-        &["budget", "uniform avg loss", "tuned avg loss", "uniform gap", "tuned gap", "tuned allocation"],
+        &[
+            "budget",
+            "uniform avg loss",
+            "tuned avg loss",
+            "uniform gap",
+            "tuned gap",
+            "tuned allocation",
+        ],
         &rows,
     );
 
@@ -88,7 +97,13 @@ fn main() {
     }
     print_table(
         "E11b — ablation: iterative water-filling vs one-shot allocation",
-        &["budget", "iterative avg loss", "one-shot avg loss", "iterative gap", "one-shot gap"],
+        &[
+            "budget",
+            "iterative avg loss",
+            "one-shot avg loss",
+            "iterative gap",
+            "one-shot gap",
+        ],
         &rows,
     );
 
@@ -135,8 +150,7 @@ fn main() {
     for ((x, &y), &row) in vxs.iter().zip(&vys).zip(&keep) {
         correct[row] = model.predict(x) == y;
     }
-    let slices =
-        find_problem_slices(&valid, &["region", "age_band"], &correct, 100, 3).unwrap();
+    let slices = find_problem_slices(&valid, &["region", "age_band"], &correct, 100, 3).unwrap();
     let mut rows = Vec::new();
     for s in &slices {
         rows.push(vec![

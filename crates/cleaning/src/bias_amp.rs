@@ -36,7 +36,8 @@ pub fn group_aggregate_error(
         }
     }
     group_errors.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-    let overall_error = (dirty.mean(column)?.unwrap_or(0.0) - clean.mean(column)?.unwrap_or(0.0)).abs();
+    let overall_error =
+        (dirty.mean(column)?.unwrap_or(0.0) - clean.mean(column)?.unwrap_or(0.0)).abs();
     Ok(AggregateErrorReport {
         group_errors,
         overall_error,
@@ -88,7 +89,8 @@ mod tests {
             Field::new("x", DataType::Float),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::str("a"), Value::Float(1.0)]).unwrap();
+        t.push_row(vec![Value::str("a"), Value::Float(1.0)])
+            .unwrap();
         let spec = GroupSpec::new(vec!["g"]);
         let rep = group_aggregate_error(&t, &t, "x", &spec).unwrap();
         assert_eq!(rep.overall_error, 0.0);

@@ -54,7 +54,10 @@ pub fn bigram_jaccard(a: &str, b: &str) -> f64 {
 
 /// Find matching row pairs `(i, j)` with `i < j` via prefix blocking +
 /// bigram-Jaccard matching.
-pub fn resolve_entities(table: &Table, config: &ErConfig) -> rdi_table::Result<Vec<(usize, usize)>> {
+pub fn resolve_entities(
+    table: &Table,
+    config: &ErConfig,
+) -> rdi_table::Result<Vec<(usize, usize)>> {
     let col = table.column(&config.name_column)?;
     let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
     let mut names: Vec<Option<String>> = Vec::with_capacity(table.num_rows());
@@ -93,7 +96,7 @@ pub fn resolve_entities(table: &Table, config: &ErConfig) -> rdi_table::Result<V
 /// `0..num_rows`.
 pub fn cluster_entities(pairs: &[(usize, usize)], num_rows: usize) -> Vec<Vec<usize>> {
     let mut parent: Vec<usize> = (0..num_rows).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]]; // path halving
             x = parent[x];
@@ -148,14 +151,27 @@ pub fn audit_er(
     let pred: HashSet<(usize, usize)> = predicted.iter().copied().collect();
     let tru: HashSet<(usize, usize)> = truth.iter().copied().collect();
     let tp_all = pred.intersection(&tru).count() as f64;
-    let precision = if pred.is_empty() { 1.0 } else { tp_all / pred.len() as f64 };
-    let recall = if tru.is_empty() { 1.0 } else { tp_all / tru.len() as f64 };
+    let precision = if pred.is_empty() {
+        1.0
+    } else {
+        tp_all / pred.len() as f64
+    };
+    let recall = if tru.is_empty() {
+        1.0
+    } else {
+        tp_all / tru.len() as f64
+    };
 
     let mut group_of = Vec::with_capacity(table.num_rows());
     for i in 0..table.num_rows() {
         group_of.push(spec.key_of(table, i)?);
     }
-    let mut groups: Vec<_> = group_of.iter().cloned().collect::<HashSet<_>>().into_iter().collect();
+    let mut groups: Vec<_> = group_of
+        .iter()
+        .cloned()
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
     groups.sort();
     let mut per_group = Vec::new();
     for g in groups {
@@ -163,8 +179,16 @@ pub fn audit_er(
         let gp: HashSet<_> = pred.iter().filter(|p| in_group(p)).collect();
         let gt: HashSet<_> = tru.iter().filter(|p| in_group(p)).collect();
         let tp = gp.intersection(&gt).count() as f64;
-        let p = if gp.is_empty() { 1.0 } else { tp / gp.len() as f64 };
-        let r = if gt.is_empty() { 1.0 } else { tp / gt.len() as f64 };
+        let p = if gp.is_empty() {
+            1.0
+        } else {
+            tp / gp.len() as f64
+        };
+        let r = if gt.is_empty() {
+            1.0
+        } else {
+            tp / gt.len() as f64
+        };
         per_group.push((g.to_string(), p, r, gt.len()));
     }
     Ok(ErAudit {
@@ -263,7 +287,7 @@ mod tests {
         let deduped = deduplicate(&t, &pairs);
         assert!(deduped.num_rows() < t.num_rows());
         assert!(deduped.num_rows() >= 2); // mary survives
-        // the representative of the smith cluster is its first row
+                                          // the representative of the smith cluster is its first row
         assert_eq!(deduped.value(0, "name").unwrap(), Value::str("jon smith"));
     }
 

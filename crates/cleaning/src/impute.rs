@@ -148,11 +148,7 @@ pub fn impute(table: &Table, column: &str, strategy: &ImputeStrategy) -> rdi_tab
     }
 }
 
-fn fill_nulls(
-    table: &Table,
-    column: &str,
-    f: impl Fn(usize) -> Value,
-) -> rdi_table::Result<Table> {
+fn fill_nulls(table: &Table, column: &str, f: impl Fn(usize) -> Value) -> rdi_table::Result<Table> {
     let mut out = table.clone();
     for i in 0..table.num_rows() {
         if table.value(i, column)?.is_null() {
@@ -282,8 +278,10 @@ mod tests {
             Field::new("x", DataType::Float),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::Float(1.0), Value::Float(10.0)]).unwrap();
-        t.push_row(vec![Value::Float(1.0), Value::Float(20.0)]).unwrap();
+        t.push_row(vec![Value::Float(1.0), Value::Float(10.0)])
+            .unwrap();
+        t.push_row(vec![Value::Float(1.0), Value::Float(20.0)])
+            .unwrap();
         t.push_row(vec![Value::Float(1.0), Value::Null]).unwrap();
         let out = impute(
             &t,

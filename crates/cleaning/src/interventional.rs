@@ -50,7 +50,7 @@ pub fn repair_conditional_independence<R: Rng>(
     let tcol_idx = table.schema().index_of(target)?;
     let mut out = table.clone();
     let mut changed = 0;
-    for (_, rows) in &strata {
+    for rows in strata.values() {
         // pooled target values of the stratum
         let pool: Vec<Value> = rows
             .iter()
@@ -167,7 +167,8 @@ mod tests {
         ]);
         let mut t = Table::new(schema);
         t.push_row(vec![Value::str("h"), Value::Null]).unwrap();
-        t.push_row(vec![Value::str("h"), Value::Bool(true)]).unwrap();
+        t.push_row(vec![Value::str("h"), Value::Bool(true)])
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let rep = repair_conditional_independence(&t, &["q"], "y", &mut rng).unwrap();
         assert!(rep.table.value(0, "y").unwrap().is_null());

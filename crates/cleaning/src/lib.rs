@@ -43,7 +43,9 @@ pub mod parity;
 pub mod repair;
 
 pub use bias_amp::{group_aggregate_error, AggregateErrorReport};
-pub use er::{audit_er, bigram_jaccard, cluster_entities, deduplicate, resolve_entities, ErAudit, ErConfig};
+pub use er::{
+    audit_er, bigram_jaccard, cluster_entities, deduplicate, resolve_entities, ErAudit, ErConfig,
+};
 pub use impute::{impute, ImputeStrategy};
 pub use interventional::{repair_conditional_independence, RepairReport};
 pub use parity::{imputation_parity, ParityReport};

@@ -48,10 +48,8 @@ pub fn imputation_parity(
         all.push(err2);
     }
     let rmse = |v: &[f64]| (v.iter().sum::<f64>() / v.len().max(1) as f64).sqrt();
-    let mut group_rmse: Vec<(GroupKey, f64)> = per_group
-        .into_iter()
-        .map(|(k, v)| (k, rmse(&v)))
-        .collect();
+    let mut group_rmse: Vec<(GroupKey, f64)> =
+        per_group.into_iter().map(|(k, v)| (k, rmse(&v))).collect();
     group_rmse.sort_by(|a, b| a.0.cmp(&b.0));
     let max = group_rmse
         .iter()
@@ -129,7 +127,11 @@ mod tests {
         bad.set_value(10, "x", Value::Float(0.0)).unwrap();
         let rep = imputation_parity(&bad, "x", &truth, &spec).unwrap();
         assert!(rep.parity_difference > 99.0, "pd={}", rep.parity_difference);
-        let a = rep.group_rmse.iter().find(|(g, _)| g.contains('a')).unwrap();
+        let a = rep
+            .group_rmse
+            .iter()
+            .find(|(g, _)| g.contains('a'))
+            .unwrap();
         assert_eq!(a.1, 0.0);
     }
 

@@ -42,7 +42,10 @@ pub fn repair_with_rule(
     let (lo, hi) = bounds(table, column, rule)?;
     let mut out = table.clone();
     for &i in &violations {
-        let x = table.value(i, column)?.as_f64().expect("violation is numeric");
+        let x = table
+            .value(i, column)?
+            .as_f64()
+            .expect("violation is numeric");
         out.set_value(i, column, Value::Float(x.clamp(lo, hi)))?;
     }
     Ok((out, violations))
@@ -73,7 +76,8 @@ mod tests {
         let schema = Schema::new(vec![Field::new("x", DataType::Float)]);
         let mut t = Table::new(schema);
         for v in vals {
-            t.push_row(vec![v.map_or(Value::Null, Value::Float)]).unwrap();
+            t.push_row(vec![v.map_or(Value::Null, Value::Float)])
+                .unwrap();
         }
         t
     }

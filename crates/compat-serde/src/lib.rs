@@ -1,0 +1,532 @@
+//! Offline drop-in subset of `serde`, wired in under the dependency name
+//! `serde` (see CONTRIBUTING.md, "Offline builds").
+//!
+//! Upstream serde abstracts over arbitrary data formats; this workspace
+//! only ever serializes to and from JSON, so the compat crate collapses
+//! the model: [`Serialize`] renders a value into the [`Json`] tree and
+//! [`Deserialize`] rebuilds a value from it. The derive macros
+//! (re-exported from the companion proc-macro crate) generate impls with
+//! upstream-serde-compatible shapes — named structs become objects,
+//! newtypes are transparent, enums are externally tagged.
+//!
+//! Integer fidelity: `u64`/`i64` round-trip losslessly ([`Json::U64`] /
+//! [`Json::I64`] are distinct from [`Json::F64`]); this matters for the
+//! 64-bit hash values in sketch signatures.
+
+#![warn(missing_docs)]
+
+pub use rdi_compat_serde_derive::{Deserialize, Serialize};
+
+/// A JSON value: the single data model of the compat serde stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion-ordered so output is deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Create an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// Object member by name; [`Json::Null`] when absent or not an object
+    /// (missing members deserialize as `None` for `Option` fields and
+    /// error for mandatory ones).
+    pub fn member(&self, name: &str) -> &Json {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// View as an array of exactly `n` elements (tuple decoding).
+    pub fn arr_of_len(&self, n: usize, ty: &str) -> Result<&[Json], Error> {
+        match self {
+            Json::Arr(items) if items.len() == n => Ok(items),
+            other => Err(Error::custom(format!(
+                "expected array of {n} elements for {ty}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// String content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64`, when this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::I64(i) => Some(*i as f64),
+            Json::U64(u) => Some(*u as f64),
+            Json::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Signed integer content, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::I64(i) => Some(*i),
+            Json::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer content, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::I64(i) => u64::try_from(*i).ok(),
+            Json::U64(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Member lookup that distinguishes absence from `null`.
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+    fn index(&self, name: &str) -> &Json {
+        self.member(name)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+    fn index(&self, i: usize) -> &Json {
+        match self {
+            Json::Arr(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_json_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Json {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+    )*};
+}
+
+impl_json_eq_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl PartialEq<f64> for Json {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Json::F64(f) if f == other)
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Json {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Render a value into the JSON data model.
+pub trait Serialize {
+    /// Convert `self` to a [`Json`] tree.
+    fn serialize(&self) -> Json;
+}
+
+/// Rebuild a value from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a [`Json`] tree.
+    fn deserialize(v: &Json) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for Json {
+    fn serialize(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Json { Json::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Json) -> Result<Self, Error> {
+                let i = v.as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!(
+                    "integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Json {
+                let u = *self as u64;
+                match i64::try_from(u) {
+                    Ok(i) => Json::I64(i),
+                    Err(_) => Json::U64(u),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Json) -> Result<Self, Error> {
+                let u = v.as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(u).map_err(|_| Error::custom(format!(
+                    "integer {u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializes by leaking the parsed string. Intended for
+    /// low-volume `&'static str` fields (e.g. model-kind labels), where
+    /// upstream serde would require borrowed input we don't have.
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        let s: String = Deserialize::deserialize(v)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected single-char string, got {v:?}")))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!(
+                "expected single-char string, got {s:?}"
+            ))),
+        }
+    }
+}
+
+// ----------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Json {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Json {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::deserialize(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $i:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Json {
+                Json::Arr(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Json) -> Result<Self, Error> {
+                let items = v.arr_of_len($n, "tuple")?;
+                Ok(($($t::deserialize(&items[$i])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, x)| Ok((k.clone(), V::deserialize(x)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize(&self) -> Json {
+        // Sort keys so serialization is deterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Json::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, x)| Ok((k.clone(), V::deserialize(x)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_integers_round_trip_exactly() {
+        let big: u64 = u64::MAX - 3;
+        let j = big.serialize();
+        assert_eq!(u64::deserialize(&j).unwrap(), big);
+        let small: u64 = 17;
+        assert_eq!(small.serialize(), Json::I64(17));
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.serialize(), Json::Null);
+        assert_eq!(Option::<f64>::deserialize(&Json::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::deserialize(&Json::F64(2.5)).unwrap(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn member_of_missing_field_is_null() {
+        let obj = Json::Obj(vec![("a".into(), Json::Bool(true))]);
+        assert_eq!(obj.member("b"), &Json::Null);
+        assert_eq!(obj["a"], true);
+    }
+
+    #[test]
+    fn tuples_and_vecs_nest() {
+        let v: Vec<(f64, String, f64)> = vec![(1.0, "x".into(), 2.0)];
+        let j = v.serialize();
+        let back = Vec::<(f64, String, f64)>::deserialize(&j).unwrap();
+        assert_eq!(back, v);
+    }
+}

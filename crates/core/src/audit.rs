@@ -108,7 +108,9 @@ fn check(table: &Table, r: &Requirement, spec: &RequirementSpec) -> rdi_table::R
                     requirement: r.name().into(),
                     passed: false,
                     metric: f64::NAN,
-                    evidence: "no sensitive attributes annotated — cannot verify group representation".into(),
+                    evidence:
+                        "no sensitive attributes annotated — cannot verify group representation"
+                            .into(),
                 }
             } else {
                 let analyzer = CoverageAnalyzer::new(table, &sensitive, *threshold)?;
@@ -168,14 +170,14 @@ fn check(table: &Table, r: &Requirement, spec: &RequirementSpec) -> rdi_table::R
                     best_target_assoc.max(table_association(table, &f.name, target)?);
                 for s in &sensitive {
                     let a = table_association(table, &f.name, s)?;
-                    if worst.as_ref().map_or(true, |(_, w)| a > *w) {
+                    if worst.as_ref().is_none_or(|(_, w)| a > *w) {
                         worst = Some((f.name.clone(), a));
                     }
                 }
             }
             let worst_bias = worst.as_ref().map_or(0.0, |(_, a)| *a);
-            let passed =
-                best_target_assoc >= *min_target_association && worst_bias < *max_sensitive_association;
+            let passed = best_target_assoc >= *min_target_association
+                && worst_bias < *max_sensitive_association;
             Finding {
                 requirement: r.name().into(),
                 passed,
@@ -276,7 +278,10 @@ fn check(table: &Table, r: &Requirement, spec: &RequirementSpec) -> rdi_table::R
 }
 
 /// Convenience: the empirical group fractions used by distribution checks.
-pub fn empirical_fractions(table: &Table, attribute: &str) -> rdi_table::Result<Vec<(String, f64)>> {
+pub fn empirical_fractions(
+    table: &Table,
+    attribute: &str,
+) -> rdi_table::Result<Vec<(String, f64)>> {
     let spec = GroupSpec::new(vec![attribute]);
     Ok(spec
         .fractions(table)?
@@ -341,13 +346,12 @@ mod tests {
     #[test]
     fn missing_group_fails_coverage() {
         let t = table(0, 0); // "min" never appears → single group, covered
-        // force a 2-group domain via explicit requirement on observed data:
-        // instead check a table where min exists but a combo is missing
-        let spec = RequirementSpec::default()
-            .with(Requirement::GroupRepresentation {
-                threshold: 5,
-                max_uncovered_patterns: 0,
-            });
+                             // force a 2-group domain via explicit requirement on observed data:
+                             // instead check a table where min exists but a combo is missing
+        let spec = RequirementSpec::default().with(Requirement::GroupRepresentation {
+            threshold: 5,
+            max_uncovered_patterns: 0,
+        });
         let t2 = table(2, 0); // "min" has 2 < 5 rows
         let report = audit(&t2, &spec).unwrap();
         assert!(!report.passed());
@@ -368,8 +372,7 @@ mod tests {
     #[test]
     fn scope_of_use_counts_notes() {
         let t = table(50, 0);
-        let spec = RequirementSpec::default()
-            .with(Requirement::ScopeOfUse { min_scope_notes: 1 });
+        let spec = RequirementSpec::default().with(Requirement::ScopeOfUse { min_scope_notes: 1 });
         assert!(!audit(&t, &spec).unwrap().passed());
         let spec = spec.with_note("collected from 4 hospitals, 2026");
         assert!(audit(&t, &spec).unwrap().passed());
@@ -387,8 +390,12 @@ mod tests {
             let g = if i % 2 == 0 { "a" } else { "b" };
             // proxy encodes the group exactly
             let proxy = if i % 2 == 0 { 1.0 } else { 0.0 };
-            t.push_row(vec![Value::str(g), Value::Float(proxy), Value::Bool(i % 3 == 0)])
-                .unwrap();
+            t.push_row(vec![
+                Value::str(g),
+                Value::Float(proxy),
+                Value::Bool(i % 3 == 0),
+            ])
+            .unwrap();
         }
         let spec = RequirementSpec::default().with(Requirement::UnbiasedInformativeFeatures {
             min_target_association: 0.0,

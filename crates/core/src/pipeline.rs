@@ -155,12 +155,20 @@ mod tests {
             max_draws: 1_000_000,
         };
         let result = pipeline.run(&mut sources, &mut policy, &mut rng).unwrap();
-        assert!(result.audit.passed(), "audit: {:?}", result.audit.failures());
+        assert!(
+            result.audit.passed(),
+            "audit: {:?}",
+            result.audit.failures()
+        );
         assert!(result.data.num_rows() >= 300);
         assert!(result.provenance.len() >= 4);
         assert!(result.total_cost > 0.0);
         // the label carries provenance as scope notes
-        assert!(result.label.scope_notes.iter().any(|n| n.contains("tailoring")));
+        assert!(result
+            .label
+            .scope_notes
+            .iter()
+            .any(|n| n.contains("tailoring")));
     }
 
     #[test]

@@ -167,8 +167,10 @@ mod tests {
             Field::new("y", DataType::Bool).with_role(Role::Target),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::str("a"), Value::Bool(true)]).unwrap();
-        t.push_row(vec![Value::str("b"), Value::Bool(false)]).unwrap();
+        t.push_row(vec![Value::str("a"), Value::Bool(true)])
+            .unwrap();
+        t.push_row(vec![Value::str("b"), Value::Bool(false)])
+            .unwrap();
         t
     }
 

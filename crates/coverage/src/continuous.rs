@@ -65,7 +65,7 @@ impl KdTree {
                 continue;
             }
             let mid = (len - 1) / 2;
-            let node = self.tree[start + 0]; // root of this subtree is first in preorder
+            let node = self.tree[start]; // root of this subtree is first in preorder
             let p = &self.points[node];
             let d2: f64 = p.iter().zip(q).map(|(a, b)| (a - b).powi(2)).sum();
             if d2 <= r2 {
@@ -104,7 +104,13 @@ impl KdTree {
     }
 }
 
-fn build_rec(points: &[Vec<f64>], idx: &mut [usize], depth: usize, dim: usize, out: &mut Vec<usize>) {
+fn build_rec(
+    points: &[Vec<f64>],
+    idx: &mut [usize],
+    depth: usize,
+    dim: usize,
+    out: &mut Vec<usize>,
+) {
     if idx.is_empty() {
         return;
     }

@@ -50,12 +50,7 @@ impl PatternCounter {
         // value -> code per attribute
         let lookups: Vec<HashMap<&Value, u16>> = domains
             .iter()
-            .map(|d| {
-                d.iter()
-                    .enumerate()
-                    .map(|(i, v)| (v, i as u16))
-                    .collect()
-            })
+            .map(|d| d.iter().enumerate().map(|(i, v)| (v, i as u16)).collect())
             .collect();
         let mut counts: HashMap<Vec<u16>, usize> = HashMap::new();
         let cols: Vec<&rdi_table::Column> = attributes

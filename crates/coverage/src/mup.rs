@@ -6,10 +6,11 @@
 //! and they concisely summarize the whole uncovered region: a pattern is
 //! uncovered iff it specializes some MUP (Asudeh et al., ICDE 2019).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::counter::PatternCounter;
 use crate::pattern::Pattern;
+use rdi_par::{par_map, Threads};
 use rdi_table::Table;
 
 /// Coverage analyzer for a fixed table / attribute set / threshold.
@@ -85,30 +86,78 @@ impl CoverageAnalyzer {
         self.counter.describe(p)
     }
 
+    /// Evaluate every not-yet-memoized pattern in `batch` on `threads`
+    /// and merge the counts into `memo` in batch order.
+    ///
+    /// Counting is a pure read of the underlying [`PatternCounter`], so
+    /// the memo and `stats.nodes_evaluated` end up exactly as if the
+    /// batch had been counted serially front to back — the basis for
+    /// the `_with` search variants' bitwise-identical guarantee.
+    fn batch_count(
+        &self,
+        batch: &[Pattern],
+        memo: &mut HashMap<Pattern, usize>,
+        stats: &mut SearchStats,
+        threads: Threads,
+    ) {
+        let mut seen: HashSet<&Pattern> = HashSet::with_capacity(batch.len());
+        let fresh: Vec<&Pattern> = batch
+            .iter()
+            .filter(|p| !memo.contains_key(*p) && seen.insert(*p))
+            .collect();
+        let counts = par_map(threads.min_len(16), &fresh, |p| self.counter.count(p));
+        for (p, c) in fresh.iter().zip(counts) {
+            stats.nodes_evaluated += 1;
+            memo.insert((*p).clone(), c);
+        }
+    }
+
+    /// Memoized single-pattern count (serial; used for parent checks,
+    /// which must keep the serial short-circuit evaluation order so
+    /// `SearchStats` stay identical to the sequential search).
+    fn memo_count(
+        &self,
+        p: &Pattern,
+        memo: &mut HashMap<Pattern, usize>,
+        stats: &mut SearchStats,
+    ) -> usize {
+        if let Some(c) = memo.get(p) {
+            return *c;
+        }
+        stats.nodes_evaluated += 1;
+        let c = self.counter.count(p);
+        memo.insert(p.clone(), c);
+        c
+    }
+
     /// MUPs via the Pattern-Breaker style level-wise search with dominance
     /// pruning (children of uncovered nodes are never generated).
     pub fn maximal_uncovered_patterns(&self) -> Vec<Pattern> {
         self.mups_pattern_breaker().0
     }
 
-    /// Pattern-Breaker search returning stats for ablation.
+    /// Pattern-Breaker search returning stats for ablation, on
+    /// [`Threads::auto`] workers.
     pub fn mups_pattern_breaker(&self) -> (Vec<Pattern>, SearchStats) {
+        self.mups_pattern_breaker_with(Threads::auto())
+    }
+
+    /// [`CoverageAnalyzer::mups_pattern_breaker`] on an explicit thread
+    /// configuration.
+    ///
+    /// Each lattice level's candidate nodes are counted as one parallel
+    /// batch; the level-L parent checks run serially and touch a
+    /// pattern set disjoint from the level-L+1 children, so MUPs *and*
+    /// [`SearchStats`] are identical to the serial search for any
+    /// thread count.
+    pub fn mups_pattern_breaker_with(&self, threads: Threads) -> (Vec<Pattern>, SearchStats) {
         let cards = self.counter.cardinalities();
         let mut memo: HashMap<Pattern, usize> = HashMap::new();
         let mut stats = SearchStats::default();
-        let mut count = |p: &Pattern, stats: &mut SearchStats| -> usize {
-            if let Some(c) = memo.get(p) {
-                return *c;
-            }
-            stats.nodes_evaluated += 1;
-            let c = self.counter.count(p);
-            memo.insert(p.clone(), c);
-            c
-        };
 
         let mut mups = Vec::new();
         let root = Pattern::root(self.counter.dim());
-        if count(&root, &mut stats) < self.threshold {
+        if self.memo_count(&root, &mut memo, &mut stats) < self.threshold {
             // The whole data set is too small: the root itself is the MUP.
             stats.mups = 1;
             return (vec![root], stats);
@@ -116,22 +165,27 @@ impl CoverageAnalyzer {
         let mut frontier = vec![root];
         while !frontier.is_empty() {
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+            // Generate the whole next level, count it in one parallel
+            // batch, then classify each child in generation order.
+            let children: Vec<Pattern> = frontier
+                .iter()
+                .flat_map(|node| node.canonical_children(&cards))
+                .collect();
+            self.batch_count(&children, &mut memo, &mut stats, threads);
             let mut next = Vec::new();
-            for node in &frontier {
-                for child in node.canonical_children(&cards) {
-                    if count(&child, &mut stats) >= self.threshold {
-                        next.push(child);
-                    } else {
-                        // Uncovered: MUP iff *all* parents are covered.
-                        let all_parents_covered = child
-                            .parents()
-                            .iter()
-                            .all(|q| count(q, &mut stats) >= self.threshold);
-                        if all_parents_covered {
-                            mups.push(child);
-                        }
-                        // Dominance pruning: never expand an uncovered node.
+            for child in children {
+                if memo[&child] >= self.threshold {
+                    next.push(child);
+                } else {
+                    // Uncovered: MUP iff *all* parents are covered.
+                    let all_parents_covered = child
+                        .parents()
+                        .iter()
+                        .all(|q| self.memo_count(q, &mut memo, &mut stats) >= self.threshold);
+                    if all_parents_covered {
+                        mups.push(child);
                     }
+                    // Dominance pruning: never expand an uncovered node.
                 }
             }
             frontier = next;
@@ -147,20 +201,20 @@ impl CoverageAnalyzer {
     /// frontier (see `SearchStats::peak_frontier`), the trade-off the
     /// ICDE 2019 paper's DeepDiver explores. Output is identical.
     pub fn mups_deep_diver(&self) -> (Vec<Pattern>, SearchStats) {
+        self.mups_deep_diver_with(Threads::auto())
+    }
+
+    /// [`CoverageAnalyzer::mups_deep_diver`] on an explicit thread
+    /// configuration. The DFS order is untouched; only each expanded
+    /// node's children are counted as a parallel batch, so MUPs and
+    /// [`SearchStats`] are identical to the serial search for any
+    /// thread count.
+    pub fn mups_deep_diver_with(&self, threads: Threads) -> (Vec<Pattern>, SearchStats) {
         let cards = self.counter.cardinalities();
         let mut memo: HashMap<Pattern, usize> = HashMap::new();
         let mut stats = SearchStats::default();
-        let mut count = |p: &Pattern, stats: &mut SearchStats| -> usize {
-            if let Some(c) = memo.get(p) {
-                return *c;
-            }
-            stats.nodes_evaluated += 1;
-            let c = self.counter.count(p);
-            memo.insert(p.clone(), c);
-            c
-        };
         let root = Pattern::root(self.counter.dim());
-        if count(&root, &mut stats) < self.threshold {
+        if self.memo_count(&root, &mut memo, &mut stats) < self.threshold {
             stats.mups = 1;
             return (vec![root], stats);
         }
@@ -168,14 +222,16 @@ impl CoverageAnalyzer {
         let mut stack = vec![root];
         while let Some(node) = stack.pop() {
             stats.peak_frontier = stats.peak_frontier.max(stack.len() + 1);
-            for child in node.canonical_children(&cards) {
-                if count(&child, &mut stats) >= self.threshold {
+            let children = node.canonical_children(&cards);
+            self.batch_count(&children, &mut memo, &mut stats, threads);
+            for child in children {
+                if memo[&child] >= self.threshold {
                     stack.push(child);
                 } else {
                     let all_parents_covered = child
                         .parents()
                         .iter()
-                        .all(|q| count(q, &mut stats) >= self.threshold);
+                        .all(|q| self.memo_count(q, &mut memo, &mut stats) >= self.threshold);
                     if all_parents_covered {
                         mups.push(child);
                     }
@@ -194,11 +250,11 @@ impl CoverageAnalyzer {
         let mut stats = SearchStats::default();
         // enumerate every pattern
         let mut all: Vec<Pattern> = vec![Pattern::root(self.counter.dim())];
-        for i in 0..cards.len() {
-            let mut next = Vec::with_capacity(all.len() * (cards[i] as usize + 1));
+        for (i, &card) in cards.iter().enumerate() {
+            let mut next = Vec::with_capacity(all.len() * (card as usize + 1));
             for p in &all {
                 next.push(p.clone());
-                for v in 0..cards[i] {
+                for v in 0..card {
                     let mut q = p.clone();
                     q.0[i] = Some(v);
                     next.push(q);
@@ -320,6 +376,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_searches_identical_across_thread_counts() {
+        let t = table(&[
+            ("M", "w", "0"),
+            ("M", "w", "1"),
+            ("M", "b", "0"),
+            ("F", "w", "1"),
+            ("F", "b", "0"),
+            ("F", "w", "0"),
+            ("M", "b", "1"),
+        ]);
+        for tau in 1..=3 {
+            let an = CoverageAnalyzer::new(&t, &["a", "b", "c"], tau).unwrap();
+            let (pb1, spb1) = an.mups_pattern_breaker_with(Threads::fixed(1));
+            let (dd1, sdd1) = an.mups_deep_diver_with(Threads::fixed(1));
+            for threads in [2usize, 8] {
+                let (pb, spb) = an.mups_pattern_breaker_with(Threads::fixed(threads));
+                assert_eq!(pb, pb1, "tau={tau} threads={threads}");
+                assert_eq!(spb, spb1, "tau={tau} threads={threads}");
+                let (dd, sdd) = an.mups_deep_diver_with(Threads::fixed(threads));
+                assert_eq!(dd, dd1, "tau={tau} threads={threads}");
+                assert_eq!(sdd, sdd1, "tau={tau} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn higher_threshold_uncovers_more() {
         let t = table(&[
             ("M", "w", "0"),
@@ -380,7 +462,9 @@ mod tests {
         ]);
         let mut patients = Table::new(pschema);
         for (pid, g) in [(1, "M"), (2, "M"), (3, "F"), (4, "F")] {
-            patients.push_row(vec![Value::Int(pid), Value::str(g)]).unwrap();
+            patients
+                .push_row(vec![Value::Int(pid), Value::str(g)])
+                .unwrap();
         }
         let lschema = Schema::new(vec![Field::new("pid", DataType::Int)]);
         let mut labs = Table::new(lschema);

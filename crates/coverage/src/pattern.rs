@@ -35,21 +35,18 @@ impl Pattern {
         self.0
             .iter()
             .zip(cell)
-            .all(|(p, c)| p.map_or(true, |v| v == *c))
+            .all(|(p, c)| p.is_none_or(|v| v == *c))
     }
 
     /// True iff `self` is equal to or more general than `other` (i.e.
     /// every tuple matching `other` also matches `self`).
     pub fn generalizes(&self, other: &Pattern) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        self.0
-            .iter()
-            .zip(&other.0)
-            .all(|(a, b)| match (a, b) {
-                (None, _) => true,
-                (Some(x), Some(y)) => x == y,
-                (Some(_), None) => false,
-            })
+        self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+            (None, _) => true,
+            (Some(x), Some(y)) => x == y,
+            (Some(_), None) => false,
+        })
     }
 
     /// All parents: each specified position replaced by a wildcard.
@@ -77,8 +74,8 @@ impl Pattern {
             .rposition(|x| x.is_some())
             .map_or(0, |i| i + 1);
         let mut out = Vec::new();
-        for i in start..self.dim() {
-            for v in 0..cardinalities[i] {
+        for (i, &card) in cardinalities.iter().enumerate().skip(start) {
+            for v in 0..card {
                 let mut c = self.clone();
                 c.0[i] = Some(v);
                 out.push(c);
@@ -90,13 +87,10 @@ impl Pattern {
     /// Two patterns are *compatible* if some full assignment matches both
     /// (no position where both specify different values).
     pub fn compatible(&self, other: &Pattern) -> bool {
-        self.0
-            .iter()
-            .zip(&other.0)
-            .all(|(a, b)| match (a, b) {
-                (Some(x), Some(y)) => x == y,
-                _ => true,
-            })
+        self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        })
     }
 
     /// The most general pattern matching everything both patterns match
@@ -106,11 +100,7 @@ impl Pattern {
             return None;
         }
         Some(Pattern(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a.or(*b))
-                .collect(),
+            self.0.iter().zip(&other.0).map(|(a, b)| a.or(*b)).collect(),
         ))
     }
 }

@@ -28,8 +28,7 @@ fn count_with_plan(
     plan_cells: &[Vec<u16>],
     pattern: &Pattern,
 ) -> usize {
-    analyzer.counter().count(pattern)
-        + plan_cells.iter().filter(|c| pattern.matches(c)).count()
+    analyzer.counter().count(pattern) + plan_cells.iter().filter(|c| pattern.matches(c)).count()
 }
 
 /// All uncovered patterns of level ≤ `goal_level` whose parents are all
@@ -42,8 +41,7 @@ fn mups_with_plan(
 ) -> Vec<Pattern> {
     let tau = analyzer.threshold();
     let cards = analyzer.counter().cardinalities();
-    let covered =
-        |p: &Pattern| -> bool { count_with_plan(analyzer, plan_cells, p) >= tau };
+    let covered = |p: &Pattern| -> bool { count_with_plan(analyzer, plan_cells, p) >= tau };
     let root = Pattern::root(analyzer.counter().dim());
     if !covered(&root) {
         return vec![root];
@@ -208,7 +206,9 @@ mod tests {
         let an = CoverageAnalyzer::new(&t, &["g", "r"], 3).unwrap();
         let plan = remedy_greedy(&an, 2);
         assert_eq!(plan.len(), 2);
-        assert!(plan.iter().all(|p| p == &vec![Value::str("F"), Value::str("b")]));
+        assert!(plan
+            .iter()
+            .all(|p| p == &vec![Value::str("F"), Value::str("b")]));
         let fixed = apply_plan(&t, &plan);
         let an2 = CoverageAnalyzer::new(&fixed, &["g", "r"], 3).unwrap();
         assert!(an2.maximal_uncovered_patterns().is_empty());
@@ -226,7 +226,12 @@ mod tests {
             Field::new("c", DataType::Str),
         ]);
         let mut t = Table::new(schema);
-        for (a, b, c) in [("0", "0", "0"), ("0", "1", "0"), ("1", "0", "0"), ("1", "1", "1")] {
+        for (a, b, c) in [
+            ("0", "0", "0"),
+            ("0", "1", "0"),
+            ("1", "0", "0"),
+            ("1", "1", "1"),
+        ] {
             t.push_row(vec![Value::str(a), Value::str(b), Value::str(c)])
                 .unwrap();
         }

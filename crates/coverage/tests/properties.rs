@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use rdi_coverage::{remedy_greedy, remedy_to_fixpoint, CoverageAnalyzer};
+use rdi_par::Threads;
 use rdi_table::{DataType, Field, Schema, Table, Value};
 
 /// Random categorical table: up to 4 attributes with ≤ 3 categories.
@@ -36,6 +37,25 @@ proptest! {
         let (nv, _) = an.mups_naive();
         prop_assert_eq!(&pb, &dd);
         prop_assert_eq!(&pb, &nv);
+    }
+
+    /// Parallel lattice search returns byte-identical MUPs *and* search
+    /// statistics for every thread count.
+    #[test]
+    fn par_mup_search_is_thread_invariant((t, attrs) in arb_table(), tau in 1usize..4) {
+        let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
+        let base_pb = an.mups_pattern_breaker_with(Threads::serial());
+        let base_dd = an.mups_deep_diver_with(Threads::serial());
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                &an.mups_pattern_breaker_with(Threads::fixed(threads)), &base_pb,
+                "pattern_breaker threads={}", threads);
+            prop_assert_eq!(
+                &an.mups_deep_diver_with(Threads::fixed(threads)), &base_dd,
+                "deep_diver threads={}", threads);
+        }
+        prop_assert_eq!(&base_pb.0, &base_dd.0);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub use healthcare::{healthcare_population, healthcare_sources, HealthcareConfig
 pub use lake::{LakeConfig, SyntheticLake};
 pub use missing::{inject_missing, Mechanism, MissingSpec};
 pub use population::{AttributeSpec, PopulationSpec};
-pub use sources::{skewed_sources, SourceConfig};
 pub use rng::{dirichlet, gamma, normal, zipf_weights};
+pub use sources::{skewed_sources, SourceConfig};

@@ -19,7 +19,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 /// Gamma(shape, scale) sample via Marsaglia–Tsang (2000), with the boost
 /// trick for `shape < 1`.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
     if shape < 1.0 {
         // Gamma(a) = Gamma(a+1) · U^(1/a)
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -95,9 +98,8 @@ mod tests {
     #[test]
     fn gamma_rejects_bad_params() {
         let mut rng = StdRng::seed_from_u64(3);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            gamma(&mut rng, 0.0, 1.0)
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gamma(&mut rng, 0.0, 1.0)));
         assert!(r.is_err());
     }
 

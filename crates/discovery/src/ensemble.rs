@@ -115,7 +115,12 @@ impl LshEnsemble {
 
     /// Estimated containment of the query in a candidate from their
     /// signatures and sizes: `Ĉ = Ĵ·(q + x)/(q·(1 + Ĵ))`.
-    pub fn estimate_containment(sig_q: &MinHash, q_size: usize, sig_x: &MinHash, x_size: usize) -> f64 {
+    pub fn estimate_containment(
+        sig_q: &MinHash,
+        q_size: usize,
+        sig_x: &MinHash,
+        x_size: usize,
+    ) -> f64 {
         let j = sig_q.jaccard(sig_x);
         if j == 0.0 {
             return 0.0;

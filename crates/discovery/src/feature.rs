@@ -7,6 +7,7 @@
 //! estimated from coordinated [`CorrelationSketch`]es, so no candidate is
 //! ever fully joined during search.
 
+use rdi_par::{par_map, Threads};
 use rdi_table::Table;
 use serde::{Deserialize, Serialize};
 
@@ -60,25 +61,52 @@ pub fn discover_features(
     min_join_keys: f64,
     lambda: f64,
 ) -> rdi_table::Result<Vec<FeatureCandidate>> {
+    discover_features_with(query, candidates, k, min_join_keys, lambda, Threads::auto())
+}
+
+/// [`discover_features`] on an explicit thread configuration. Every
+/// candidate is sketched and scored independently; results are
+/// collected in candidate order before the final rank sort, so the
+/// output is identical for any thread count.
+pub fn discover_features_with(
+    query: &FeatureQuery<'_>,
+    candidates: &[(&str, &Table, &str, &str)],
+    k: usize,
+    min_join_keys: f64,
+    lambda: f64,
+    threads: Threads,
+) -> rdi_table::Result<Vec<FeatureCandidate>> {
     let target_sketch = CorrelationSketch::build(query.table, query.key, query.target, k)?;
     let sensitive_sketch = CorrelationSketch::build(query.table, query.key, query.sensitive, k)?;
+    let scored = par_map(
+        threads.min_len(2),
+        candidates,
+        |(name, table, key, feature)| -> rdi_table::Result<Option<FeatureCandidate>> {
+            let fs = CorrelationSketch::build(table, key, feature, k)?;
+            let join_keys = fs.join_key_estimate(&target_sketch);
+            if join_keys < min_join_keys {
+                return Ok(None);
+            }
+            let (Some(it), Some(bs)) = (
+                fs.correlation(&target_sketch),
+                fs.correlation(&sensitive_sketch),
+            ) else {
+                return Ok(None);
+            };
+            Ok(Some(FeatureCandidate {
+                table: name.to_string(),
+                column: feature.to_string(),
+                informativeness: it.abs(),
+                bias: bs.abs(),
+                join_keys,
+            }))
+        },
+    );
     let mut out = Vec::new();
-    for (name, table, key, feature) in candidates {
-        let fs = CorrelationSketch::build(table, key, feature, k)?;
-        let join_keys = fs.join_key_estimate(&target_sketch);
-        if join_keys < min_join_keys {
-            continue;
+    for c in scored {
+        if let Some(c) = c? {
+            out.push(c);
         }
-        let (Some(it), Some(bs)) = (fs.correlation(&target_sketch), fs.correlation(&sensitive_sketch)) else {
-            continue;
-        };
-        out.push(FeatureCandidate {
-            table: name.to_string(),
-            column: feature.to_string(),
-            informativeness: it.abs(),
-            bias: bs.abs(),
-            join_keys,
-        });
     }
     out.sort_by(|a, b| {
         b.score(lambda)

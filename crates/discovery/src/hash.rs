@@ -32,9 +32,10 @@ pub fn hash_value(v: &Value, seed: u64) -> u64 {
         Value::Null => splitmix64(seed ^ 0x6e75_6c6c),
         Value::Int(i) => hash_bytes(&(*i as f64).to_bits().to_le_bytes(), seed),
         Value::Float(f) => hash_bytes(&f.to_bits().to_le_bytes(), seed),
-        Value::Bool(b) => {
-            hash_bytes(&(if *b { 1.0f64 } else { 0.0 }).to_bits().to_le_bytes(), seed)
-        }
+        Value::Bool(b) => hash_bytes(
+            &(if *b { 1.0f64 } else { 0.0 }).to_bits().to_le_bytes(),
+            seed,
+        ),
         Value::Str(s) => hash_bytes(s.as_bytes(), seed),
     }
 }

@@ -148,7 +148,10 @@ mod tests {
         );
         idx.insert(
             "gene_expression",
-            &table(&[("gene", &["brca1", "tp53"]), ("tissue", &["breast", "lung"])]),
+            &table(&[
+                ("gene", &["brca1", "tp53"]),
+                ("tissue", &["breast", "lung"]),
+            ]),
             10,
         );
         idx
@@ -156,7 +159,10 @@ mod tests {
 
     #[test]
     fn tokenizer_splits_and_lowercases() {
-        assert_eq!(tokenize("Breast-Cancer  Screening!"), vec!["breast", "cancer", "screening"]);
+        assert_eq!(
+            tokenize("Breast-Cancer  Screening!"),
+            vec!["breast", "cancer", "screening"]
+        );
         assert!(tokenize("--- ").is_empty());
     }
 

@@ -151,16 +151,15 @@ impl CorrelationSketch {
     /// sample: overlap fraction × distinct estimate.
     pub fn join_key_estimate(&self, other: &CorrelationSketch) -> f64 {
         let pairs = self.sketch.intersect(&other.sketch).len() as f64;
-        let bound_len = self
-            .sketch
-            .entries
-            .len()
-            .min(other.sketch.entries.len()) as f64;
+        let bound_len = self.sketch.entries.len().min(other.sketch.entries.len()) as f64;
         if bound_len == 0.0 {
             return 0.0;
         }
         let frac = pairs / bound_len;
-        frac * self.sketch.distinct_estimate().min(other.sketch.distinct_estimate())
+        frac * self
+            .sketch
+            .distinct_estimate()
+            .min(other.sketch.distinct_estimate())
     }
 }
 
@@ -187,10 +186,7 @@ mod tests {
         let t = keyed_table(10_000, |i| i as f64);
         let s = KmvSketch::build(&t, "key", None, 256).unwrap();
         let est = s.distinct_estimate();
-        assert!(
-            (est - 10_000.0).abs() / 10_000.0 < 0.15,
-            "est={est}"
-        );
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.15, "est={est}");
     }
 
     #[test]
@@ -253,7 +249,8 @@ mod tests {
         ]);
         let mut t = Table::new(schema);
         for v in [1.0, 3.0] {
-            t.push_row(vec![Value::str("same"), Value::Float(v)]).unwrap();
+            t.push_row(vec![Value::str("same"), Value::Float(v)])
+                .unwrap();
         }
         let s = KmvSketch::build(&t, "key", Some("x"), 8).unwrap();
         assert_eq!(s.len(), 1);

@@ -52,7 +52,7 @@ pub mod schema_match;
 pub mod union_search;
 
 pub use ensemble::LshEnsemble;
-pub use feature::{discover_features, FeatureCandidate, FeatureQuery};
+pub use feature::{discover_features, discover_features_with, FeatureCandidate, FeatureQuery};
 pub use keyword::KeywordIndex;
 pub use kmv::{CorrelationSketch, KmvSketch};
 pub use lsh::MinHashLsh;
@@ -60,4 +60,6 @@ pub use minhash::MinHash;
 pub use navigate::{symmetric_unionability, Navigator};
 pub use overlap::OverlapIndex;
 pub use schema_match::{align_table, match_schemas, ColumnMatch};
-pub use union_search::{column_matching, table_unionability, TableSignature, UnionSearchIndex};
+pub use union_search::{
+    column_matching, column_matching_indices, table_unionability, TableSignature, UnionSearchIndex,
+};

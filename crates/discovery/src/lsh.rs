@@ -7,6 +7,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rdi_par::{par_map, Threads};
+
 use crate::hash::hash_bytes;
 use crate::minhash::MinHash;
 
@@ -39,7 +41,7 @@ impl MinHashLsh {
         assert!(k > 0 && (0.0..=1.0).contains(&threshold));
         let mut best = (1, k, f64::INFINITY);
         for r in 1..=k {
-            if k % r != 0 {
+            if !k.is_multiple_of(r) {
                 continue;
             }
             let b = k / r;
@@ -77,6 +79,32 @@ impl MinHashLsh {
         }
         self.signatures.push(sig);
         id
+    }
+
+    /// Insert many signatures at once, returning their ids in input
+    /// order. Band hashes are computed in parallel on `threads`;
+    /// bucket insertion then replays them in input order, so the index
+    /// state is identical to repeated [`MinHashLsh::insert`] calls for
+    /// any thread count.
+    pub fn insert_batch(&mut self, sigs: Vec<MinHash>, threads: Threads) -> Vec<usize> {
+        for sig in &sigs {
+            assert_eq!(sig.k(), self.signature_len(), "signature length mismatch");
+        }
+        let rows = self.rows;
+        let bands = self.bands;
+        let band_hashes: Vec<Vec<u64>> = par_map(threads.min_len(8), &sigs, |sig| {
+            (0..bands).map(|b| band_hash(sig, b, rows)).collect()
+        });
+        let mut ids = Vec::with_capacity(sigs.len());
+        for (sig, hashes) in sigs.into_iter().zip(band_hashes) {
+            let id = self.signatures.len();
+            for (table, h) in self.tables.iter_mut().zip(hashes) {
+                table.entry(h).or_default().push(id);
+            }
+            self.signatures.push(sig);
+            ids.push(id);
+        }
+        ids
     }
 
     /// Ids of items colliding with the query in at least one band,
@@ -176,8 +204,33 @@ mod tests {
         let mut precision_oriented = MinHashLsh::new(2, 32);
         recall_oriented.insert(a.clone());
         precision_oriented.insert(a);
-        assert_eq!(recall_oriented.query(&b).len(), 1, "should find moderate match");
-        assert_eq!(precision_oriented.query(&b).len(), 0, "should reject moderate match");
+        assert_eq!(
+            recall_oriented.query(&b).len(),
+            1,
+            "should find moderate match"
+        );
+        assert_eq!(
+            precision_oriented.query(&b).len(),
+            0,
+            "should reject moderate match"
+        );
+    }
+
+    #[test]
+    fn batch_insert_matches_sequential() {
+        let sigs: Vec<MinHash> = (0..40).map(|t| sig(t * 50..t * 50 + 60, 64)).collect();
+        let mut seq = MinHashLsh::new(16, 4);
+        for s in &sigs {
+            seq.insert(s.clone());
+        }
+        for threads in [1usize, 2, 8] {
+            let mut batch = MinHashLsh::new(16, 4);
+            let ids = batch.insert_batch(sigs.clone(), Threads::fixed(threads));
+            assert_eq!(ids, (0..sigs.len()).collect::<Vec<usize>>());
+            let q = sig(0..60, 64);
+            assert_eq!(seq.query(&q), batch.query(&q), "threads={threads}");
+            assert_eq!(seq.query_filtered(&q, 0.5), batch.query_filtered(&q, 0.5));
+        }
     }
 
     #[test]

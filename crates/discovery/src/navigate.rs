@@ -88,7 +88,11 @@ impl Navigator {
                 .iter()
                 .max_by(|&&i, &&j| {
                     let avg = |x: usize| {
-                        members.iter().filter(|&&y| y != x).map(|&y| sim[x][y]).sum::<f64>()
+                        members
+                            .iter()
+                            .filter(|&&y| y != x)
+                            .map(|&y| sim[x][y])
+                            .sum::<f64>()
                     };
                     avg(i).total_cmp(&avg(j)).then(j.cmp(&i))
                 })
@@ -176,11 +180,15 @@ mod tests {
         let mut sigs = Vec::new();
         for t in 0..4 {
             let vals: Vec<String> = cities[t * 5..t * 5 + 25].to_vec();
-            sigs.push(TableSignature::build(format!("city_{t}"), &table("name", &vals), 64).unwrap());
+            sigs.push(
+                TableSignature::build(format!("city_{t}"), &table("name", &vals), 64).unwrap(),
+            );
         }
         for t in 0..4 {
             let vals: Vec<String> = genes[t * 5..t * 5 + 25].to_vec();
-            sigs.push(TableSignature::build(format!("gene_{t}"), &table("name", &vals), 64).unwrap());
+            sigs.push(
+                TableSignature::build(format!("gene_{t}"), &table("name", &vals), 64).unwrap(),
+            );
         }
         sigs
     }
@@ -195,9 +203,10 @@ mod tests {
         let members = |id: usize| -> Vec<String> {
             match &nav.nodes[id] {
                 NavNode::Leaf(i) => vec![nav.signature(*i).name.clone()],
-                NavNode::Internal { members, .. } => {
-                    members.iter().map(|&i| nav.signature(i).name.clone()).collect()
-                }
+                NavNode::Internal { members, .. } => members
+                    .iter()
+                    .map(|&i| nav.signature(i).name.clone())
+                    .collect(),
             }
         };
         let a = members(children[0]);
@@ -228,12 +237,8 @@ mod tests {
 
     #[test]
     fn single_table_lake() {
-        let sigs = vec![TableSignature::build(
-            "only",
-            &table("c", &["x".to_string()]),
-            16,
-        )
-        .unwrap()];
+        let sigs =
+            vec![TableSignature::build("only", &table("c", &["x".to_string()]), 16).unwrap()];
         let nav = Navigator::build(sigs);
         let q = TableSignature::build("q", &table("c", &["x".to_string()]), 16).unwrap();
         let (reached, comparisons) = nav.navigate(&q);

@@ -24,7 +24,12 @@ impl OverlapIndex {
     }
 
     /// Register a column's distinct values; returns its id.
-    pub fn insert(&mut self, name: impl Into<String>, table: &Table, column: &str) -> rdi_table::Result<usize> {
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        table: &Table,
+        column: &str,
+    ) -> rdi_table::Result<usize> {
         let id = self.sizes.len();
         let distinct = table.distinct(column)?;
         self.sizes.push(distinct.len());

@@ -122,10 +122,7 @@ pub fn align_table(
             .iter()
             .find(|m| m.target == tf.name)
             .ok_or_else(|| {
-                TableError::SchemaMismatch(format!(
-                    "no source column matched target `{}`",
-                    tf.name
-                ))
+                TableError::SchemaMismatch(format!("no source column matched target `{}`", tf.name))
             })?;
         let src = source.column(&m.source)?;
         // copy through the dynamic interface so Int→Float widening applies

@@ -6,6 +6,7 @@
 //! best greedy column matching, and define table unionability as the mean
 //! matched-column score over the query's columns.
 
+use rdi_par::{par_map, Threads};
 use rdi_table::Table;
 
 use crate::minhash::MinHash;
@@ -20,12 +21,27 @@ pub struct TableSignature {
 }
 
 impl TableSignature {
-    /// Sketch every column of a table.
+    /// Sketch every column of a table, using [`Threads::auto`] workers.
     pub fn build(name: impl Into<String>, table: &Table, k: usize) -> rdi_table::Result<Self> {
-        let mut columns = Vec::with_capacity(table.num_columns());
-        for f in table.schema().fields() {
-            columns.push((f.name.clone(), MinHash::from_column(table, &f.name, k)?));
-        }
+        TableSignature::build_with(name, table, k, Threads::auto())
+    }
+
+    /// Sketch every column of a table on an explicit thread
+    /// configuration. Columns are sketched independently and collected
+    /// in schema order, so the result is identical for any thread
+    /// count.
+    pub fn build_with(
+        name: impl Into<String>,
+        table: &Table,
+        k: usize,
+        threads: Threads,
+    ) -> rdi_table::Result<Self> {
+        let fields = table.schema().fields();
+        let columns = par_map(threads.min_len(2), fields, |f| {
+            MinHash::from_column(table, &f.name, k).map(|m| (f.name.clone(), m))
+        })
+        .into_iter()
+        .collect::<rdi_table::Result<Vec<_>>>()?;
         Ok(TableSignature {
             name: name.into(),
             columns,
@@ -33,10 +49,12 @@ impl TableSignature {
     }
 }
 
-/// Greedy best column matching between two signatures; returns
-/// `(query column, candidate column, score)` triples (each column used at
-/// most once, highest scores first).
-pub fn column_matching(q: &TableSignature, x: &TableSignature) -> Vec<(String, String, f64)> {
+/// Greedy best column matching between two signatures, as
+/// `(query column index, candidate column index, score)` triples (each
+/// column used at most once, highest scores first). This is the
+/// allocation-free core of [`column_matching`]: no column names are
+/// cloned, so scoring loops can run over indices alone.
+pub fn column_matching_indices(q: &TableSignature, x: &TableSignature) -> Vec<(usize, usize, f64)> {
     let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
     for (i, (_, qs)) in q.columns.iter().enumerate() {
         for (j, (_, xs)) in x.columns.iter().enumerate() {
@@ -53,10 +71,20 @@ pub fn column_matching(q: &TableSignature, x: &TableSignature) -> Vec<(String, S
         if !used_q[i] && !used_x[j] && s > 0.0 {
             used_q[i] = true;
             used_x[j] = true;
-            out.push((q.columns[i].0.clone(), x.columns[j].0.clone(), s));
+            out.push((i, j, s));
         }
     }
     out
+}
+
+/// Greedy best column matching between two signatures; returns
+/// `(query column, candidate column, score)` triples (each column used at
+/// most once, highest scores first).
+pub fn column_matching(q: &TableSignature, x: &TableSignature) -> Vec<(String, String, f64)> {
+    column_matching_indices(q, x)
+        .into_iter()
+        .map(|(i, j, s)| (q.columns[i].0.clone(), x.columns[j].0.clone(), s))
+        .collect()
 }
 
 /// Table unionability: mean matched score over the query's columns
@@ -65,7 +93,7 @@ pub fn table_unionability(q: &TableSignature, x: &TableSignature) -> f64 {
     if q.columns.is_empty() {
         return 0.0;
     }
-    let matched = column_matching(q, x);
+    let matched = column_matching_indices(q, x);
     matched.iter().map(|(_, _, s)| s).sum::<f64>() / q.columns.len() as f64
 }
 
@@ -98,11 +126,22 @@ impl UnionSearchIndex {
 
     /// Top-k unionable tables for a query, as `(name, score)` descending.
     pub fn top_k(&self, query: &TableSignature, k: usize) -> Vec<(String, f64)> {
-        let mut scored: Vec<(String, f64)> = self
-            .tables
-            .iter()
-            .map(|t| (t.name.clone(), table_unionability(query, t)))
-            .collect();
+        self.top_k_with(query, k, Threads::auto())
+    }
+
+    /// [`UnionSearchIndex::top_k`] on an explicit thread
+    /// configuration. Candidates are scored independently and the final
+    /// ranking sorts `(score desc, name)`, so the result is identical
+    /// for any thread count.
+    pub fn top_k_with(
+        &self,
+        query: &TableSignature,
+        k: usize,
+        threads: Threads,
+    ) -> Vec<(String, f64)> {
+        let mut scored: Vec<(String, f64)> = par_map(threads.min_len(4), &self.tables, |t| {
+            (t.name.clone(), table_unionability(query, t))
+        });
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored

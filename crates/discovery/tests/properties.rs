@@ -2,7 +2,8 @@
 //! inputs.
 
 use proptest::prelude::*;
-use rdi_discovery::{KmvSketch, MinHash};
+use rdi_discovery::{KmvSketch, MinHash, TableSignature, UnionSearchIndex};
+use rdi_par::Threads;
 use rdi_table::{DataType, Field, Schema, Table, Value};
 
 fn set_table(ids: &[u16]) -> Table {
@@ -12,6 +13,24 @@ fn set_table(ids: &[u16]) -> Table {
         t.push_row(vec![Value::str(format!("x{i}"))]).unwrap();
     }
     t
+}
+
+/// Random multi-column string table (1–4 columns, 1–40 rows).
+fn arb_multicol_table() -> impl Strategy<Value = Table> {
+    (1usize..=4).prop_flat_map(|d| {
+        let row = prop::collection::vec(0u16..150, d);
+        prop::collection::vec(row, 1..40).prop_map(move |rows| {
+            let fields = (0..d)
+                .map(|i| Field::new(format!("c{i}"), DataType::Str))
+                .collect();
+            let mut t = Table::new(Schema::new(fields));
+            for r in rows {
+                t.push_row(r.into_iter().map(|v| Value::str(format!("x{v}"))).collect())
+                    .unwrap();
+            }
+            t
+        })
+    })
 }
 
 fn exact_jaccard(a: &[u16], b: &[u16]) -> f64 {
@@ -52,6 +71,36 @@ proptest! {
         let ma = MinHash::from_column(&set_table(&a), "v", 64).unwrap();
         let md = MinHash::from_column(&set_table(&doubled), "v", 64).unwrap();
         prop_assert_eq!(ma.jaccard(&md), 1.0);
+    }
+
+    /// Parallel column sketching and union search are byte-identical to
+    /// their single-thread runs for every thread count.
+    #[test]
+    fn par_sketching_and_search_are_thread_invariant(
+        tables in prop::collection::vec(arb_multicol_table(), 2..5))
+    {
+        let k = 64;
+        let serial: Vec<TableSignature> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TableSignature::build_with(format!("t{i}"), t, k, Threads::serial()).unwrap())
+            .collect();
+        for threads in [2usize, 8] {
+            for (i, t) in tables.iter().enumerate() {
+                let sig =
+                    TableSignature::build_with(format!("t{i}"), t, k, Threads::fixed(threads)).unwrap();
+                prop_assert_eq!(&sig.columns, &serial[i].columns, "threads={}", threads);
+            }
+        }
+        let mut index = UnionSearchIndex::new();
+        for s in serial.iter().skip(1) {
+            index.insert(s.clone());
+        }
+        let base = index.top_k_with(&serial[0], 3, Threads::serial());
+        for threads in [2usize, 8] {
+            let got = index.top_k_with(&serial[0], 3, Threads::fixed(threads));
+            prop_assert_eq!(&got, &base, "threads={}", threads);
+        }
     }
 
     /// KMV distinct estimate: exact below k, within 3·(d/√k) above.

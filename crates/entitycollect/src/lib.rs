@@ -184,8 +184,7 @@ pub fn run_collection_batch<R: Rng>(
             }
             WorkerSelection::Adaptive => {
                 let mut set = Vec::with_capacity(m);
-                let mut hypothetical: Vec<f64> =
-                    counts.iter().map(|&c| c as f64 + 0.5).collect();
+                let mut hypothetical: Vec<f64> = counts.iter().map(|&c| c as f64 + 0.5).collect();
                 for _ in 0..m {
                     let mut best = (f64::INFINITY, usize::MAX);
                     for (i, w) in workers.iter().enumerate() {
@@ -400,8 +399,14 @@ mod tests {
         let workers = specialists(4, 8);
         let target = Categorical::uniform(4);
         let mut rng = StdRng::seed_from_u64(31);
-        let trace =
-            run_collection_batch(&workers, &target, 30, 4, WorkerSelection::Adaptive, &mut rng);
+        let trace = run_collection_batch(
+            &workers,
+            &target,
+            30,
+            4,
+            WorkerSelection::Adaptive,
+            &mut rng,
+        );
         assert_eq!(trace.assignments.iter().sum::<usize>(), 30 * 4);
         assert_eq!(trace.total_entities, 30 * 4 * 8);
         assert!(
@@ -439,15 +444,23 @@ mod tests {
         let mut r_sum = 0.0;
         for seed in 0..8 {
             let mut rng = StdRng::seed_from_u64(400 + seed);
-            a_sum += run_collection_batch(&workers, &target, 25, 2, WorkerSelection::Adaptive, &mut rng)
-                .divergence
-                .last()
-                .unwrap();
+            a_sum += run_collection_batch(
+                &workers,
+                &target,
+                25,
+                2,
+                WorkerSelection::Adaptive,
+                &mut rng,
+            )
+            .divergence
+            .last()
+            .unwrap();
             let mut rng = StdRng::seed_from_u64(500 + seed);
-            r_sum += run_collection_batch(&workers, &target, 25, 2, WorkerSelection::Random, &mut rng)
-                .divergence
-                .last()
-                .unwrap();
+            r_sum +=
+                run_collection_batch(&workers, &target, 25, 2, WorkerSelection::Random, &mut rng)
+                    .divergence
+                    .last()
+                    .unwrap();
         }
         assert!(a_sum < r_sum * 0.5, "adaptive {a_sum} random {r_sum}");
     }
@@ -470,8 +483,14 @@ mod tests {
         let costs = vec![1.0, 2.0];
         let target = Categorical::uniform(2);
         let mut rng = StdRng::seed_from_u64(50);
-        let (trace, spent) =
-            run_collection_budgeted(&workers, &costs, &target, 60.0, WorkerSelection::Adaptive, &mut rng);
+        let (trace, spent) = run_collection_budgeted(
+            &workers,
+            &costs,
+            &target,
+            60.0,
+            WorkerSelection::Adaptive,
+            &mut rng,
+        );
         assert!(spent <= 60.0);
         // budget binding: can't afford even the cheapest next assignment
         assert!(spent > 60.0 - 2.0 - 1e-9);
@@ -505,17 +524,31 @@ mod tests {
         let mut r = 0.0;
         for seed in 0..8 {
             let mut rng = StdRng::seed_from_u64(600 + seed);
-            a += run_collection_budgeted(&workers, &costs, &target, 40.0, WorkerSelection::Adaptive, &mut rng)
-                .0
-                .divergence
-                .last()
-                .unwrap();
+            a += run_collection_budgeted(
+                &workers,
+                &costs,
+                &target,
+                40.0,
+                WorkerSelection::Adaptive,
+                &mut rng,
+            )
+            .0
+            .divergence
+            .last()
+            .unwrap();
             let mut rng = StdRng::seed_from_u64(700 + seed);
-            r += run_collection_budgeted(&workers, &costs, &target, 40.0, WorkerSelection::Random, &mut rng)
-                .0
-                .divergence
-                .last()
-                .unwrap();
+            r += run_collection_budgeted(
+                &workers,
+                &costs,
+                &target,
+                40.0,
+                WorkerSelection::Random,
+                &mut rng,
+            )
+            .0
+            .divergence
+            .last()
+            .unwrap();
         }
         assert!(a < r, "adaptive {a} random {r}");
     }

@@ -173,8 +173,7 @@ pub fn table_association(table: &Table, a: &str, b: &str) -> rdi_table::Result<f
     let fb = table.schema().field(b)?;
     let ca = table.column(a)?;
     let cb = table.column(b)?;
-    let numeric =
-        |dt: DataType| matches!(dt, DataType::Int | DataType::Float | DataType::Bool);
+    let numeric = |dt: DataType| matches!(dt, DataType::Int | DataType::Float | DataType::Bool);
 
     if numeric(fa.dtype) && numeric(fb.dtype) {
         let mut xs = Vec::new();
@@ -244,7 +243,11 @@ pub fn table_association(table: &Table, a: &str, b: &str) -> rdi_table::Result<f
     let hx = entropy(&bx);
     let hy = entropy(&ys);
     let h = hx.min(hy);
-    Ok(if h > 0.0 { (mi / h).clamp(0.0, 1.0) } else { 0.0 })
+    Ok(if h > 0.0 {
+        (mi / h).clamp(0.0, 1.0)
+    } else {
+        0.0
+    })
 }
 
 /// Shannon entropy (nats) of a label vector.
@@ -344,12 +347,8 @@ mod tests {
         for i in 0..100 {
             let x = i as f64;
             let g = if i % 2 == 0 { "even" } else { "odd" };
-            t.push_row(vec![
-                Value::Float(x),
-                Value::Float(2.0 * x),
-                Value::str(g),
-            ])
-            .unwrap();
+            t.push_row(vec![Value::Float(x), Value::Float(2.0 * x), Value::str(g)])
+                .unwrap();
         }
         let nn = table_association(&t, "x", "y").unwrap();
         assert!((nn - 1.0).abs() < 1e-9);

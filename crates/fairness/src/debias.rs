@@ -147,10 +147,12 @@ mod tests {
         ]);
         let mut t = Table::new(schema);
         for _ in 0..90 {
-            t.push_row(vec![Value::str("maj"), Value::Float(10.0)]).unwrap();
+            t.push_row(vec![Value::str("maj"), Value::Float(10.0)])
+                .unwrap();
         }
         for _ in 0..10 {
-            t.push_row(vec![Value::str("min"), Value::Float(30.0)]).unwrap();
+            t.push_row(vec![Value::str("min"), Value::Float(30.0)])
+                .unwrap();
         }
         t
     }

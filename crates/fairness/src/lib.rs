@@ -41,7 +41,9 @@ pub mod tests_stat;
 pub use association::{cramers_v, mutual_information, pearson, spearman, table_association};
 pub use debias::{post_stratification_weights, DebiasedView};
 pub use distribution::Categorical;
-pub use divergence::{chi_square, emd_1d, hellinger, js_divergence, kl_divergence, total_variation};
+pub use divergence::{
+    chi_square, emd_1d, hellinger, js_divergence, kl_divergence, total_variation,
+};
 pub use metrics::{
     demographic_parity_difference, disparity, equalized_odds_difference, group_accuracy,
     GroupOutcomes,

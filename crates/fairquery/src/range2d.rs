@@ -59,9 +59,7 @@ impl RangeQuery2d {
                 return vals;
             }
             let n = vals.len();
-            let mut out: Vec<f64> = (0..grid)
-                .map(|k| vals[k * (n - 1) / (grid - 1)])
-                .collect();
+            let mut out: Vec<f64> = (0..grid).map(|k| vals[k * (n - 1) / (grid - 1)]).collect();
             out.dedup();
             out
         };
@@ -191,8 +189,12 @@ impl RangeQuery2d {
                         };
                         let (cand_count, _) = self.counts(i1, i2, j1, j2);
                         let union = orig_count + cand_count - inter;
-                        let sim = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
-                        if best.map_or(true, |(_, s)| sim > s) {
+                        let sim = if union == 0 {
+                            1.0
+                        } else {
+                            inter as f64 / union as f64
+                        };
+                        if best.is_none_or(|(_, s)| sim > s) {
                             best = Some((b, sim));
                         }
                     }

@@ -133,7 +133,7 @@ impl RangeQueryEngine {
                     continue;
                 }
                 let sim = self.similarity_idx(orig, (i, j));
-                if best.map_or(true, |(_, s)| sim > s) {
+                if best.is_none_or(|(_, s)| sim > s) {
                     best = Some(((i, j), sim));
                 }
             }

@@ -65,7 +65,7 @@ pub fn relax_for_coverage(
         // prefer the one that helps a deficient group; tie → smaller gap.
         let left = i.checked_sub(1).map(|p| &pts[p]);
         let right = pts.get(j);
-        let helps = |p: Option<&(f64, GroupKey)>| p.map_or(false, |(_, g)| counts[g] < k);
+        let helps = |p: Option<&(f64, GroupKey)>| p.is_some_and(|(_, g)| counts[g] < k);
         let pick_left = match (left, right) {
             (None, None) => break, // data exhausted
             (Some(_), None) => true,
@@ -92,10 +92,8 @@ pub fn relax_for_coverage(
     } else {
         (lo, hi)
     };
-    let mut group_counts: Vec<(String, usize)> = keys
-        .iter()
-        .map(|g| (g.to_string(), counts[g]))
-        .collect();
+    let mut group_counts: Vec<(String, usize)> =
+        keys.iter().map(|g| (g.to_string(), counts[g])).collect();
     group_counts.sort();
     Ok(Relaxation {
         lo: new_lo,
@@ -137,20 +135,18 @@ mod tests {
     #[test]
     fn widens_toward_missing_group() {
         // group b only exists above 10
-        let table = t(&[
-            (1.0, "a"),
-            (2.0, "a"),
-            (3.0, "a"),
-            (11.0, "b"),
-            (12.0, "b"),
-        ]);
+        let table = t(&[(1.0, "a"), (2.0, "a"), (3.0, "a"), (11.0, "b"), (12.0, "b")]);
         let spec = GroupSpec::new(vec!["g"]);
         let r = relax_for_coverage(&table, "x", &spec, 0.0, 5.0, 2).unwrap();
         assert!(r.satisfied);
         assert_eq!(r.hi, 12.0);
         assert_eq!(r.lo, 0.0);
         assert_eq!(r.added_rows, 2);
-        let b = r.group_counts.iter().find(|(g, _)| g.contains('b')).unwrap();
+        let b = r
+            .group_counts
+            .iter()
+            .find(|(g, _)| g.contains('b'))
+            .unwrap();
         assert_eq!(b.1, 2);
     }
 

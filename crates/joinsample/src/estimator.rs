@@ -39,7 +39,10 @@ impl AqpEstimate {
 
     /// 95% confidence interval `(lo, hi)`.
     pub fn ci95(&self) -> (f64, f64) {
-        (self.value - 1.96 * self.std_err, self.value + 1.96 * self.std_err)
+        (
+            self.value - 1.96 * self.std_err,
+            self.value + 1.96 * self.std_err,
+        )
     }
 
     /// True iff `truth` lies in the 95% CI.

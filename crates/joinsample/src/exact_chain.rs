@@ -213,7 +213,11 @@ mod tests {
     #[test]
     fn two_table_agrees_with_exact_join_size() {
         let a = keyed(&(0..50).collect::<Vec<i64>>());
-        let b = keyed(&(0..50).flat_map(|k| vec![k; (k % 4) as usize]).collect::<Vec<i64>>());
+        let b = keyed(
+            &(0..50)
+                .flat_map(|k| vec![k; (k % 4) as usize])
+                .collect::<Vec<i64>>(),
+        );
         let s = ExactChainSampler::new(vec![&a, &b], &[("k", "k")]).unwrap();
         let truth = hash_join(&a, &b, "k", "k").unwrap().num_rows() as u64;
         assert_eq!(s.join_size(), truth);

@@ -59,7 +59,7 @@ pub use estimator::{quantile_estimate, AqpEstimate};
 pub use exact_chain::ExactChainSampler;
 pub use index::JoinIndex;
 pub use naive::sample_then_join;
-pub use olken::{chaudhuri_sample, olken_sample, JoinSample};
+pub use olken::{chaudhuri_sample, olken_sample, olken_sample_par, JoinSample};
 pub use ripple::RippleJoin;
 pub use union_sample::{union_sample, ReservoirSampler};
 pub use wander::{WanderJoin, WanderPath};

@@ -45,7 +45,8 @@ mod tests {
         ]);
         let mut t = Table::new(schema);
         for (i, &k) in keys.iter().enumerate() {
-            t.push_row(vec![Value::Int(k), Value::Int(i as i64)]).unwrap();
+            t.push_row(vec![Value::Int(k), Value::Int(i as i64)])
+                .unwrap();
         }
         t
     }
@@ -74,7 +75,7 @@ mod tests {
         // the heavy key's output count is either 0 or large.
         let mut left_keys = vec![0i64];
         left_keys.extend(1..=500);
-        let mut right_keys: Vec<i64> = std::iter::repeat(0i64).take(50).collect();
+        let mut right_keys: Vec<i64> = std::iter::repeat_n(0i64, 50).collect();
         right_keys.extend(1..=500);
         let left = keyed(&left_keys);
         let right = keyed(&right_keys);

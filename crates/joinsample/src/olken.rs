@@ -14,7 +14,9 @@
 //!
 //! Both return exact uniform i.i.d. samples of `R ⋈ S`.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdi_par::{par_run, stream_seed, Threads};
 use rdi_table::{Table, TableError, Value};
 
 use crate::index::JoinIndex;
@@ -48,6 +50,11 @@ pub fn olken_sample<R: Rng>(
             "right side has no joinable keys".into(),
         ));
     }
+    // An empty join would make the accept-reject loop spin forever (every
+    // draw rejects); refuse it up front like `chaudhuri_sample` does.
+    if right_index.join_size(left, left_key)? == 0 {
+        return Err(TableError::SchemaMismatch("join is empty".into()));
+    }
     let mut out = Vec::with_capacity(n);
     let mut attempts = 0usize;
     while out.len() < n {
@@ -66,6 +73,46 @@ pub fn olken_sample<R: Rng>(
             let s = partners[rng.gen_range(0..partners.len())];
             out.push(JoinSample { left: r, right: s });
         }
+    }
+    Ok((out, attempts))
+}
+
+/// Samples per independent RNG block in [`olken_sample_par`]. Block
+/// boundaries depend only on `n`, never on the thread count — that is
+/// what makes the parallel output bitwise reproducible.
+const OLKEN_BLOCK: usize = 256;
+
+/// Parallel [`olken_sample`]: the `n` draws are split into fixed
+/// blocks of [`OLKEN_BLOCK`], each driven by its own `StdRng` seeded
+/// with [`stream_seed`]`(seed, block)`, and blocks run across
+/// `threads`. Because both the block boundaries and the per-block
+/// streams are functions of `(n, seed)` alone, the samples and attempt
+/// count are bitwise identical for any thread count (including 1).
+///
+/// The sequence differs from [`olken_sample`] with a single RNG — this
+/// variant defines its own deterministic stream — but each block is an
+/// exact uniform i.i.d. sampler, so all statistical guarantees carry
+/// over.
+pub fn olken_sample_par(
+    left: &Table,
+    left_key: &str,
+    right_index: &JoinIndex,
+    n: usize,
+    seed: u64,
+    threads: Threads,
+) -> rdi_table::Result<(Vec<JoinSample>, usize)> {
+    let blocks = n.div_ceil(OLKEN_BLOCK).max(1);
+    let per_block = par_run(threads.min_len(2), blocks, |b| {
+        let quota = OLKEN_BLOCK.min(n - (b * OLKEN_BLOCK).min(n));
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, b as u64));
+        olken_sample(left, left_key, right_index, quota, &mut rng)
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    for r in per_block {
+        let (samples, a) = r?;
+        out.extend(samples);
+        attempts += a;
     }
     Ok((out, attempts))
 }
@@ -100,7 +147,9 @@ pub fn chaudhuri_sample<R: Rng>(
     for _ in 0..n {
         let u = rng.gen::<f64>() * total;
         // binary search the cumulative weights
-        let r = weights.partition_point(|&w| w <= u).min(left.num_rows() - 1);
+        let r = weights
+            .partition_point(|&w| w <= u)
+            .min(left.num_rows() - 1);
         let key = left.column_at(key_idx).value(r);
         let partners = right_index.rows(&key);
         debug_assert!(!partners.is_empty());
@@ -145,7 +194,11 @@ pub fn materialize_samples(
 
 /// Convenience: the exact join size via the index (denominator for
 /// uniformity tests).
-pub fn exact_join_size(left: &Table, left_key: &str, right_index: &JoinIndex) -> rdi_table::Result<usize> {
+pub fn exact_join_size(
+    left: &Table,
+    left_key: &str,
+    right_index: &JoinIndex,
+) -> rdi_table::Result<usize> {
     right_index.join_size(left, left_key)
 }
 
@@ -248,12 +301,61 @@ mod tests {
     }
 
     #[test]
+    fn olken_par_identical_across_thread_counts() {
+        let left = keyed(&(0..20).collect::<Vec<i64>>());
+        let mut right_keys = Vec::new();
+        for k in 0..20i64 {
+            for _ in 0..=(k % 5) {
+                right_keys.push(k);
+            }
+        }
+        let right = keyed(&right_keys);
+        let idx = JoinIndex::build(&right, "k").unwrap();
+        // spans several OLKEN_BLOCKs plus a partial tail
+        let n = 3 * OLKEN_BLOCK + 17;
+        let baseline = olken_sample_par(&left, "k", &idx, n, 42, Threads::fixed(1)).unwrap();
+        assert_eq!(baseline.0.len(), n);
+        for threads in [2, 3, 8] {
+            let got = olken_sample_par(&left, "k", &idx, n, 42, Threads::fixed(threads)).unwrap();
+            assert_eq!(got, baseline, "threads={threads}");
+        }
+        // the parallel stream is still a valid uniform sampler
+        for s in &baseline.0 {
+            assert_eq!(
+                left.value(s.left, "k").unwrap(),
+                right.value(s.right, "k").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn olken_par_is_uniform_under_skew() {
+        let left = keyed(&(0..10).collect::<Vec<i64>>());
+        let mut right_keys = Vec::new();
+        for k in 0..10i64 {
+            for _ in 0..=k {
+                right_keys.push(k);
+            }
+        }
+        let right = keyed(&right_keys);
+        let idx = JoinIndex::build(&right, "k").unwrap();
+        let n = 22_000;
+        let (samples, attempts) =
+            olken_sample_par(&left, "k", &idx, n, 13, Threads::fixed(4)).unwrap();
+        assert!(attempts >= n);
+        assert_uniform(&samples, 55, n);
+    }
+
+    #[test]
     fn empty_join_is_an_error() {
         let left = keyed(&[1]);
         let right = keyed(&[2]);
         let idx = JoinIndex::build(&right, "k").unwrap();
         let mut rng = StdRng::seed_from_u64(10);
         assert!(chaudhuri_sample(&left, "k", &idx, 5, &mut rng).is_err());
+        // olken must refuse too rather than loop forever on all-rejects
+        assert!(olken_sample(&left, "k", &idx, 5, &mut rng).is_err());
+        assert!(olken_sample_par(&left, "k", &idx, 5, 1, Threads::fixed(2)).is_err());
     }
 
     #[test]

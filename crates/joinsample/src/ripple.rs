@@ -197,8 +197,8 @@ impl<'a> RippleJoin<'a> {
         }
         let avg = self.matched_sum / self.matched_count;
         // ratio-estimator error shrinks with matched sample size
-        let se = (self.matched_sum / self.matched_count).abs()
-            / (self.matched_count.sqrt()).max(1.0);
+        let se =
+            (self.matched_sum / self.matched_count).abs() / (self.matched_count.sqrt()).max(1.0);
         AqpEstimate::new(avg, se)
     }
 }
@@ -224,7 +224,8 @@ mod tests {
         ]);
         let mut t = Table::new(schema);
         for &k in keys {
-            t.push_row(vec![Value::Int(k), Value::Float(k as f64)]).unwrap();
+            t.push_row(vec![Value::Int(k), Value::Float(k as f64)])
+                .unwrap();
         }
         t
     }

@@ -7,11 +7,18 @@
 //! Horvitz–Thompson estimator `Σ f(path)/p(path) / n_walks` is unbiased for
 //! any SUM/COUNT aggregate — no uniformity needed (tutorial §3.4).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdi_par::{par_run, stream_seed, Threads};
 use rdi_table::{Table, TableError, Value};
 
 use crate::estimator::AqpEstimate;
 use crate::index::JoinIndex;
+
+/// Walks per independent RNG block in the `_par` estimators. Block
+/// boundaries depend only on the walk count, never on the thread
+/// count, so parallel estimates are bitwise reproducible.
+const WALK_BLOCK: usize = 1024;
 
 /// A successful random walk: one row index per table, and the walk's
 /// sampling probability.
@@ -114,8 +121,54 @@ impl<'a> WanderJoin<'a> {
         AqpEstimate::from_contributions(&contributions)
     }
 
+    /// Parallel [`Self::count_estimate`]: walks split into fixed blocks
+    /// of [`WALK_BLOCK`], each with its own seeded RNG stream, so the
+    /// estimate is bitwise identical for any thread count.
+    pub fn count_estimate_par(&self, n_walks: usize, seed: u64, threads: Threads) -> AqpEstimate {
+        self.aggregate_estimate_par(n_walks, seed, threads, |_| 1.0)
+    }
+
+    /// Parallel [`Self::aggregate_estimate`]. The `n_walks` trials are
+    /// split into fixed blocks of [`WALK_BLOCK`] (a function of
+    /// `n_walks` alone), each driven by a `StdRng` seeded with
+    /// [`stream_seed`]`(seed, block)`, and blocks run across `threads`.
+    /// Per-block contributions are concatenated in block order before
+    /// the estimator folds them, so the returned estimate is bitwise
+    /// identical for any thread count (including 1).
+    ///
+    /// The stream differs from [`Self::aggregate_estimate`] with a
+    /// single RNG, but every walk is still an independent
+    /// Horvitz–Thompson trial, so unbiasedness is unaffected.
+    pub fn aggregate_estimate_par(
+        &self,
+        n_walks: usize,
+        seed: u64,
+        threads: Threads,
+        f: impl Fn(&WanderPath) -> f64 + Sync,
+    ) -> AqpEstimate {
+        let blocks = n_walks.div_ceil(WALK_BLOCK).max(1);
+        let per_block = par_run(threads.min_len(2), blocks, |b| {
+            let quota = WALK_BLOCK.min(n_walks - (b * WALK_BLOCK).min(n_walks));
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed, b as u64));
+            let mut contributions = Vec::with_capacity(quota);
+            for _ in 0..quota {
+                match self.walk(&mut rng) {
+                    Some(path) => contributions.push(f(&path) / path.probability),
+                    None => contributions.push(0.0),
+                }
+            }
+            contributions
+        });
+        AqpEstimate::from_contributions(&per_block.concat())
+    }
+
     /// Value of column `col` in chain table `table_idx` on a path.
-    pub fn path_value(&self, path: &WanderPath, table_idx: usize, col: &str) -> rdi_table::Result<Value> {
+    pub fn path_value(
+        &self,
+        path: &WanderPath,
+        table_idx: usize,
+        col: &str,
+    ) -> rdi_table::Result<Value> {
         self.tables[table_idx].value(path.rows[table_idx], col)
     }
 }
@@ -153,7 +206,11 @@ mod tests {
         let wj = WanderJoin::new(vec![&left, &right], &[("k", "k")]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let est = wj.count_estimate(20_000, &mut rng);
-        assert!(est.relative_error(truth) < 0.05, "est={} truth={truth}", est.value);
+        assert!(
+            est.relative_error(truth) < 0.05,
+            "est={} truth={truth}",
+            est.value
+        );
         assert!(est.covers(truth));
     }
 
@@ -168,7 +225,11 @@ mod tests {
         let wj = WanderJoin::new(vec![&a, &b, &c], &[("k", "k"), ("k", "k")]).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let est = wj.count_estimate(40_000, &mut rng);
-        assert!(est.relative_error(truth) < 0.08, "est={} truth={truth}", est.value);
+        assert!(
+            est.relative_error(truth) < 0.08,
+            "est={} truth={truth}",
+            est.value
+        );
     }
 
     #[test]
@@ -195,6 +256,44 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let est = wj.count_estimate(20_000, &mut rng);
         assert!(est.relative_error(truth) < 0.1, "est={}", est.value);
+    }
+
+    #[test]
+    fn par_estimates_identical_across_thread_counts() {
+        let left = keyed("l", &[1, 1, 2, 3, 5], None);
+        let right = keyed("r", &[1, 2, 2, 2, 3, 4], None);
+        let wj = WanderJoin::new(vec![&left, &right], &[("k", "k")]).unwrap();
+        // spans several WALK_BLOCKs plus a partial tail
+        let n = 3 * WALK_BLOCK + 31;
+        let baseline = wj.count_estimate_par(n, 42, Threads::fixed(1));
+        for threads in [2, 3, 8] {
+            let got = wj.count_estimate_par(n, 42, Threads::fixed(threads));
+            assert_eq!(
+                got.value.to_bits(),
+                baseline.value.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                got.std_err.to_bits(),
+                baseline.std_err.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_count_estimate_is_unbiased() {
+        let left = keyed("l", &[1, 1, 2, 3, 5], None);
+        let right = keyed("r", &[1, 2, 2, 2, 3, 4], None);
+        let truth = hash_join(&left, &right, "k", "k").unwrap().num_rows() as f64;
+        let wj = WanderJoin::new(vec![&left, &right], &[("k", "k")]).unwrap();
+        let est = wj.count_estimate_par(20_000, 5, Threads::fixed(4));
+        assert!(
+            est.relative_error(truth) < 0.05,
+            "est={} truth={truth}",
+            est.value
+        );
+        assert!(est.covers(truth));
     }
 
     #[test]

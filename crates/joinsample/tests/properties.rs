@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rdi_joinsample::{chaudhuri_sample, olken_sample, ExactChainSampler, JoinIndex, WanderJoin};
+use rdi_joinsample::{
+    chaudhuri_sample, olken_sample, olken_sample_par, ExactChainSampler, JoinIndex, WanderJoin,
+};
+use rdi_par::Threads;
 use rdi_table::{hash_join, DataType, Field, Schema, Table, Value};
 
 fn keyed(keys: &[u8]) -> Table {
@@ -70,6 +73,35 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The parallel samplers and estimators are byte-identical to their
+    /// single-thread runs for every thread count, on random inputs.
+    #[test]
+    fn par_samplers_are_thread_invariant(
+        a in prop::collection::vec(0u8..8, 1..30),
+        b in prop::collection::vec(0u8..8, 1..30),
+        seed in 0u64..500)
+    {
+        let ta = keyed(&a);
+        let tb = keyed(&b);
+        let idx = JoinIndex::build(&tb, "k").unwrap();
+        let base = olken_sample_par(&ta, "k", &idx, 300, seed, Threads::serial());
+        for threads in [2usize, 8] {
+            let got = olken_sample_par(&ta, "k", &idx, 300, seed, Threads::fixed(threads));
+            match (&base, &got) {
+                (Ok(b), Ok(g)) => prop_assert_eq!(g, b),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "ok/err disagreement at threads={}", threads),
+            }
+        }
+        let wj = WanderJoin::new(vec![&ta, &tb], &[("k", "k")]).unwrap();
+        let est1 = wj.count_estimate_par(2_000, seed, Threads::serial());
+        for threads in [2usize, 8] {
+            let est = wj.count_estimate_par(2_000, seed, Threads::fixed(threads));
+            prop_assert_eq!(est.value.to_bits(), est1.value.to_bits());
+            prop_assert_eq!(est.std_err.to_bits(), est1.std_err.to_bits());
         }
     }
 

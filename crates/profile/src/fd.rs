@@ -81,7 +81,10 @@ mod tests {
     fn independent_attributes_violate_heavily() {
         let mut rows = Vec::new();
         for i in 0..100 {
-            rows.push((if i % 2 == 0 { "a" } else { "b" }, ["1", "2", "3", "4"][i % 4]));
+            rows.push((
+                if i % 2 == 0 { "a" } else { "b" },
+                ["1", "2", "3", "4"][i % 4],
+            ));
         }
         let t = t(&rows);
         let rate = fd_violation_rate(&t, &["x"], "y").unwrap();
@@ -96,7 +99,12 @@ mod tests {
             Field::new("y", DataType::Str),
         ]);
         let mut t = Table::new(schema);
-        for (a, b, y) in [("0", "0", "p"), ("0", "1", "q"), ("1", "0", "r"), ("1", "1", "s")] {
+        for (a, b, y) in [
+            ("0", "0", "p"),
+            ("0", "1", "q"),
+            ("1", "0", "r"),
+            ("1", "1", "s"),
+        ] {
             t.push_row(vec![Value::str(a), Value::str(b), Value::str(y)])
                 .unwrap();
         }

@@ -89,10 +89,8 @@ impl NutritionalLabel {
         } else {
             let spec = GroupSpec::from_sensitive(table);
             let fr = spec.fractions(table)?;
-            let rendered: Vec<(String, f64)> = fr
-                .iter()
-                .map(|(k, f)| (k.render(&spec), *f))
-                .collect();
+            let rendered: Vec<(String, f64)> =
+                fr.iter().map(|(k, f)| (k.render(&spec), *f)).collect();
             let max = fr.iter().map(|(_, f)| *f).fold(f64::NEG_INFINITY, f64::max);
             let min = fr.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min);
             let labels: Vec<String> = (0..table.num_rows())
@@ -155,8 +153,7 @@ impl NutritionalLabel {
                 let ys: Vec<String> = (0..table.num_rows())
                     .map(|i| table.value(i, target).map(|v| v.to_string()))
                     .collect::<rdi_table::Result<_>>()?;
-                rdi_fairness::chi_square_test(&xs, &ys)
-                    .map_or(false, |t| t.p_value < 0.05)
+                rdi_fairness::chi_square_test(&xs, &ys).is_some_and(|t| t.p_value < 0.05)
             };
             if significant {
                 crate::rules::mine_rules(table, &sensitive, &targets, 0.01, 0.0, config.rule_lift)?
@@ -207,8 +204,7 @@ impl NutritionalLabel {
                         .sum();
                     attribute_diversity.push((f.name.clone(), avg));
                 }
-                attribute_diversity
-                    .sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                attribute_diversity.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             }
         }
 
@@ -299,7 +295,9 @@ impl NutritionalLabel {
             }
         }
         for rule in &self.bias_rules {
-            w.push(format!("association rule links group membership to the target: {rule}"));
+            w.push(format!(
+                "association rule links group membership to the target: {rule}"
+            ));
         }
         for (col, group, frac, overall) in &self.differential_missingness {
             w.push(format!(
@@ -420,7 +418,11 @@ mod tests {
     #[test]
     fn biased_feature_flagged() {
         let l = NutritionalLabel::generate(&labeled_table(), &LabelConfig::default()).unwrap();
-        let x = l.feature_associations.iter().find(|(f, _, _)| f == "x").unwrap();
+        let x = l
+            .feature_associations
+            .iter()
+            .find(|(f, _, _)| f == "x")
+            .unwrap();
         assert!(x.2 > 0.9, "assoc with sensitive = {}", x.2);
         assert!(l
             .warnings
@@ -454,8 +456,8 @@ mod tests {
     fn attribute_diversity_ranks_balanced_attributes_first() {
         let schema = Schema::new(vec![
             Field::new("race", DataType::Str).with_role(Role::Sensitive),
-            Field::new("city", DataType::Str),    // balanced across groups
-            Field::new("club", DataType::Str),    // segregated by group
+            Field::new("city", DataType::Str), // balanced across groups
+            Field::new("club", DataType::Str), // segregated by group
             Field::new("y", DataType::Bool).with_role(Role::Target),
         ]);
         let mut t = Table::new(schema);
@@ -490,15 +492,25 @@ mod tests {
         for i in 0..400 {
             let r = if i % 2 == 0 { "a" } else { "b" };
             let y = if r == "a" { i % 10 != 0 } else { i % 10 < 3 };
-            big.push_row(vec![Value::str(r), Value::str(if y { "yes" } else { "no" })])
-                .unwrap();
+            big.push_row(vec![
+                Value::str(r),
+                Value::str(if y { "yes" } else { "no" }),
+            ])
+            .unwrap();
         }
         let l = NutritionalLabel::generate(&big, &LabelConfig::default()).unwrap();
         assert!(!l.bias_rules.is_empty());
 
         // the same apparent pattern on 6 rows → not significant, no rules
         let mut tiny = Table::new(schema);
-        for (r, y) in [("a", "yes"), ("a", "yes"), ("a", "no"), ("b", "no"), ("b", "no"), ("b", "yes")] {
+        for (r, y) in [
+            ("a", "yes"),
+            ("a", "yes"),
+            ("a", "no"),
+            ("b", "no"),
+            ("b", "no"),
+            ("b", "yes"),
+        ] {
             tiny.push_row(vec![Value::str(r), Value::str(y)]).unwrap();
         }
         let l = NutritionalLabel::generate(&tiny, &LabelConfig::default()).unwrap();

@@ -36,8 +36,13 @@ impl AssociationRule {
     pub fn render(&self) -> String {
         format!(
             "{}={} → {}={} (support {:.2}, conf {:.2}, lift {:.2})",
-            self.lhs_attr, self.lhs_value, self.rhs_attr, self.rhs_value,
-            self.support, self.confidence, self.lift
+            self.lhs_attr,
+            self.lhs_value,
+            self.rhs_attr,
+            self.rhs_value,
+            self.support,
+            self.confidence,
+            self.lift
         )
     }
 }

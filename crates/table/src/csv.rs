@@ -103,7 +103,8 @@ pub fn read_csv_str(text: &str) -> Result<Table> {
 
     let mut raw_rows: Vec<Vec<Option<String>>> = Vec::new();
     for (lineno, line) in lines.enumerate() {
-        let fields = split_line(line).map_err(|e| TableError::Csv(format!("line {}: {e}", lineno + 2)))?;
+        let fields =
+            split_line(line).map_err(|e| TableError::Csv(format!("line {}: {e}", lineno + 2)))?;
         if fields.len() != names.len() {
             return Err(TableError::Csv(format!(
                 "line {}: expected {} fields, got {}",
@@ -154,7 +155,8 @@ pub fn read_csv_str_with_schema(text: &str, schema: &Schema) -> Result<Table> {
     }
     let mut t = Table::new(schema.clone());
     for (lineno, line) in lines.enumerate() {
-        let fields = split_line(line).map_err(|e| TableError::Csv(format!("line {}: {e}", lineno + 2)))?;
+        let fields =
+            split_line(line).map_err(|e| TableError::Csv(format!("line {}: {e}", lineno + 2)))?;
         if fields.len() != expected.len() {
             return Err(TableError::Csv(format!(
                 "line {}: expected {} fields, got {}",
@@ -167,7 +169,11 @@ pub fn read_csv_str_with_schema(text: &str, schema: &Schema) -> Result<Table> {
             .iter()
             .zip(schema.fields())
             .map(|(cell, f)| {
-                let raw = if cell.is_empty() { None } else { Some(cell.as_str()) };
+                let raw = if cell.is_empty() {
+                    None
+                } else {
+                    Some(cell.as_str())
+                };
                 parse_cell(raw, f.dtype)
             })
             .collect();

@@ -49,7 +49,10 @@ impl fmt::Display for TableError {
                 "type mismatch in column `{column}`: expected {expected}, got {got}"
             ),
             TableError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             TableError::RowOutOfBounds { index, len } => {
                 write!(f, "row index {index} out of bounds (table has {len} rows)")
@@ -72,8 +75,11 @@ mod tests {
             TableError::UnknownColumn("x".into()).to_string(),
             "unknown column `x`"
         );
-        assert!(TableError::ArityMismatch { expected: 3, got: 2 }
-            .to_string()
-            .contains("3"));
+        assert!(TableError::ArityMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("3"));
     }
 }

@@ -108,10 +108,7 @@ impl GroupSpec {
         let col = table.column(column)?;
         let mut out = Vec::with_capacity(parts.len());
         for (k, idxs) in parts {
-            let vals: Vec<f64> = idxs
-                .iter()
-                .filter_map(|&i| col.value(i).as_f64())
-                .collect();
+            let vals: Vec<f64> = idxs.iter().filter_map(|&i| col.value(i).as_f64()).collect();
             out.push((k, GroupStats::from_values(idxs.len(), &vals)));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -192,10 +189,7 @@ mod tests {
         let spec = GroupSpec::from_sensitive(&t);
         let counts = spec.counts(&t).unwrap();
         assert_eq!(counts.len(), 3);
-        assert_eq!(
-            counts[&GroupKey(vec![Value::str("w"), Value::str("m")])],
-            2
-        );
+        assert_eq!(counts[&GroupKey(vec![Value::str("w"), Value::str("m")])], 2);
     }
 
     #[test]

@@ -87,7 +87,12 @@ pub fn hash_join(left: &Table, right: &Table, left_key: &str, right_key: &str) -
 /// For each row of `left`, the number of rows of `right` it joins with.
 ///
 /// Null keys have multiplicity 0.
-pub fn join_multiplicity(left: &Table, right: &Table, left_key: &str, right_key: &str) -> Result<Vec<usize>> {
+pub fn join_multiplicity(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+) -> Result<Vec<usize>> {
     let freq = key_frequencies(right, right_key)?;
     let lk_idx = left.schema().index_of(left_key)?;
     Ok((0..left.num_rows())

@@ -82,17 +82,17 @@ impl Predicate {
     pub fn eval(&self, table: &Table, i: usize) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Eq(c, v) => cell(table, i, c).map_or(false, |x| !x.is_null() && &x == v),
-            Predicate::Ne(c, v) => cell(table, i, c).map_or(false, |x| !x.is_null() && &x != v),
+            Predicate::Eq(c, v) => cell(table, i, c).is_some_and(|x| !x.is_null() && &x == v),
+            Predicate::Ne(c, v) => cell(table, i, c).is_some_and(|x| !x.is_null() && &x != v),
             Predicate::Lt(c, v) => cmp_ok(table, i, c, |x| x < *v),
             Predicate::Le(c, v) => cmp_ok(table, i, c, |x| x <= *v),
             Predicate::Gt(c, v) => cmp_ok(table, i, c, |x| x > *v),
             Predicate::Ge(c, v) => cmp_ok(table, i, c, |x| x >= *v),
             Predicate::Between(c, lo, hi) => cmp_ok(table, i, c, |x| x >= *lo && x <= *hi),
             Predicate::In(c, vs) => {
-                cell(table, i, c).map_or(false, |x| !x.is_null() && vs.contains(&x))
+                cell(table, i, c).is_some_and(|x| !x.is_null() && vs.contains(&x))
             }
-            Predicate::IsNull(c) => cell(table, i, c).map_or(false, |x| x.is_null()),
+            Predicate::IsNull(c) => cell(table, i, c).is_some_and(|x| x.is_null()),
             Predicate::And(ps) => ps.iter().all(|p| p.eval(table, i)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(table, i)),
             Predicate::Not(p) => !p.eval(table, i),
@@ -101,7 +101,9 @@ impl Predicate {
 
     /// Number of rows in `table` matching this predicate.
     pub fn count(&self, table: &Table) -> usize {
-        (0..table.num_rows()).filter(|&i| self.eval(table, i)).count()
+        (0..table.num_rows())
+            .filter(|&i| self.eval(table, i))
+            .count()
     }
 }
 

@@ -121,14 +121,14 @@ impl Table {
         // Validate all values first so a failed push leaves the table
         // unchanged (columns of equal length).
         for (v, f) in values.iter().zip(self.schema.fields()) {
-            let ok = match (f.dtype, v) {
-                (_, Value::Null) => true,
-                (DataType::Int, Value::Int(_)) => true,
-                (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
-                (DataType::Str, Value::Str(_)) => true,
-                (DataType::Bool, Value::Bool(_)) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (f.dtype, v),
+                (_, Value::Null)
+                    | (DataType::Int, Value::Int(_))
+                    | (DataType::Float, Value::Float(_) | Value::Int(_))
+                    | (DataType::Str, Value::Str(_))
+                    | (DataType::Bool, Value::Bool(_))
+            );
             if !ok {
                 return Err(TableError::TypeMismatch {
                     column: f.name.clone(),
@@ -137,7 +137,12 @@ impl Table {
                 });
             }
         }
-        for ((col, v), f) in self.columns.iter_mut().zip(values).zip(self.schema.fields()) {
+        for ((col, v), f) in self
+            .columns
+            .iter_mut()
+            .zip(values)
+            .zip(self.schema.fields())
+        {
             col.push(v, &f.name).expect("validated above");
         }
         self.num_rows += 1;
@@ -175,9 +180,7 @@ impl Table {
 
     /// Row indices for which the predicate holds.
     pub fn matching_indices(&self, pred: &Predicate) -> Vec<usize> {
-        (0..self.num_rows)
-            .filter(|&i| pred.eval(self, i))
-            .collect()
+        (0..self.num_rows).filter(|&i| pred.eval(self, i)).collect()
     }
 
     /// A new table containing the rows matching the predicate.
@@ -302,7 +305,7 @@ impl Table {
     pub fn sort_indices(&self, name: &str) -> Result<Vec<usize>> {
         let col = self.column(name)?;
         let mut idx: Vec<usize> = (0..self.num_rows).collect();
-        idx.sort_by(|&a, &b| col.value(a).cmp(&col.value(b)));
+        idx.sort_by_key(|&a| col.value(a));
         Ok(idx)
     }
 
@@ -314,11 +317,20 @@ impl Table {
     /// Render the first `limit` rows as a compact ASCII table (debugging).
     pub fn preview(&self, limit: usize) -> String {
         let mut out = String::new();
-        let names: Vec<&str> = self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         out.push_str(&names.join(" | "));
         out.push('\n');
         for i in 0..self.num_rows.min(limit) {
-            let row: Vec<String> = self.columns.iter().map(|c| c.value(i).to_string()).collect();
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.value(i).to_string())
+                .collect();
             out.push_str(&row.join(" | "));
             out.push('\n');
         }

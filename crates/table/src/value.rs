@@ -108,7 +108,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -204,7 +204,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::str("a"), Value::Int(1), Value::Null];
+        let mut vs = [Value::str("a"), Value::Int(1), Value::Null];
         vs.sort();
         assert!(vs[0].is_null());
         assert_eq!(vs[2], Value::str("a"));

@@ -68,7 +68,9 @@ pub mod source;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::policy::{EpsilonGreedy, OracleDp, Policy, RandomPolicy, RatioColl, RoundRobin, UcbColl};
+    pub use crate::policy::{
+        EpsilonGreedy, OracleDp, Policy, RandomPolicy, RatioColl, RoundRobin, UcbColl,
+    };
     pub use crate::problem::{CountRequirement, DtProblem};
     pub use crate::runner::{run_tailoring, run_tailoring_dedup, TailorOutcome};
     pub use crate::source::TableSource;

@@ -34,12 +34,7 @@ pub struct MarginalProblem {
 
 impl MarginalProblem {
     /// Builder: add `count` of `attribute = value`.
-    pub fn require(
-        mut self,
-        attribute: impl Into<String>,
-        value: Value,
-        count: usize,
-    ) -> Self {
+    pub fn require(mut self, attribute: impl Into<String>, value: Value, count: usize) -> Self {
         self.requirements.push(MarginalRequirement {
             attribute: attribute.into(),
             value,
@@ -92,8 +87,11 @@ impl MarginalSource {
         if table.is_empty() {
             return Err(TableError::SchemaMismatch("empty source table".into()));
         }
-        if !(cost > 0.0) {
-            return Err(TableError::SchemaMismatch("source cost must be positive".into()));
+        // `cost > 0.0` phrased via partial_cmp so NaN is rejected too.
+        if cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(TableError::SchemaMismatch(
+                "source cost must be positive".into(),
+            ));
         }
         let mut row_pairs = Vec::with_capacity(table.num_rows());
         let mut counts = vec![0usize; problem.len()];
@@ -161,7 +159,9 @@ pub fn run_marginal_tailoring<R: Rng>(
     max_draws: usize,
 ) -> rdi_table::Result<MarginalOutcome> {
     if problem.is_empty() {
-        return Err(TableError::SchemaMismatch("no marginal requirements".into()));
+        return Err(TableError::SchemaMismatch(
+            "no marginal requirements".into(),
+        ));
     }
     if sources.is_empty() {
         return Err(TableError::SchemaMismatch("no sources".into()));

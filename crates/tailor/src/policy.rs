@@ -123,7 +123,7 @@ impl RatioColl {
         let mut best: Option<(usize, f64)> = None;
         for (i, f) in self.freqs.iter().enumerate() {
             let rate = f[g] / self.costs[i];
-            if rate > 0.0 && best.map_or(true, |(_, r)| rate > r) {
+            if rate > 0.0 && best.is_none_or(|(_, r)| rate > r) {
                 best = Some((i, rate));
             }
         }
@@ -140,7 +140,7 @@ impl Policy for RatioColl {
             }
             if let Some((i, rate)) = self.best_source_for(g) {
                 let fill_cost = need as f64 / rate;
-                if bottleneck.map_or(true, |(_, c)| fill_cost > c) {
+                if bottleneck.is_none_or(|(_, c)| fill_cost > c) {
                     bottleneck = Some((i, fill_cost));
                 }
             }
@@ -237,7 +237,10 @@ impl OracleDp {
 
 impl Policy for OracleDp {
     fn choose(&mut self, remaining: &[usize], _rng: &mut dyn RngCore) -> usize {
-        let state: Vec<u16> = remaining.iter().map(|&n| n.min(u16::MAX as usize) as u16).collect();
+        let state: Vec<u16> = remaining
+            .iter()
+            .map(|&n| n.min(u16::MAX as usize) as u16)
+            .collect();
         self.solve(&state).1
     }
     fn name(&self) -> &'static str {
@@ -444,10 +447,7 @@ mod tests {
     #[test]
     fn ratio_coll_targets_bottleneck() {
         // source 0: 90% group A / 10% group B; source 1: reversed.
-        let mut p = RatioColl::new(
-            vec![1.0, 1.0],
-            vec![vec![0.9, 0.1], vec![0.1, 0.9]],
-        );
+        let mut p = RatioColl::new(vec![1.0, 1.0], vec![vec![0.9, 0.1], vec![0.1, 0.9]]);
         let mut rng = StdRng::seed_from_u64(3);
         // Need mostly B → bottleneck is B → query source 1.
         assert_eq!(p.choose(&[1, 10], &mut rng), 1);
@@ -460,10 +460,7 @@ mod tests {
     #[test]
     fn ratio_coll_accounts_for_cost() {
         // source 1 is better per draw for A but 10× the cost.
-        let mut p = RatioColl::new(
-            vec![1.0, 10.0],
-            vec![vec![0.5, 0.0], vec![0.9, 0.0]],
-        );
+        let mut p = RatioColl::new(vec![1.0, 10.0], vec![vec![0.5, 0.0], vec![0.9, 0.0]]);
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(p.choose(&[5, 0], &mut rng), 0);
     }
@@ -500,8 +497,8 @@ mod tests {
         let mut dp = OracleDp::new(vec![1.0, 1.0], freqs.clone());
         let oracle = dp.expected_cost(&[5, 5]);
         // single-source expected cost via DP restricted to one source
-        for i in 0..2 {
-            let mut solo = OracleDp::new(vec![1.0], vec![freqs[i].clone()]);
+        for f in &freqs {
+            let mut solo = OracleDp::new(vec![1.0], vec![f.clone()]);
             assert!(oracle <= solo.expected_cost(&[5, 5]) + 1e-9);
         }
     }
@@ -550,11 +547,13 @@ mod tests {
             p.observe(s, if s == 1 { Some(0) } else { None });
         }
         // exploitation should now prefer source 1 most of the time
-        let picks: Vec<usize> = (0..20).map(|_| {
-            let s = p.choose(&[10], &mut rng);
-            p.observe(s, if s == 1 { Some(0) } else { None });
-            s
-        }).collect();
+        let picks: Vec<usize> = (0..20)
+            .map(|_| {
+                let s = p.choose(&[10], &mut rng);
+                p.observe(s, if s == 1 { Some(0) } else { None });
+                s
+            })
+            .collect();
         let ones = picks.iter().filter(|&&s| s == 1).count();
         assert!(ones >= 15, "ones={ones}");
     }

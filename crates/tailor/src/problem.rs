@@ -21,7 +21,10 @@ pub struct CountRequirement {
 impl CountRequirement {
     /// Exactly-`n` requirement (`lo = n`, unbounded keep).
     pub fn at_least(n: usize) -> Self {
-        CountRequirement { lo: n, hi: usize::MAX }
+        CountRequirement {
+            lo: n,
+            hi: usize::MAX,
+        }
     }
 
     /// Range requirement `lo..=hi`.
@@ -124,10 +127,7 @@ mod tests {
         assert_eq!(p.num_groups(), 2);
         assert_eq!(p.total_required(), 20);
         assert!(p.validate().is_ok());
-        assert_eq!(
-            p.group_index(&GroupKey(vec![Value::str("b")])),
-            Some(1)
-        );
+        assert_eq!(p.group_index(&GroupKey(vec![Value::str("b")])), Some(1));
         assert_eq!(p.group_index(&GroupKey(vec![Value::str("x")])), None);
     }
 

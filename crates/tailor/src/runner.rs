@@ -200,15 +200,20 @@ mod tests {
     use rand::SeedableRng;
     use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Value};
 
-
     fn schema() -> Schema {
-        Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)])
+        Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive)
+        ])
     }
 
     fn source(name: &str, frac_a: f64, n: usize, cost: f64, p: &DtProblem) -> TableSource {
         let mut t = Table::new(schema());
         for i in 0..n {
-            let g = if (i as f64) < frac_a * n as f64 { "a" } else { "b" };
+            let g = if (i as f64) < frac_a * n as f64 {
+                "a"
+            } else {
+                "b"
+            };
             t.push_row(vec![Value::str(g)]).unwrap();
         }
         TableSource::new(name, t, cost, p).unwrap()
@@ -233,7 +238,10 @@ mod tests {
         let out = run_tailoring(&mut sources, &p, &mut policy, &mut rng, 100_000).unwrap();
         assert!(out.satisfied);
         assert!(out.per_group[0] >= 5 && out.per_group[1] >= 7);
-        assert_eq!(out.collected.num_rows(), out.per_group.iter().sum::<usize>());
+        assert_eq!(
+            out.collected.num_rows(),
+            out.per_group.iter().sum::<usize>()
+        );
         assert_eq!(out.total_cost, out.draws as f64);
     }
 
@@ -242,8 +250,14 @@ mod tests {
         let p = DtProblem::ranged(
             GroupSpec::new(vec!["g"]),
             vec![
-                (GroupKey(vec![Value::str("a")]), CountRequirement::range(2, 2)),
-                (GroupKey(vec![Value::str("b")]), CountRequirement::range(50, 50)),
+                (
+                    GroupKey(vec![Value::str("a")]),
+                    CountRequirement::range(2, 2),
+                ),
+                (
+                    GroupKey(vec![Value::str("b")]),
+                    CountRequirement::range(50, 50),
+                ),
             ],
         );
         let mut sources = vec![source("s0", 0.9, 100, 1.0, &p)];
@@ -280,8 +294,7 @@ mod tests {
             ];
             let mut total = 0.0;
             for _ in 0..10 {
-                let out =
-                    run_tailoring(&mut sources, &p, policy, rng, 1_000_000).unwrap();
+                let out = run_tailoring(&mut sources, &p, policy, rng, 1_000_000).unwrap();
                 assert!(out.satisfied);
                 total += out.total_cost;
             }
@@ -295,10 +308,7 @@ mod tests {
         let mut rand_pol = RandomPolicy::new(2);
         let smart = run(&mut rc, &mut rng);
         let dumb = run(&mut rand_pol, &mut rng);
-        assert!(
-            smart < dumb,
-            "ratio_coll {smart} should beat random {dumb}"
-        );
+        assert!(smart < dumb, "ratio_coll {smart} should beat random {dumb}");
     }
 
     fn keyed_source(name: &str, ids: std::ops::Range<i64>, p: &DtProblem) -> TableSource {
@@ -328,7 +338,10 @@ mod tests {
     fn dedup_collects_unique_rows_only() {
         let p = keyed_problem(30);
         // two fully-overlapping sources over ids 0..100
-        let mut sources = vec![keyed_source("s0", 0..100, &p), keyed_source("s1", 0..100, &p)];
+        let mut sources = vec![
+            keyed_source("s0", 0..100, &p),
+            keyed_source("s1", 0..100, &p),
+        ];
         let mut policy = RandomPolicy::new(2);
         let mut rng = StdRng::seed_from_u64(9);
         let (out, duplicates) =
@@ -349,32 +362,24 @@ mod tests {
         let mut cost_overlap = 0.0;
         let mut cost_disjoint = 0.0;
         for _ in 0..runs {
-            let mut overlapping =
-                vec![keyed_source("s0", 0..100, &p), keyed_source("s1", 0..100, &p)];
+            let mut overlapping = vec![
+                keyed_source("s0", 0..100, &p),
+                keyed_source("s1", 0..100, &p),
+            ];
             let mut policy = RandomPolicy::new(2);
-            let (out, _) = run_tailoring_dedup(
-                &mut overlapping,
-                &p,
-                &mut policy,
-                "id",
-                &mut rng,
-                1_000_000,
-            )
-            .unwrap();
+            let (out, _) =
+                run_tailoring_dedup(&mut overlapping, &p, &mut policy, "id", &mut rng, 1_000_000)
+                    .unwrap();
             cost_overlap += out.total_cost;
 
-            let mut disjoint =
-                vec![keyed_source("s0", 0..100, &p), keyed_source("s1", 100..200, &p)];
+            let mut disjoint = vec![
+                keyed_source("s0", 0..100, &p),
+                keyed_source("s1", 100..200, &p),
+            ];
             let mut policy = RandomPolicy::new(2);
-            let (out, _) = run_tailoring_dedup(
-                &mut disjoint,
-                &p,
-                &mut policy,
-                "id",
-                &mut rng,
-                1_000_000,
-            )
-            .unwrap();
+            let (out, _) =
+                run_tailoring_dedup(&mut disjoint, &p, &mut policy, "id", &mut rng, 1_000_000)
+                    .unwrap();
             cost_disjoint += out.total_cost;
         }
         assert!(

@@ -35,7 +35,8 @@ impl TableSource {
         if table.is_empty() {
             return Err(TableError::SchemaMismatch("empty source table".into()));
         }
-        if !(cost > 0.0) {
+        // `cost > 0.0` phrased via partial_cmp so NaN is rejected too.
+        if cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(TableError::SchemaMismatch(
                 "source cost must be positive".into(),
             ));
@@ -115,8 +116,9 @@ mod tests {
     }
 
     fn table(rows: &[&str]) -> Table {
-        let schema =
-            Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)]);
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive)
+        ]);
         let mut t = Table::new(schema);
         for r in rows {
             t.push_row(vec![Value::str(*r)]).unwrap();

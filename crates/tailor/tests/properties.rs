@@ -9,7 +9,9 @@ use rdi_tailor::OracleDp;
 
 fn source_table(fracs: &[f64], n: usize) -> Table {
     // fracs over groups g0..gk; remainder is out-of-scope "other"
-    let schema = Schema::new(vec![Field::new("g", DataType::Str).with_role(Role::Sensitive)]);
+    let schema = Schema::new(vec![
+        Field::new("g", DataType::Str).with_role(Role::Sensitive)
+    ]);
     let mut t = Table::new(schema);
     let mut counts: Vec<usize> = fracs.iter().map(|f| (f * n as f64) as usize).collect();
     let used: usize = counts.iter().sum();

@@ -49,7 +49,12 @@ fn main() {
             .counts
             .iter()
             .zip(DISTRICTS)
-            .map(|(c, d)| format!("{d}={:.0}%", 100.0 * *c as f64 / trace.total_entities as f64))
+            .map(|(c, d)| {
+                format!(
+                    "{d}={:.0}%",
+                    100.0 * *c as f64 / trace.total_entities as f64
+                )
+            })
             .collect();
         println!(
             "  {label}  final KL={:.4}   {}",

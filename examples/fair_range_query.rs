@@ -11,9 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use responsible_data_integration::fairquery::{relax_for_coverage, RangeQuery2d, RangeQueryEngine};
-use responsible_data_integration::table::{
-    DataType, Field, GroupSpec, Role, Schema, Table, Value,
-};
+use responsible_data_integration::table::{DataType, Field, GroupSpec, Role, Schema, Table, Value};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
@@ -31,7 +29,8 @@ fn main() {
         } else {
             ("M", 30.0 + rng.gen::<f64>() * 30.0) // 30–60
         };
-        pool.push_row(vec![Value::str(g), Value::Float(age)]).unwrap();
+        pool.push_row(vec![Value::str(g), Value::Float(age)])
+            .unwrap();
     }
 
     let spec = GroupSpec::new(vec!["gender"]);
@@ -39,7 +38,10 @@ fn main() {
 
     let (lo, hi) = (35.0, 55.0);
     println!("original query: 35 ≤ age ≤ 55");
-    println!("  output disparity |#F − #M| = {}", engine.disparity(lo, hi));
+    println!(
+        "  output disparity |#F − #M| = {}",
+        engine.disparity(lo, hi)
+    );
 
     for eps in [200, 50, 10, 0] {
         let fr = engine.fair_range_exact(lo, hi, eps);

@@ -18,8 +18,8 @@ use responsible_data_integration::datagen::{
     healthcare_population, healthcare_sources, HealthcareConfig,
 };
 use responsible_data_integration::profile::LabelConfig;
-use responsible_data_integration::tailor::prelude::*;
 use responsible_data_integration::table::{Table, Value};
+use responsible_data_integration::tailor::prelude::*;
 
 const RACES: [&str; 4] = ["white", "black", "hispanic", "asian"];
 const FEATURES: [&str; 2] = ["tumor_marker", "screening_score"];

@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use responsible_data_integration::core::prelude::*;
 use responsible_data_integration::datagen::{skewed_sources, PopulationSpec, SourceConfig};
 use responsible_data_integration::profile::{LabelConfig, NutritionalLabel};
-use responsible_data_integration::tailor::prelude::*;
 use responsible_data_integration::table::Value;
+use responsible_data_integration::tailor::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2022);
@@ -29,13 +29,15 @@ fn main() {
     let generated = skewed_sources(&population, &sources_cfg, &mut rng);
 
     // 2. Look at one source the way a data scientist would: profile it.
-    let label =
-        NutritionalLabel::generate(&generated[0].table, &LabelConfig::default()).unwrap();
+    let label = NutritionalLabel::generate(&generated[0].table, &LabelConfig::default()).unwrap();
     println!("=== Nutritional label of source 0 (excerpt) ===");
     for (g, f) in &label.group_fractions {
         println!("  {g}: {:.1}%", f * 100.0);
     }
-    println!("  representation disparity: {:.3}", label.representation_disparity);
+    println!(
+        "  representation disparity: {:.3}",
+        label.representation_disparity
+    );
 
     // 3. Audit source 0 against the default responsibility requirements.
     let spec = RequirementSpec::default_for(&generated[0].table).unwrap();
@@ -48,8 +50,14 @@ fn main() {
     let problem = DtProblem::ranged(
         GroupSpec::new(vec!["group"]),
         vec![
-            (GroupKey(vec![Value::str("maj")]), CountRequirement::range(1_000, 1_000)),
-            (GroupKey(vec![Value::str("min")]), CountRequirement::range(1_000, 1_000)),
+            (
+                GroupKey(vec![Value::str("maj")]),
+                CountRequirement::range(1_000, 1_000),
+            ),
+            (
+                GroupKey(vec![Value::str("min")]),
+                CountRequirement::range(1_000, 1_000),
+            ),
         ],
     );
     let mut sources: Vec<TableSource> = generated
@@ -71,6 +79,9 @@ fn main() {
         .unwrap()
         .with_note("tailored to 1000/1000 parity from 4 skewed sources");
     let report = audit(&outcome.collected, &spec).unwrap();
-    println!("\n=== Audit of the tailored dataset ===\n{}", report.to_markdown());
+    println!(
+        "\n=== Audit of the tailored dataset ===\n{}",
+        report.to_markdown()
+    );
     assert!(report.passed(), "tailored dataset should pass the audit");
 }

@@ -293,7 +293,13 @@ w,52,false
         let out = run(&raw).unwrap();
         assert!(out.contains("Group representation"));
         let raw: Vec<String> = [
-            "label", f.path(), "--sensitive", "race", "--target", "y", "--json",
+            "label",
+            f.path(),
+            "--sensitive",
+            "race",
+            "--target",
+            "y",
+            "--json",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -337,8 +343,18 @@ w,52,false
         }
         let f = write_csv(&csv);
         let raw: Vec<String> = [
-            "fair-range", f.path(), "--attr", "x", "--group", "g", "--lo", "0", "--hi", "30",
-            "--epsilon", "2",
+            "fair-range",
+            f.path(),
+            "--attr",
+            "x",
+            "--group",
+            "g",
+            "--lo",
+            "0",
+            "--hi",
+            "30",
+            "--epsilon",
+            "2",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -350,7 +366,10 @@ w,52,false
 
     #[test]
     fn datasheet_and_errors() {
-        let raw: Vec<String> = ["datasheet", "mydata"].iter().map(|s| s.to_string()).collect();
+        let raw: Vec<String> = ["datasheet", "mydata"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let out = run(&raw).unwrap();
         assert!(out.contains("Datasheet: mydata"));
         assert!(run(&["bogus".to_string()]).is_err());

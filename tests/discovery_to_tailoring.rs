@@ -143,7 +143,8 @@ fn heterogeneous_sources_are_matched_aligned_and_tailored() {
     let mut a = Table::new(schema_a);
     for i in 0..2_000 {
         let r = if i % 10 == 0 { "black" } else { "white" };
-        a.push_row(vec![Value::str(r), Value::Float(i as f64)]).unwrap();
+        a.push_row(vec![Value::str(r), Value::Float(i as f64)])
+            .unwrap();
     }
     let schema_b = Schema::new(vec![
         Field::new("risk_score", DataType::Float),
@@ -152,7 +153,8 @@ fn heterogeneous_sources_are_matched_aligned_and_tailored() {
     let mut b = Table::new(schema_b);
     for i in 0..2_000 {
         let r = if i % 10 == 0 { "white" } else { "black" };
-        b.push_row(vec![Value::Float(i as f64), Value::str(r)]).unwrap();
+        b.push_row(vec![Value::Float(i as f64), Value::str(r)])
+            .unwrap();
     }
 
     // match + align b onto a's schema

@@ -72,10 +72,12 @@ fn marginal_tailoring_then_interventional_repair() {
         cramers_v(&g, &y)
     };
     let before = assoc(&collected);
-    let rep =
-        repair_conditional_independence(&collected, &["dept"], "hired", &mut rng).unwrap();
+    let rep = repair_conditional_independence(&collected, &["dept"], "hired", &mut rng).unwrap();
     let after = assoc(&rep.table);
-    assert!(after < before, "repair must reduce association: {before} → {after}");
+    assert!(
+        after < before,
+        "repair must reduce association: {before} → {after}"
+    );
     assert!(after < 0.12, "after={after}");
 }
 
@@ -104,7 +106,13 @@ fn fairprep_grid_over_hiring_data() {
     .unwrap();
     assert_eq!(results.len(), 4);
     for r in &results {
-        assert!(r.eval.accuracy > 0.6, "{}/{} acc={}", r.intervention, r.model, r.eval.accuracy);
+        assert!(
+            r.eval.accuracy > 0.6,
+            "{}/{} acc={}",
+            r.intervention,
+            r.model,
+            r.eval.accuracy
+        );
         // a score-only model is gender-blind, so its *predictions* show
         // little parity gap — but the biased labels make its errors
         // gender-dependent: the equalized-odds gap must be visible.
@@ -116,7 +124,9 @@ fn fairprep_grid_over_hiring_data() {
 fn navigation_guides_to_unionable_sources_then_debias_answers_population_queries() {
     // lake with two domains; navigate a query to its domain
     let mk = |prefix: &str, t: usize| {
-        let vals: Vec<String> = (t * 3..t * 3 + 20).map(|i| format!("{prefix}{i}")).collect();
+        let vals: Vec<String> = (t * 3..t * 3 + 20)
+            .map(|i| format!("{prefix}{i}"))
+            .collect();
         let schema = Schema::new(vec![Field::new("name", DataType::Str)]);
         let mut tab = Table::new(schema);
         for v in &vals {
@@ -161,8 +171,8 @@ fn navigation_guides_to_unionable_sources_then_debias_answers_population_queries
     let debiased_f = view.fraction(&Predicate::eq("gender", Value::str("F")));
     assert!((debiased_f - 1.0 / 3.0).abs() < 1e-9);
     // debiased hire rate must be below the raw sample's (women hired less)
-    let raw_rate = Predicate::eq("hired", Value::Bool(true)).count(&sample) as f64
-        / sample.num_rows() as f64;
+    let raw_rate =
+        Predicate::eq("hired", Value::Bool(true)).count(&sample) as f64 / sample.num_rows() as f64;
     let fair_rate = view.fraction(&Predicate::eq("hired", Value::Bool(true)));
     assert!(fair_rate < raw_rate, "fair {fair_rate} raw {raw_rate}");
 }

@@ -131,7 +131,10 @@ fn full_pipeline_with_imputation_and_provenance() {
     };
     let result = pipeline.run(&mut sources, &mut policy, &mut rng).unwrap();
     assert!(result.audit.passed(), "{:?}", result.audit.failures());
-    assert_eq!(result.data.column("screening_score").unwrap().null_count(), 0);
+    assert_eq!(
+        result.data.column("screening_score").unwrap().null_count(),
+        0
+    );
     // provenance records tailoring + imputation + audit
     assert!(result.provenance.iter().any(|p| p.contains("tailoring")));
     assert!(result.provenance.iter().any(|p| p.contains("imputed")));
