@@ -159,4 +159,5 @@ fn main() {
         &["resolution", "minority rows kept", "|minority AVG error|"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -102,4 +102,5 @@ fn main() {
         &["τ", "MUPs", "PB nodes", "uncovered value-combinations"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -90,4 +90,5 @@ fn main() {
         ],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

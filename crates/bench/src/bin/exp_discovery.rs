@@ -157,4 +157,5 @@ fn main() {
             f3(best_containment),
         ]],
     );
+    rdi_bench::emit_metrics_snapshot();
 }

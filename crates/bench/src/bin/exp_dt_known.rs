@@ -188,4 +188,5 @@ fn main() {
         ],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -121,4 +121,5 @@ fn main() {
         &["exploration c", "mean cost"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

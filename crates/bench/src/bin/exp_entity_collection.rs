@@ -86,4 +86,5 @@ fn main() {
         &["heterogeneity", "adaptive", "random", "random/adaptive"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

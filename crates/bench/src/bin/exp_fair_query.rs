@@ -118,4 +118,5 @@ fn main() {
         ],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -128,4 +128,5 @@ fn main() {
         &["λ", "winner", "informativeness", "bias"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

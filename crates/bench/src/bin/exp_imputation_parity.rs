@@ -93,4 +93,5 @@ fn main() {
         ],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -234,4 +234,5 @@ fn main() {
         &["walks/samples", "wander COUNT rel-err", "wander ms", "exact uniform samples", "exact ms"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

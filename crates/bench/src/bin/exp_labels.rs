@@ -56,4 +56,5 @@ fn main() {
     );
     println!("{}", sheet.to_markdown());
     println!("unanswered questions: {}", sheet.unanswered());
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -93,4 +93,5 @@ fn main() {
         &["constrained attributes", "marginal cost", "intersectional cost", "ratio"],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

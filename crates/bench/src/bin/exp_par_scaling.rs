@@ -147,4 +147,5 @@ fn main() {
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
     println!("all kernels verified bitwise identical to Threads::serial() at every thread count");
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -80,4 +80,5 @@ fn main() {
         ],
         &rows,
     );
+    rdi_bench::emit_metrics_snapshot();
 }

@@ -170,4 +170,5 @@ fn main() {
         &rows,
     );
     assert_eq!(slices[0].render(), "region=south ∧ age_band=young");
+    rdi_bench::emit_metrics_snapshot();
 }

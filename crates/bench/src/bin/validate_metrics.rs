@@ -1,0 +1,67 @@
+//! CI helper: validate an experiment's metrics snapshot.
+//!
+//! Reads an `exp_*` binary's stdout on **stdin**, finds the final
+//! `METRICS_SNAPSHOT {json}` line, parses the JSON, and checks that
+//! every counter named on the command line is present. Exits non-zero
+//! (with a message on stderr) when the marker is missing, the JSON does
+//! not parse, or an expected counter is absent — so a pipeline like
+//!
+//! ```text
+//! cargo run --bin exp_coverage | cargo run --bin validate_metrics -- \
+//!     coverage.nodes_evaluated coverage.mups_found
+//! ```
+//!
+//! fails loudly if the observability layer ever stops reporting.
+
+use std::io::Read;
+use std::process::exit;
+
+use rdi_bench::METRICS_MARKER;
+
+fn main() {
+    let expected: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("validate_metrics: cannot read stdin: {e}");
+        exit(1);
+    }
+    let Some(json_text) = input
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix(METRICS_MARKER))
+    else {
+        eprintln!("validate_metrics: no `{METRICS_MARKER}` line found in input");
+        exit(1);
+    };
+    let snapshot: serde_json::Value = match serde_json::from_str(json_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate_metrics: snapshot is not valid JSON: {e:?}");
+            exit(2);
+        }
+    };
+    for section in ["counters", "gauges", "histograms", "spans"] {
+        if snapshot.get(section).is_none() {
+            eprintln!("validate_metrics: snapshot missing `{section}` section");
+            exit(2);
+        }
+    }
+    let counters = snapshot.get("counters").expect("checked above");
+    let mut missing = 0usize;
+    for key in &expected {
+        match counters.get(key).and_then(|v| v.as_u64()) {
+            Some(v) => println!("validate_metrics: {key} = {v}"),
+            None => {
+                eprintln!("validate_metrics: expected counter `{key}` missing");
+                missing += 1;
+            }
+        }
+    }
+    if missing > 0 {
+        exit(3);
+    }
+    println!(
+        "validate_metrics: OK ({} expected counter(s) present)",
+        expected.len()
+    );
+}

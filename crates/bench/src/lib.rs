@@ -41,6 +41,18 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Marker prefixing the metrics line every `exp_*` binary prints last,
+/// so scripts (and the `validate_metrics` CI helper) can find it
+/// without parsing the human-readable tables above it.
+pub const METRICS_MARKER: &str = "METRICS_SNAPSHOT ";
+
+/// Print the global [`rdi_obs`] registry as one `METRICS_SNAPSHOT
+/// {json}` line. Every `exp_*` binary calls this as its final
+/// statement, making each experiment's counters machine-readable.
+pub fn emit_metrics_snapshot() {
+    println!("\n{}{}", METRICS_MARKER, rdi_obs::global().snapshot_json());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,7 @@ pub mod prelude {
     pub use crate::audit::{audit, AuditReport, Finding};
     pub use crate::pipeline::{Pipeline, PipelineResult};
     pub use crate::requirement::{Requirement, RequirementSpec};
+    pub use rdi_obs::ProvenanceEvent;
 }
 
 pub use audit::{audit, AuditReport, Finding};

@@ -1,10 +1,15 @@
 //! The end-to-end responsible integration pipeline.
 //!
 //! `sources → tailor → clean → label → audit`, with every step appending
-//! to a provenance log that ships with the result (§2.5 transparency).
+//! a typed [`ProvenanceEvent`] to a log that ships with the result
+//! (§2.5 transparency). Events render to the same human-readable lines
+//! the pipeline always emitted ([`ProvenanceEvent::render`]), and each
+//! stage runs under an `rdi-obs` span so wall time lands in the global
+//! metrics registry.
 
 use rand::Rng;
 use rdi_cleaning::{impute, ImputeStrategy};
+use rdi_obs::ProvenanceEvent;
 use rdi_profile::{LabelConfig, NutritionalLabel};
 use rdi_table::{GroupSpec, Table};
 use rdi_tailor::{run_tailoring, DtProblem, Policy, TableSource};
@@ -34,10 +39,21 @@ pub struct PipelineResult {
     pub label: NutritionalLabel,
     /// The responsibility audit.
     pub audit: AuditReport,
-    /// Step-by-step provenance log.
-    pub provenance: Vec<String>,
+    /// Step-by-step typed provenance log (render with
+    /// [`ProvenanceEvent::render`] or [`PipelineResult::provenance_lines`]).
+    pub provenance: Vec<ProvenanceEvent>,
     /// Total tailoring cost paid.
     pub total_cost: f64,
+}
+
+impl PipelineResult {
+    /// The provenance log as legacy human-readable lines.
+    pub fn provenance_lines(&self) -> Vec<String> {
+        self.provenance
+            .iter()
+            .map(ProvenanceEvent::render)
+            .collect()
+    }
 }
 
 impl Pipeline {
@@ -49,44 +65,63 @@ impl Pipeline {
         policy: &mut dyn Policy,
         rng: &mut R,
     ) -> rdi_table::Result<PipelineResult> {
+        let _pipeline_span = rdi_obs::span("pipeline");
         let mut provenance = Vec::new();
-        provenance.push(format!(
-            "tailoring: {} groups, {} sources, policy `{}`",
-            self.problem.num_groups(),
-            sources.len(),
-            policy.name()
-        ));
-        let outcome = run_tailoring(sources, &self.problem, policy, rng, self.max_draws)?;
-        provenance.push(format!(
-            "tailoring finished: {} draws, cost {:.1}, satisfied={}; per-group counts {:?}",
-            outcome.draws, outcome.total_cost, outcome.satisfied, outcome.per_group
-        ));
+        provenance.push(ProvenanceEvent::TailoringStarted {
+            groups: self.problem.num_groups(),
+            sources: sources.len(),
+            policy: policy.name().to_string(),
+        });
+        let outcome = {
+            let _span = rdi_obs::span("tailor");
+            run_tailoring(sources, &self.problem, policy, rng, self.max_draws)?
+        };
+        provenance.push(ProvenanceEvent::TailoringFinished {
+            draws: outcome.draws,
+            cost: outcome.total_cost,
+            satisfied: outcome.satisfied,
+            per_group: outcome.per_group.clone(),
+        });
 
         let mut data = outcome.collected;
         for (column, strategy) in &self.imputations {
+            let _span = rdi_obs::span("impute");
             let before = data.column(column)?.null_count();
             data = impute(&data, column, strategy)?;
             let after = data.column(column)?.null_count();
-            provenance.push(format!(
-                "imputed `{column}` ({before} → {after} nulls) with {strategy:?}"
-            ));
+            provenance.push(ProvenanceEvent::Imputed {
+                column: column.clone(),
+                nulls_before: before,
+                nulls_after: after,
+                strategy: format!("{strategy:?}"),
+            });
         }
 
-        let mut label = NutritionalLabel::generate(&data, &self.label_config)?;
+        let mut label = {
+            let _span = rdi_obs::span("label");
+            NutritionalLabel::generate(&data, &self.label_config)?
+        };
+        provenance.push(ProvenanceEvent::LabelGenerated);
+
+        let report = {
+            let _span = rdi_obs::span("audit");
+            audit(&data, &self.spec)?
+        };
+        provenance.push(ProvenanceEvent::Audited {
+            passed: report.findings.iter().filter(|f| f.passed).count(),
+            total: report.findings.len(),
+        });
+
+        // Copy scope notes onto the label *after* the audit so the
+        // shipped label carries the complete provenance log — including
+        // the label-generation and audit events (they used to be
+        // silently dropped because the copy ran before they existed).
         for note in &self.spec.scope_notes {
             label.add_scope_note(note.clone());
         }
         for p in &provenance {
-            label.add_scope_note(p.clone());
+            label.add_scope_note(p.render());
         }
-        provenance.push("nutritional label generated".to_string());
-
-        let report = audit(&data, &self.spec)?;
-        provenance.push(format!(
-            "audit: {}/{} requirements passed",
-            report.findings.iter().filter(|f| f.passed).count(),
-            report.findings.len()
-        ));
 
         Ok(PipelineResult {
             data,
@@ -163,12 +198,43 @@ mod tests {
         assert!(result.data.num_rows() >= 300);
         assert!(result.provenance.len() >= 4);
         assert!(result.total_cost > 0.0);
-        // the label carries provenance as scope notes
+        // the label carries the FULL provenance log as scope notes:
+        // every event (including label generation and the audit, which
+        // happen after the label is created) plus the spec's own note
+        for line in result.provenance_lines() {
+            assert!(
+                result.label.scope_notes.contains(&line),
+                "label is missing provenance line `{line}`"
+            );
+        }
         assert!(result
             .label
             .scope_notes
             .iter()
-            .any(|n| n.contains("tailoring")));
+            .any(|n| n.starts_with("audit: ")));
+        assert!(result
+            .label
+            .scope_notes
+            .contains(&"nutritional label generated".to_string()));
+        assert_eq!(
+            result.label.scope_notes.len(),
+            pipeline.spec.scope_notes.len() + result.provenance.len()
+        );
+        // events are typed and ordered: tailoring start/finish first,
+        // label generation, then the audit last
+        use rdi_obs::ProvenanceEvent as E;
+        assert!(matches!(
+            result.provenance.first(),
+            Some(E::TailoringStarted { .. })
+        ));
+        assert!(matches!(
+            result.provenance.get(1),
+            Some(E::TailoringFinished {
+                satisfied: true,
+                ..
+            })
+        ));
+        assert!(matches!(result.provenance.last(), Some(E::Audited { .. })));
     }
 
     #[test]

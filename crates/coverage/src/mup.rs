@@ -32,6 +32,19 @@ pub struct SearchStats {
     pub peak_frontier: usize,
 }
 
+impl SearchStats {
+    /// Publish this search's final statistics onto the global
+    /// [`rdi_obs`] registry. Called once per completed search with the
+    /// already-aggregated stats, so the recorded totals are functions of
+    /// the work alone — identical for any thread count.
+    fn record(&self) {
+        rdi_obs::counter("coverage.searches").inc();
+        rdi_obs::counter("coverage.nodes_evaluated").add(self.nodes_evaluated as u64);
+        rdi_obs::counter("coverage.mups_found").add(self.mups as u64);
+        rdi_obs::gauge("coverage.peak_frontier").set_max(self.peak_frontier as f64);
+    }
+}
+
 impl CoverageAnalyzer {
     /// Build an analyzer over the given categorical attributes.
     pub fn new(table: &Table, attributes: &[&str], threshold: usize) -> rdi_table::Result<Self> {
@@ -160,6 +173,7 @@ impl CoverageAnalyzer {
         if self.memo_count(&root, &mut memo, &mut stats) < self.threshold {
             // The whole data set is too small: the root itself is the MUP.
             stats.mups = 1;
+            stats.record();
             return (vec![root], stats);
         }
         let mut frontier = vec![root];
@@ -192,6 +206,7 @@ impl CoverageAnalyzer {
         }
         mups.sort();
         stats.mups = mups.len();
+        stats.record();
         (mups, stats)
     }
 
@@ -216,6 +231,7 @@ impl CoverageAnalyzer {
         let root = Pattern::root(self.counter.dim());
         if self.memo_count(&root, &mut memo, &mut stats) < self.threshold {
             stats.mups = 1;
+            stats.record();
             return (vec![root], stats);
         }
         let mut mups = Vec::new();
@@ -240,6 +256,7 @@ impl CoverageAnalyzer {
         }
         mups.sort();
         stats.mups = mups.len();
+        stats.record();
         (mups, stats)
     }
 
@@ -275,6 +292,7 @@ impl CoverageAnalyzer {
             .collect();
         mups.sort();
         stats.mups = mups.len();
+        stats.record();
         (mups, stats)
     }
 

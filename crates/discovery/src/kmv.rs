@@ -34,6 +34,12 @@ impl KmvSketch {
     /// Build over a table's key column, storing the mean of `payload`
     /// column per key (keys may repeat; the correlation-sketch payload is
     /// the per-key aggregate).
+    ///
+    /// Null and non-numeric payload values are excluded from the
+    /// per-key mean — folding them in as `0.0` would drag sparse
+    /// columns' payloads toward zero. A key whose payload is *never*
+    /// numeric is dropped entirely (it has no feature value to
+    /// correlate); without a payload column every non-null key is kept.
     pub fn build(
         table: &Table,
         key: &str,
@@ -43,29 +49,38 @@ impl KmvSketch {
         assert!(k > 0);
         let kidx = table.schema().index_of(key)?;
         let pidx = payload.map(|p| table.schema().index_of(p)).transpose()?;
-        // aggregate payload per key first (mean)
+        // per key: (payload sum over numeric rows, numeric row count)
         let mut agg: HashMap<Value, (f64, usize)> = HashMap::new();
         for i in 0..table.num_rows() {
             let kv = table.column_at(kidx).value(i);
             if kv.is_null() {
                 continue;
             }
-            let pv = pidx
-                .map(|p| table.column_at(p).value(i).as_f64().unwrap_or(0.0))
-                .unwrap_or(0.0);
             let e = agg.entry(kv).or_insert((0.0, 0));
-            e.0 += pv;
-            e.1 += 1;
+            match pidx {
+                Some(p) => {
+                    if let Some(v) = table.column_at(p).value(i).as_f64() {
+                        e.0 += v;
+                        e.1 += 1;
+                    }
+                }
+                None => e.1 += 1,
+            }
         }
         let mut entries: Vec<(f64, Value, f64)> = agg
             .into_iter()
-            .map(|(kv, (sum, n))| {
+            .filter_map(|(kv, (sum, n))| {
+                if n == 0 {
+                    // payload requested but never numeric for this key
+                    return None;
+                }
                 let u = to_unit(hash_value(&kv, KEY_SEED));
-                (u, kv, sum / n as f64)
+                Some((u, kv, sum / n as f64))
             })
             .collect();
         entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         entries.truncate(k);
+        rdi_obs::counter("discovery.kmv_sketches_built").inc();
         Ok(KmvSketch { k, entries })
     }
 
@@ -149,17 +164,27 @@ impl CorrelationSketch {
 
     /// Estimated join size |keys(self) ∩ keys(other)| via the coordinated
     /// sample: overlap fraction × distinct estimate.
+    ///
+    /// The overlap fraction is taken over the entries inside the *joint
+    /// bound region* (hash ≤ min of the two k-th minimums) — the same
+    /// region [`KmvSketch::intersect`] samples from. Dividing by the
+    /// total sketch lengths instead would shrink the fraction whenever
+    /// the two sketches' k-th minimum hashes differ (e.g. different key
+    /// cardinalities), underestimating the join size.
     pub fn join_key_estimate(&self, other: &CorrelationSketch) -> f64 {
-        let pairs = self.sketch.intersect(&other.sketch).len() as f64;
-        let bound_len = self.sketch.entries.len().min(other.sketch.entries.len()) as f64;
-        if bound_len == 0.0 {
+        let a = &self.sketch;
+        let b = &other.sketch;
+        let bound = match (a.entries.last(), b.entries.last()) {
+            (Some(x), Some(y)) => x.0.min(y.0),
+            _ => return 0.0,
+        };
+        let in_bound = |s: &KmvSketch| s.entries.iter().filter(|(u, _, _)| *u <= bound).count();
+        let denom = in_bound(a).min(in_bound(b)) as f64;
+        if denom == 0.0 {
             return 0.0;
         }
-        let frac = pairs / bound_len;
-        frac * self
-            .sketch
-            .distinct_estimate()
-            .min(other.sketch.distinct_estimate())
+        let pairs = a.intersect(b).len() as f64;
+        (pairs / denom) * a.distinct_estimate().min(b.distinct_estimate())
     }
 }
 
@@ -239,6 +264,87 @@ mod tests {
         let sa = CorrelationSketch::build(&a, "key", "x", 64).unwrap();
         let sb = CorrelationSketch::build(&b, "key", "x", 64).unwrap();
         assert!(sa.correlation(&sb).is_none());
+    }
+
+    #[test]
+    fn null_payloads_are_excluded_from_the_mean() {
+        // regression: nulls used to fold into the mean as 0.0, biasing
+        // sparse payload columns toward zero (10.0 + null → mean 5.0)
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::str("k"), Value::Float(10.0)])
+            .unwrap();
+        t.push_row(vec![Value::str("k"), Value::Null]).unwrap();
+        t.push_row(vec![Value::str("k"), Value::Float(30.0)])
+            .unwrap();
+        t.push_row(vec![Value::str("k"), Value::Null]).unwrap();
+        let s = KmvSketch::build(&t, "key", Some("x"), 8).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entries[0].2, 20.0, "mean over numeric rows only");
+    }
+
+    #[test]
+    fn keys_without_numeric_payload_drop_only_when_payload_requested() {
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("x", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        // neither key ever has a numeric payload (null / string)
+        t.push_row(vec![Value::str("only_null"), Value::Null])
+            .unwrap();
+        t.push_row(vec![Value::str("text"), Value::str("n/a")])
+            .unwrap();
+        // with a payload column requested, neither key has a numeric
+        // payload → both are dropped
+        let with_payload = KmvSketch::build(&t, "key", Some("x"), 8).unwrap();
+        assert!(with_payload.is_empty());
+        // without a payload column, both keys are retained
+        let keys_only = KmvSketch::build(&t, "key", None, 8).unwrap();
+        assert_eq!(keys_only.len(), 2);
+    }
+
+    #[test]
+    fn join_estimate_unbiased_when_kth_minimums_differ() {
+        // A's keys ⊂ B's keys but |B| = 10 × |A|, so the two sketches'
+        // k-th minimum hashes differ by ~10×. The joint bound region
+        // holds only ~k/10 of each sketch's entries; dividing the
+        // intersection size by the full sketch lengths (the old
+        // formula) underestimated the join size ~10×.
+        let a = keyed_table(1_000, |i| i as f64);
+        let b = keyed_table(10_000, |i| i as f64);
+        let sa = CorrelationSketch::build(&a, "key", "x", 256).unwrap();
+        let sb = CorrelationSketch::build(&b, "key", "x", 256).unwrap();
+        let truth = 1_000.0; // |keys(A) ∩ keys(B)|
+        let est = sa.join_key_estimate(&sb);
+        assert!(
+            (est - truth).abs() / truth < 0.25,
+            "est={est} truth={truth}"
+        );
+        // the old denominator put the estimate near truth/10; make the
+        // bias regression explicit
+        assert!(est > 0.5 * truth, "old formula gave ~{:.0}", truth / 10.0);
+        // symmetric call agrees
+        let est_rev = sb.join_key_estimate(&sa);
+        assert!((est_rev - truth).abs() / truth < 0.25, "est_rev={est_rev}");
+    }
+
+    #[test]
+    fn join_estimate_with_differing_sketch_sizes() {
+        // different k on the two sides (64 vs 256) — entry counts and
+        // bound regions differ; the estimator must still track truth
+        let a = keyed_table(5_000, |i| i as f64);
+        let b = keyed_table(5_000, |i| i as f64);
+        let sa = CorrelationSketch::build(&a, "key", "x", 64).unwrap();
+        let sb = CorrelationSketch::build(&b, "key", "x", 256).unwrap();
+        let est = sa.join_key_estimate(&sb);
+        assert!(
+            (est - 5_000.0).abs() / 5_000.0 < 0.3,
+            "est={est} truth=5000"
+        );
     }
 
     #[test]

@@ -111,6 +111,8 @@ impl MinHashLsh {
     /// sorted ascending.
     pub fn query(&self, sig: &MinHash) -> Vec<usize> {
         assert_eq!(sig.k(), self.signature_len(), "signature length mismatch");
+        // every query probes one bucket per band
+        rdi_obs::counter("discovery.lsh_probes").add(self.bands as u64);
         let mut out: HashSet<usize> = HashSet::new();
         for (band, table) in self.tables.iter().enumerate() {
             let h = band_hash(sig, band, self.rows);

@@ -42,6 +42,8 @@ impl TableSignature {
         })
         .into_iter()
         .collect::<rdi_table::Result<Vec<_>>>()?;
+        // one increment per call, sized by the work — schedule-independent
+        rdi_obs::counter("discovery.sketches_built").add(columns.len() as u64);
         Ok(TableSignature {
             name: name.into(),
             columns,
@@ -139,6 +141,7 @@ impl UnionSearchIndex {
         k: usize,
         threads: Threads,
     ) -> Vec<(String, f64)> {
+        rdi_obs::counter("discovery.candidates_scored").add(self.tables.len() as u64);
         let mut scored: Vec<(String, f64)> = par_map(threads.min_len(4), &self.tables, |t| {
             (t.name.clone(), table_unionability(query, t))
         });

@@ -74,6 +74,10 @@ pub fn olken_sample<R: Rng>(
             out.push(JoinSample { left: r, right: s });
         }
     }
+    // recorded once per call from the final tallies; `olken_sample_par`
+    // adds per block, which is commutative across schedules
+    rdi_obs::counter("joinsample.olken_attempts").add(attempts as u64);
+    rdi_obs::counter("joinsample.olken_accepted").add(out.len() as u64);
     Ok((out, attempts))
 }
 
@@ -156,6 +160,7 @@ pub fn chaudhuri_sample<R: Rng>(
         let s = partners[rng.gen_range(0..partners.len())];
         out.push(JoinSample { left: r, right: s });
     }
+    rdi_obs::counter("joinsample.chaudhuri_draws").add(out.len() as u64);
     Ok(out)
 }
 

@@ -109,15 +109,21 @@ impl<'a> WanderJoin<'a> {
         f: impl Fn(&WanderPath) -> f64,
     ) -> AqpEstimate {
         let mut contributions = Vec::with_capacity(n_walks);
+        let mut dead_ends = 0u64;
         for _ in 0..n_walks {
             match self.walk(rng) {
                 Some(path) => {
                     let v = f(&path) / path.probability;
                     contributions.push(v);
                 }
-                None => contributions.push(0.0),
+                None => {
+                    dead_ends += 1;
+                    contributions.push(0.0);
+                }
             }
         }
+        rdi_obs::counter("joinsample.walks_attempted").add(n_walks as u64);
+        rdi_obs::counter("joinsample.walks_dead_ended").add(dead_ends);
         AqpEstimate::from_contributions(&contributions)
     }
 
@@ -151,12 +157,21 @@ impl<'a> WanderJoin<'a> {
             let quota = WALK_BLOCK.min(n_walks - (b * WALK_BLOCK).min(n_walks));
             let mut rng = StdRng::seed_from_u64(stream_seed(seed, b as u64));
             let mut contributions = Vec::with_capacity(quota);
+            let mut dead_ends = 0u64;
             for _ in 0..quota {
                 match self.walk(&mut rng) {
                     Some(path) => contributions.push(f(&path) / path.probability),
-                    None => contributions.push(0.0),
+                    None => {
+                        dead_ends += 1;
+                        contributions.push(0.0);
+                    }
                 }
             }
+            // per-block adds are commutative, and each block's tallies are
+            // a function of (n_walks, seed) alone — totals match any
+            // thread count
+            rdi_obs::counter("joinsample.walks_attempted").add(quota as u64);
+            rdi_obs::counter("joinsample.walks_dead_ended").add(dead_ends);
             contributions
         });
         AqpEstimate::from_contributions(&per_block.concat())

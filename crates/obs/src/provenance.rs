@@ -1,0 +1,197 @@
+//! Typed provenance events (§2.5 transparency).
+//!
+//! The pipeline used to ship provenance as pre-rendered `Vec<String>`
+//! lines — human-readable but unqueryable. These events carry the same
+//! information as structured fields; [`ProvenanceEvent::render`]
+//! reproduces the exact legacy line for each event, so scope notes and
+//! log output are unchanged while audits and experiment harnesses can
+//! now match on variants and read fields directly.
+
+use serde::{Deserialize, Serialize};
+
+/// One step of pipeline provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProvenanceEvent {
+    /// Tailoring began: the problem shape and chosen policy.
+    TailoringStarted {
+        /// Number of groups in the DT problem.
+        groups: usize,
+        /// Number of sources available.
+        sources: usize,
+        /// Source-selection policy name.
+        policy: String,
+    },
+    /// Tailoring finished.
+    TailoringFinished {
+        /// Draws issued (kept + discarded).
+        draws: usize,
+        /// Total cost paid.
+        cost: f64,
+        /// Whether every group met its requirement.
+        satisfied: bool,
+        /// Collected count per group.
+        per_group: Vec<usize>,
+    },
+    /// A column was imputed.
+    Imputed {
+        /// Imputed column name.
+        column: String,
+        /// Null count before imputation.
+        nulls_before: usize,
+        /// Null count after imputation.
+        nulls_after: usize,
+        /// Debug rendering of the strategy used.
+        strategy: String,
+    },
+    /// The nutritional label was generated.
+    LabelGenerated,
+    /// The requirement audit ran.
+    Audited {
+        /// Requirements that passed.
+        passed: usize,
+        /// Requirements audited.
+        total: usize,
+    },
+    /// Free-form annotation (escape hatch for custom stages).
+    Note {
+        /// The annotation text; rendered verbatim.
+        text: String,
+    },
+}
+
+impl ProvenanceEvent {
+    /// The legacy human-readable line for this event — byte-identical
+    /// to what the string-based provenance log used to record.
+    pub fn render(&self) -> String {
+        match self {
+            ProvenanceEvent::TailoringStarted {
+                groups,
+                sources,
+                policy,
+            } => format!("tailoring: {groups} groups, {sources} sources, policy `{policy}`"),
+            ProvenanceEvent::TailoringFinished {
+                draws,
+                cost,
+                satisfied,
+                per_group,
+            } => format!(
+                "tailoring finished: {draws} draws, cost {cost:.1}, satisfied={satisfied}; per-group counts {per_group:?}"
+            ),
+            ProvenanceEvent::Imputed {
+                column,
+                nulls_before,
+                nulls_after,
+                strategy,
+            } => format!("imputed `{column}` ({nulls_before} → {nulls_after} nulls) with {strategy}"),
+            ProvenanceEvent::LabelGenerated => "nutritional label generated".to_string(),
+            ProvenanceEvent::Audited { passed, total } => {
+                format!("audit: {passed}/{total} requirements passed")
+            }
+            ProvenanceEvent::Note { text } => text.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProvenanceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// An ordered log of [`ProvenanceEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceLog(pub Vec<ProvenanceEvent>);
+
+impl ProvenanceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ProvenanceLog::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: ProvenanceEvent) {
+        self.0.push(event);
+    }
+
+    /// The legacy rendered lines, in order.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.iter().map(ProvenanceEvent::render).collect()
+    }
+}
+
+impl std::ops::Deref for ProvenanceLog {
+    type Target = [ProvenanceEvent];
+
+    fn deref(&self) -> &[ProvenanceEvent] {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a ProvenanceLog {
+    type Item = &'a ProvenanceEvent;
+    type IntoIter = std::slice::Iter<'a, ProvenanceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ProvenanceLog {
+        let mut log = ProvenanceLog::new();
+        log.push(ProvenanceEvent::TailoringStarted {
+            groups: 2,
+            sources: 3,
+            policy: "ratio_coll".into(),
+        });
+        log.push(ProvenanceEvent::TailoringFinished {
+            draws: 120,
+            cost: 120.0,
+            satisfied: true,
+            per_group: vec![60, 60],
+        });
+        log.push(ProvenanceEvent::Imputed {
+            column: "x1".into(),
+            nulls_before: 9,
+            nulls_after: 0,
+            strategy: "Mean".into(),
+        });
+        log.push(ProvenanceEvent::LabelGenerated);
+        log.push(ProvenanceEvent::Audited {
+            passed: 3,
+            total: 4,
+        });
+        log
+    }
+
+    #[test]
+    fn render_matches_legacy_lines() {
+        assert_eq!(
+            sample_log().lines(),
+            vec![
+                "tailoring: 2 groups, 3 sources, policy `ratio_coll`",
+                "tailoring finished: 120 draws, cost 120.0, satisfied=true; per-group counts [60, 60]",
+                "imputed `x1` (9 → 0 nulls) with Mean",
+                "nutritional label generated",
+                "audit: 3/4 requirements passed",
+            ]
+        );
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let log = sample_log();
+        let text = serde_json::to_string(&log).unwrap();
+        let back: ProvenanceLog = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn display_delegates_to_render() {
+        let e = ProvenanceEvent::Note { text: "hi".into() };
+        assert_eq!(format!("{e}"), "hi");
+    }
+}

@@ -1,0 +1,126 @@
+//! RAII span timers with per-thread parent/child nesting.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::MetricsRegistry;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost
+    /// first. Nesting is tracked per thread: spans opened on parallel
+    /// workers do not inherit the spawning thread's stack.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One finished span: its slash-separated nesting path and wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// `outer/inner` path of span names at completion time.
+    pub path: String,
+    /// Elapsed wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Guard returned by [`MetricsRegistry::span`] / [`crate::span`]:
+/// records a [`SpanRecord`] into the registry when dropped. Guards are
+/// expected to drop in LIFO order (ordinary scoping guarantees this);
+/// they are deliberately `!Send` so a span cannot close on a different
+/// thread than it opened on.
+pub struct SpanGuard<'r> {
+    registry: &'r MetricsRegistry,
+    path: String,
+    start: Instant,
+    /// Keep the guard `!Send`: the thread-local stack entry must be
+    /// popped by the opening thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl<'r> SpanGuard<'r> {
+    pub(crate) fn enter(registry: &'r MetricsRegistry, name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name.to_string());
+            stack.join("/")
+        });
+        SpanGuard {
+            registry,
+            path,
+            start: Instant::now(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// The span's full nesting path (`outer/inner`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        self.registry.spans.lock().unwrap().push(SpanRecord {
+            path: std::mem::take(&mut self.path),
+            nanos,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_paths_and_completion_order() {
+        let reg = MetricsRegistry::new();
+        {
+            let outer = reg.span("pipeline");
+            assert_eq!(outer.path(), "pipeline");
+            {
+                let inner = reg.span("tailor");
+                assert_eq!(inner.path(), "pipeline/tailor");
+                let deepest = reg.span("draw");
+                assert_eq!(deepest.path(), "pipeline/tailor/draw");
+            }
+            let sibling = reg.span("audit");
+            assert_eq!(sibling.path(), "pipeline/audit");
+        }
+        let records = reg.span_records();
+        let paths: Vec<&str> = records.iter().map(|r| r.path.as_str()).collect();
+        // children complete before parents; siblings in drop order
+        assert_eq!(
+            paths,
+            vec![
+                "pipeline/tailor/draw",
+                "pipeline/tailor",
+                "pipeline/audit",
+                "pipeline"
+            ]
+        );
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let reg = MetricsRegistry::new();
+        drop(reg.span("a"));
+        drop(reg.span("b"));
+        let paths: Vec<String> = reg.span_records().into_iter().map(|r| r.path).collect();
+        assert_eq!(paths, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn worker_threads_start_fresh_stacks() {
+        let reg = MetricsRegistry::new();
+        let _outer = reg.span("outer");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let inner = reg.span("worker");
+                // no inheritance across threads
+                assert_eq!(inner.path(), "worker");
+            });
+        });
+    }
+}

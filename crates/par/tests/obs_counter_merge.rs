@@ -1,0 +1,40 @@
+//! Counter merge across rdi-par workers.
+//!
+//! Increments issued from inside worker closures land on the global
+//! [`rdi_obs`] registry's atomics, so the merged total must equal the
+//! amount of work — bitwise — no matter how the items were scheduled.
+//!
+//! Deliberately a single `#[test]` in its own integration-test file:
+//! the file gets its own process, so no other test's global-registry
+//! traffic can race the delta measurements below.
+
+use rdi_par::{par_map, par_run, Threads, THREADS_ENV};
+
+#[test]
+fn worker_counter_merge_is_thread_invariant() {
+    let items: Vec<u64> = (0..1_000).collect();
+    let c = rdi_obs::counter("test.par_merge");
+
+    // explicit thread counts
+    for t in [1usize, 2, 8] {
+        let before = c.get();
+        let out = par_map(Threads::fixed(t).min_len(2), &items, |x| {
+            rdi_obs::counter("test.par_merge").inc();
+            x + 1
+        });
+        assert_eq!(out.len(), items.len());
+        assert_eq!(c.get() - before, items.len() as u64, "threads={t}");
+    }
+
+    // the same contract through the RDI_THREADS environment route
+    for t in ["1", "2", "8"] {
+        std::env::set_var(THREADS_ENV, t);
+        let before = c.get();
+        par_run(Threads::auto().min_len(2), 512, |i| {
+            rdi_obs::counter("test.par_merge").add(1);
+            i
+        });
+        assert_eq!(c.get() - before, 512, "RDI_THREADS={t}");
+    }
+    std::env::remove_var(THREADS_ENV);
+}

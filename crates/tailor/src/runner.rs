@@ -92,6 +92,7 @@ pub fn run_tailoring<R: Rng>(
     }
 
     let ok = satisfied(&per_group);
+    record_outcome(&per_group, draws, total_cost);
     Ok(TailorOutcome {
         total_cost,
         draws,
@@ -100,6 +101,19 @@ pub fn run_tailoring<R: Rng>(
         collected,
         per_source_draws,
     })
+}
+
+/// Publish a finished run's tallies onto the global [`rdi_obs`]
+/// registry: total draws, per-group collected progress, and the run's
+/// cost (gauge; last run wins).
+fn record_outcome(per_group: &[usize], draws: usize, total_cost: f64) {
+    rdi_obs::counter("tailor.runs").inc();
+    rdi_obs::counter("tailor.draws").add(draws as u64);
+    rdi_obs::counter("tailor.kept").add(per_group.iter().sum::<usize>() as u64);
+    for (gi, &c) in per_group.iter().enumerate() {
+        rdi_obs::counter(&format!("tailor.group_{gi}_kept")).add(c as u64);
+    }
+    rdi_obs::gauge("tailor.last_cost").set(total_cost);
 }
 
 /// Dedup-aware tailoring for **overlapping sources** (tutorial §5: "data
@@ -178,6 +192,8 @@ pub fn run_tailoring_dedup<R: Rng>(
     }
 
     let ok = satisfied(&per_group);
+    record_outcome(&per_group, draws, total_cost);
+    rdi_obs::counter("tailor.duplicates").add(duplicates as u64);
     Ok((
         TailorOutcome {
             total_cost,

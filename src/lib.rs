@@ -22,6 +22,7 @@
 //! | [`entitycollect`] | `rdi-entitycollect` | distribution-aware crowd entity collection (§4.1) |
 //! | [`fairquery`] | `rdi-fairquery` | fairness-aware range queries (§5) |
 //! | [`core`] | `rdi-core` | the §2 requirements framework, audits, pipeline |
+//! | [`obs`] | `rdi-obs` | metrics registry, span timers, typed provenance |
 
 #![warn(missing_docs)]
 
@@ -37,6 +38,7 @@ pub use rdi_entitycollect as entitycollect;
 pub use rdi_fairness as fairness;
 pub use rdi_fairquery as fairquery;
 pub use rdi_joinsample as joinsample;
+pub use rdi_obs as obs;
 pub use rdi_profile as profile;
 pub use rdi_table as table;
 pub use rdi_tailor as tailor;

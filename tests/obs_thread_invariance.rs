@@ -1,0 +1,167 @@
+//! Property test for the rdi-obs determinism contract: the *work*
+//! counters published by discovery, coverage, joinsample, and tailor
+//! are bitwise identical whether the kernels run on `RDI_THREADS` =
+//! 1, 2, or 8 — increments are functions of the work, never of the
+//! schedule.
+//!
+//! (`par.*` dispatch counters are deliberately absent from the list:
+//! they describe the schedule itself and differ across thread counts
+//! by design.)
+//!
+//! Deliberately a single `#[test]` in its own integration-test file:
+//! the file gets its own process, so no other test's global-registry
+//! traffic can race the delta measurements, and the `RDI_THREADS`
+//! mutation cannot leak into concurrently running tests.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdi_par::{Threads, THREADS_ENV};
+use responsible_data_integration::coverage::CoverageAnalyzer;
+use responsible_data_integration::discovery::{TableSignature, UnionSearchIndex};
+use responsible_data_integration::joinsample::{olken_sample_par, JoinIndex, WanderJoin};
+use responsible_data_integration::obs;
+use responsible_data_integration::table::{
+    DataType, Field, GroupKey, GroupSpec, Role, Schema, Table, Value,
+};
+use responsible_data_integration::tailor::prelude::*;
+
+/// The cross-layer work counters covered by the invariance contract.
+const WORK_COUNTERS: &[&str] = &[
+    "discovery.sketches_built",
+    "discovery.candidates_scored",
+    "coverage.searches",
+    "coverage.nodes_evaluated",
+    "coverage.mups_found",
+    "joinsample.olken_attempts",
+    "joinsample.olken_accepted",
+    "joinsample.walks_attempted",
+    "joinsample.walks_dead_ended",
+    "tailor.runs",
+    "tailor.draws",
+    "tailor.kept",
+];
+
+fn counter_values() -> Vec<u64> {
+    WORK_COUNTERS
+        .iter()
+        .map(|n| obs::counter(n).get())
+        .collect()
+}
+
+fn cat_table(seed: u64, rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("a", DataType::Str),
+        Field::new("b", DataType::Str),
+        Field::new("c", DataType::Str),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(schema);
+    for _ in 0..rows {
+        t.push_row(vec![
+            Value::str(if rng.gen::<bool>() { "x" } else { "y" }),
+            Value::str(format!("b{}", rng.gen_range(0..3))),
+            Value::str(format!("c{}", rng.gen_range(0..3))),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn keyed_table(seed: u64, rows: usize, key_range: i64) -> Table {
+    let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(schema);
+    for _ in 0..rows {
+        t.push_row(vec![Value::Int(rng.gen_range(0..key_range))])
+            .unwrap();
+    }
+    t
+}
+
+/// Run one representative workload through every instrumented layer.
+/// All parallel entry points resolve their thread count from
+/// `RDI_THREADS` (via [`Threads::auto`]), which the caller has set.
+fn run_workload(seed: u64, rows: usize) {
+    // discovery: sketch three tables, rank them against a query
+    let mut idx = UnionSearchIndex::new();
+    for i in 0..3u64 {
+        let t = cat_table(seed.wrapping_add(i), rows);
+        idx.insert(TableSignature::build(format!("t{i}"), &t, 32).unwrap());
+    }
+    let q = TableSignature::build("q", &cat_table(seed, rows), 32).unwrap();
+    let _ = idx.top_k(&q, 2);
+
+    // coverage: both MUP searches over the same table
+    let t = cat_table(seed, rows);
+    let an = CoverageAnalyzer::new(&t, &["a", "b", "c"], rows / 10 + 1).unwrap();
+    let _ = an.mups_pattern_breaker();
+    let _ = an.mups_deep_diver();
+
+    // joinsample: block-parallel olken sampling + wander-join walks
+    let left = keyed_table(seed, rows, 10);
+    let right = keyed_table(seed.wrapping_add(7), rows, 10);
+    let ridx = JoinIndex::build(&right, "k").unwrap();
+    let _ = olken_sample_par(&left, "k", &ridx, 600, seed, Threads::auto()).unwrap();
+    let wj = WanderJoin::new(vec![&left, &right], &[("k", "k")]).unwrap();
+    let _ = wj.count_estimate_par(2_100, seed, Threads::auto());
+
+    // tailor: seeded serial collection loop
+    let schema = Schema::new(vec![
+        Field::new("g", DataType::Str).with_role(Role::Sensitive)
+    ]);
+    let mut src = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rows.max(40) {
+        src.push_row(vec![Value::str(if rng.gen::<f64>() < 0.2 {
+            "min"
+        } else {
+            "maj"
+        })])
+        .unwrap();
+    }
+    let problem = DtProblem::exact_counts(
+        GroupSpec::new(vec!["g"]),
+        vec![
+            (GroupKey(vec![Value::str("maj")]), 10),
+            (GroupKey(vec![Value::str("min")]), 10),
+        ],
+    );
+    let mut sources = vec![TableSource::new("s", src, 1.0, &problem).unwrap()];
+    let mut policy = RandomPolicy::new(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _ = run_tailoring(&mut sources, &problem, &mut policy, &mut rng, 100_000).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn work_counters_bitwise_identical_across_rdi_threads(
+        seed in 0u64..1_000_000,
+        rows in 60usize..160,
+    ) {
+        let mut deltas: Vec<Vec<u64>> = Vec::new();
+        for t in ["1", "2", "8"] {
+            std::env::set_var(THREADS_ENV, t);
+            let before = counter_values();
+            run_workload(seed, rows);
+            let after = counter_values();
+            deltas.push(
+                after.iter().zip(&before).map(|(a, b)| a - b).collect(),
+            );
+        }
+        std::env::remove_var(THREADS_ENV);
+        // some work must actually have been counted
+        prop_assert!(deltas[0].iter().sum::<u64>() > 0);
+        for (i, d) in deltas.iter().enumerate().skip(1) {
+            for (name, (got, want)) in WORK_COUNTERS.iter().zip(d.iter().zip(&deltas[0])) {
+                prop_assert_eq!(
+                    got, want,
+                    "counter `{}` differs between RDI_THREADS=1 and RDI_THREADS={}",
+                    name, ["1", "2", "8"][i]
+                );
+            }
+        }
+    }
+}

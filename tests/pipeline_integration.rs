@@ -135,10 +135,33 @@ fn full_pipeline_with_imputation_and_provenance() {
         result.data.column("screening_score").unwrap().null_count(),
         0
     );
-    // provenance records tailoring + imputation + audit
-    assert!(result.provenance.iter().any(|p| p.contains("tailoring")));
-    assert!(result.provenance.iter().any(|p| p.contains("imputed")));
-    assert!(result.provenance.iter().any(|p| p.contains("audit")));
+    // provenance records tailoring + imputation + audit, as typed events
+    assert!(result.provenance.iter().any(|p| matches!(
+        p,
+        ProvenanceEvent::TailoringFinished {
+            satisfied: true,
+            ..
+        }
+    )));
+    assert!(result.provenance.iter().any(|p| matches!(
+        p,
+        ProvenanceEvent::Imputed { column, nulls_after: 0, .. } if column == "screening_score"
+    )));
+    assert!(result
+        .provenance
+        .iter()
+        .any(|p| matches!(p, ProvenanceEvent::Audited { .. })));
+    // the rendered lines keep the legacy human-readable form
+    assert!(result
+        .provenance_lines()
+        .iter()
+        .any(|l| l.starts_with("tailoring: ")));
+    // and the shipped label carries the complete log, audit included
+    assert!(result
+        .label
+        .scope_notes
+        .iter()
+        .any(|n| n.starts_with("audit: ")));
     // label carries group fractions for all four races
     assert_eq!(result.label.group_fractions.len(), 4);
 }
