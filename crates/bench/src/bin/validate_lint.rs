@@ -1,0 +1,115 @@
+//! CI helper: validate `rdi-lint --json` output against the report
+//! schema.
+//!
+//! Reads the lint JSON document on **stdin** and checks the schema
+//! contract the CI gate relies on: `version` is the supported one,
+//! the summary fields are present, the rule catalog lists every rule
+//! exactly once, and each finding is a well-formed object. Exits
+//! non-zero (with a message on stderr) on any violation — so a
+//! pipeline like
+//!
+//! ```text
+//! cargo run -p rdi-lint -- --json | cargo run --bin validate_lint
+//! ```
+//!
+//! fails loudly if the analyzer's machine-readable output ever drifts
+//! from what downstream tooling parses. Findings themselves are *not*
+//! gated here: `rdi-lint`'s own exit status does that.
+
+use std::io::Read;
+use std::process::exit;
+
+/// Schema version this validator understands (see
+/// `crates/lint/src/report.rs`).
+const SUPPORTED_VERSION: u64 = 1;
+
+/// Every rule the catalog must list, in order.
+const RULE_IDS: [&str; 7] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
+
+fn main() {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("validate_lint: cannot read stdin: {e}");
+        exit(1);
+    }
+    let doc: serde_json::Value = match serde_json::from_str(input.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate_lint: report is not valid JSON: {e:?}");
+            exit(2);
+        }
+    };
+
+    let version = doc.get("version").and_then(|v| v.as_u64());
+    if version != Some(SUPPORTED_VERSION) {
+        eprintln!(
+            "validate_lint: unsupported report version {version:?} (want {SUPPORTED_VERSION})"
+        );
+        exit(2);
+    }
+    for field in ["root", "files_scanned", "suppressed"] {
+        if doc.get(field).is_none() {
+            eprintln!("validate_lint: report missing `{field}` field");
+            exit(2);
+        }
+    }
+
+    let Some(rules) = doc.get("rules").and_then(|v| v.as_array()) else {
+        eprintln!("validate_lint: report missing `rules` array");
+        exit(2);
+    };
+    let listed: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(|v| v.as_str()))
+        .collect();
+    for id in RULE_IDS {
+        if listed.iter().filter(|&&l| l == id).count() != 1 {
+            eprintln!("validate_lint: rule catalog must list `{id}` exactly once, got {listed:?}");
+            exit(2);
+        }
+    }
+    for r in rules {
+        for field in ["name", "summary"] {
+            if r.get(field).and_then(|v| v.as_str()).is_none() {
+                eprintln!("validate_lint: rule entry missing string `{field}`: {r:?}");
+                exit(2);
+            }
+        }
+    }
+
+    let Some(findings) = doc.get("findings").and_then(|v| v.as_array()) else {
+        eprintln!("validate_lint: report missing `findings` array");
+        exit(2);
+    };
+    for f in findings {
+        let rule = f.get("rule").and_then(|v| v.as_str());
+        match rule {
+            Some(r) if RULE_IDS.contains(&r) => {}
+            other => {
+                eprintln!("validate_lint: finding with unknown rule {other:?}: {f:?}");
+                exit(2);
+            }
+        }
+        if f.get("file").and_then(|v| v.as_str()).is_none()
+            || f.get("line").and_then(|v| v.as_u64()).is_none()
+            || f.get("message").and_then(|v| v.as_str()).is_none()
+        {
+            eprintln!("validate_lint: malformed finding entry: {f:?}");
+            exit(2);
+        }
+    }
+
+    let files = doc
+        .get("files_scanned")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if files == 0 {
+        eprintln!("validate_lint: report claims zero files scanned — wrong root?");
+        exit(2);
+    }
+    println!(
+        "validate_lint: OK — version {SUPPORTED_VERSION}, {files} file(s) scanned, {} finding(s), {} rule(s)",
+        findings.len(),
+        rules.len()
+    );
+}

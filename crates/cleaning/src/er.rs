@@ -6,7 +6,7 @@
 //! group*, since name-based matching is known to degrade for groups whose
 //! names the similarity function handles poorly.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rdi_table::{GroupSpec, Table};
 use serde::{Deserialize, Serialize};
@@ -34,7 +34,7 @@ impl Default for ErConfig {
 
 /// Character-bigram Jaccard similarity of two strings.
 pub fn bigram_jaccard(a: &str, b: &str) -> f64 {
-    let grams = |s: &str| -> HashSet<(char, char)> {
+    let grams = |s: &str| -> BTreeSet<(char, char)> {
         let cs: Vec<char> = s.chars().collect();
         cs.windows(2).map(|w| (w[0], w[1])).collect()
     };
@@ -59,7 +59,7 @@ pub fn resolve_entities(
     config: &ErConfig,
 ) -> rdi_table::Result<Vec<(usize, usize)>> {
     let col = table.column(&config.name_column)?;
-    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     let mut names: Vec<Option<String>> = Vec::with_capacity(table.num_rows());
     for i in 0..table.num_rows() {
         let v = col.value(i);
@@ -71,10 +71,8 @@ pub fn resolve_entities(
         names.push(name);
     }
     let mut pairs = Vec::new();
-    let mut block_keys: Vec<&String> = blocks.keys().collect();
-    block_keys.sort();
-    for key in block_keys {
-        let ids = &blocks[key];
+    // BTreeMap iteration is already in sorted key order.
+    for ids in blocks.values() {
         for (a, &i) in ids.iter().enumerate() {
             for &j in &ids[a + 1..] {
                 let (Some(ni), Some(nj)) = (&names[i], &names[j]) else {
@@ -111,7 +109,7 @@ pub fn cluster_entities(pairs: &[(usize, usize)], num_rows: usize) -> Vec<Vec<us
             parent[ra.max(rb)] = ra.min(rb);
         }
     }
-    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for i in 0..num_rows {
         let r = find(&mut parent, i);
         groups.entry(r).or_default().push(i);
@@ -148,8 +146,8 @@ pub fn audit_er(
     truth: &[(usize, usize)],
     spec: &GroupSpec,
 ) -> rdi_table::Result<ErAudit> {
-    let pred: HashSet<(usize, usize)> = predicted.iter().copied().collect();
-    let tru: HashSet<(usize, usize)> = truth.iter().copied().collect();
+    let pred: BTreeSet<(usize, usize)> = predicted.iter().copied().collect();
+    let tru: BTreeSet<(usize, usize)> = truth.iter().copied().collect();
     let tp_all = pred.intersection(&tru).count() as f64;
     let precision = if pred.is_empty() {
         1.0
@@ -166,18 +164,13 @@ pub fn audit_er(
     for i in 0..table.num_rows() {
         group_of.push(spec.key_of(table, i)?);
     }
-    let mut groups: Vec<_> = group_of
-        .iter()
-        .cloned()
-        .collect::<HashSet<_>>()
-        .into_iter()
-        .collect();
-    groups.sort();
+    // BTreeSet dedups and yields groups already sorted.
+    let groups: BTreeSet<_> = group_of.iter().cloned().collect();
     let mut per_group = Vec::new();
     for g in groups {
         let in_group = |p: &(usize, usize)| group_of[p.0] == g && group_of[p.1] == g;
-        let gp: HashSet<_> = pred.iter().filter(|p| in_group(p)).collect();
-        let gt: HashSet<_> = tru.iter().filter(|p| in_group(p)).collect();
+        let gp: BTreeSet<_> = pred.iter().filter(|p| in_group(p)).collect();
+        let gt: BTreeSet<_> = tru.iter().filter(|p| in_group(p)).collect();
         let tp = gp.intersection(&gt).count() as f64;
         let p = if gp.is_empty() {
             1.0

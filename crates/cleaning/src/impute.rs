@@ -37,10 +37,13 @@ pub enum ImputeStrategy {
 pub fn impute(table: &Table, column: &str, strategy: &ImputeStrategy) -> rdi_table::Result<Table> {
     match strategy {
         ImputeStrategy::DropRows => {
-            let keep: Vec<usize> = (0..table.num_rows())
-                .filter(|&i| !table.value(i, column).expect("col checked").is_null())
-                .collect();
             table.schema().index_of(column)?; // validate
+            let mut keep = Vec::with_capacity(table.num_rows());
+            for i in 0..table.num_rows() {
+                if !table.value(i, column)?.is_null() {
+                    keep.push(i);
+                }
+            }
             Ok(table.take(&keep))
         }
         ImputeStrategy::Mean => {
@@ -50,7 +53,9 @@ pub fn impute(table: &Table, column: &str, strategy: &ImputeStrategy) -> rdi_tab
         ImputeStrategy::GroupMean(spec) => {
             let global = table.mean(column)?.unwrap_or(0.0);
             let stats = spec.stats(table, column)?;
-            let means: std::collections::HashMap<_, f64> = stats
+            // Sorted map: group-mean lookup must not depend on hash order
+            // (lint rule R1), and BTreeMap keeps snapshots reproducible.
+            let means: std::collections::BTreeMap<_, f64> = stats
                 .into_iter()
                 .map(|(k, s)| (k, if s.non_null > 0 { s.mean } else { global }))
                 .collect();
@@ -292,6 +297,68 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.value(2, "x").unwrap().as_f64().unwrap(), 15.0);
+    }
+
+    proptest::proptest! {
+        /// Group-mean imputation must be a pure function of the table
+        /// contents: repeated runs are bitwise identical (no hash-order
+        /// dependence — guards the R1 conversion of the means map), and
+        /// every filled cell matches an independently computed group mean.
+        #[test]
+        fn group_mean_impute_is_order_invariant(
+            raw in proptest::collection::vec(
+                (0u8..3, -100.0f64..100.0, 0u8..4),
+                1..40,
+            ),
+        ) {
+            // third component: 0 = missing cell, 1..4 = present
+            let rows: Vec<(u8, Option<f64>)> = raw
+                .iter()
+                .map(|&(g, x, m)| (g, (m != 0).then_some(x)))
+                .collect();
+            let schema = Schema::new(vec![
+                Field::new("g", DataType::Str).with_role(Role::Sensitive),
+                Field::new("x", DataType::Float),
+            ]);
+            let mut t = Table::new(schema);
+            for (g, x) in &rows {
+                t.push_row(vec![
+                    Value::str(format!("g{g}")),
+                    x.map_or(Value::Null, Value::Float),
+                ])
+                .unwrap();
+            }
+            let spec = GroupSpec::new(vec!["g"]);
+            let a = impute(&t, "x", &ImputeStrategy::GroupMean(spec.clone())).unwrap();
+            let b = impute(&t, "x", &ImputeStrategy::GroupMean(spec)).unwrap();
+            // reference group means, computed in row order per group
+            let mut sums: std::collections::BTreeMap<u8, (f64, usize)> =
+                std::collections::BTreeMap::new();
+            let mut gsum = 0.0;
+            let mut gcnt = 0usize;
+            for (g, x) in &rows {
+                if let Some(x) = x {
+                    let e = sums.entry(*g).or_insert((0.0, 0));
+                    e.0 += x;
+                    e.1 += 1;
+                    gsum += x;
+                    gcnt += 1;
+                }
+            }
+            let global = if gcnt > 0 { gsum / gcnt as f64 } else { 0.0 };
+            for (i, (g, x)) in rows.iter().enumerate() {
+                let va = a.value(i, "x").unwrap().as_f64().unwrap();
+                let vb = b.value(i, "x").unwrap().as_f64().unwrap();
+                proptest::prop_assert_eq!(va.to_bits(), vb.to_bits());
+                if x.is_none() {
+                    let expect = match sums.get(g) {
+                        Some(&(s, c)) if c > 0 => s / c as f64,
+                        _ => global,
+                    };
+                    proptest::prop_assert!((va - expect).abs() < 1e-9);
+                }
+            }
+        }
     }
 
     #[test]

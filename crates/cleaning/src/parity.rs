@@ -6,7 +6,7 @@
 //! average while systematically mis-imputing a minority group — this is
 //! the metric that catches it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{GroupKey, GroupSpec, Table};
 use serde::{Deserialize, Serialize};
@@ -32,7 +32,7 @@ pub fn imputation_parity(
     truth: &[(usize, f64)],
     spec: &GroupSpec,
 ) -> rdi_table::Result<ParityReport> {
-    let mut per_group: HashMap<GroupKey, Vec<f64>> = HashMap::new();
+    let mut per_group: BTreeMap<GroupKey, Vec<f64>> = BTreeMap::new();
     let mut all = Vec::with_capacity(truth.len());
     for &(i, true_val) in truth {
         let key = spec.key_of(imputed, i)?;
@@ -48,9 +48,9 @@ pub fn imputation_parity(
         all.push(err2);
     }
     let rmse = |v: &[f64]| (v.iter().sum::<f64>() / v.len().max(1) as f64).sqrt();
-    let mut group_rmse: Vec<(GroupKey, f64)> =
+    // BTreeMap iteration is already sorted by group key.
+    let group_rmse: Vec<(GroupKey, f64)> =
         per_group.into_iter().map(|(k, v)| (k, rmse(&v))).collect();
-    group_rmse.sort_by(|a, b| a.0.cmp(&b.0));
     let max = group_rmse
         .iter()
         .map(|(_, e)| *e)

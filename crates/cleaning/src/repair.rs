@@ -42,10 +42,11 @@ pub fn repair_with_rule(
     let (lo, hi) = bounds(table, column, rule)?;
     let mut out = table.clone();
     for &i in &violations {
-        let x = table
-            .value(i, column)?
-            .as_f64()
-            .expect("violation is numeric");
+        // detect_outliers only flags numeric cells, so the skip below
+        // never fires; it just keeps the path panic-free.
+        let Some(x) = table.value(i, column)?.as_f64() else {
+            continue;
+        };
         out.set_value(i, column, Value::Float(x.clamp(lo, hi)))?;
     }
     Ok((out, violations))

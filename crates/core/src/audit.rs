@@ -122,21 +122,27 @@ fn check(table: &Table, r: &Requirement, spec: &RequirementSpec) -> rdi_table::R
                     format!("all group patterns covered at τ={threshold}")
                 } else {
                     // attach an actionable remediation preview
-                    let plan = rdi_coverage::remedy_greedy(&analyzer, sensitive.len());
-                    format!(
-                        "{} uncovered pattern(s): {} — remediation: collect {} more tuple(s), e.g. {}",
-                        mups.len(),
-                        described.join("; "),
-                        plan.len(),
-                        plan.first().map_or("-".to_string(), |row| {
-                            sensitive
-                                .iter()
-                                .zip(row)
-                                .map(|(a, v)| format!("{a}={v}"))
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        })
-                    )
+                    match rdi_coverage::remedy_greedy(&analyzer, sensitive.len()) {
+                        Ok(plan) => format!(
+                            "{} uncovered pattern(s): {} — remediation: collect {} more tuple(s), e.g. {}",
+                            mups.len(),
+                            described.join("; "),
+                            plan.len(),
+                            plan.first().map_or("-".to_string(), |row| {
+                                sensitive
+                                    .iter()
+                                    .zip(row)
+                                    .map(|(a, v)| format!("{a}={v}"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            })
+                        ),
+                        Err(e) => format!(
+                            "{} uncovered pattern(s): {} — remediation unavailable: {e}",
+                            mups.len(),
+                            described.join("; ")
+                        ),
+                    }
                 };
                 Finding {
                     requirement: r.name().into(),

@@ -7,7 +7,7 @@
 //! instead of O(#rows) per query, a large win on low-cardinality
 //! categorical data.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{Table, TableError, Value};
 
@@ -48,11 +48,11 @@ impl PatternCounter {
             domains.push(vals);
         }
         // value -> code per attribute
-        let lookups: Vec<HashMap<&Value, u16>> = domains
+        let lookups: Vec<BTreeMap<&Value, u16>> = domains
             .iter()
             .map(|d| d.iter().enumerate().map(|(i, v)| (v, i as u16)).collect())
             .collect();
-        let mut counts: HashMap<Vec<u16>, usize> = HashMap::new();
+        let mut counts: BTreeMap<Vec<u16>, usize> = BTreeMap::new();
         let cols: Vec<&rdi_table::Column> = attributes
             .iter()
             .map(|a| table.column(a))

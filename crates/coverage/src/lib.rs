@@ -50,4 +50,4 @@ pub use continuous::{KdTree, NeighborhoodCoverage};
 pub use counter::PatternCounter;
 pub use mup::CoverageAnalyzer;
 pub use pattern::Pattern;
-pub use remedy::{remedy_greedy, remedy_to_fixpoint};
+pub use remedy::{remedy_greedy, remedy_to_fixpoint, RemedyError};

@@ -6,7 +6,7 @@
 //! and they concisely summarize the whole uncovered region: a pattern is
 //! uncovered iff it specializes some MUP (Asudeh et al., ICDE 2019).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::counter::PatternCounter;
 use crate::pattern::Pattern;
@@ -109,11 +109,11 @@ impl CoverageAnalyzer {
     fn batch_count(
         &self,
         batch: &[Pattern],
-        memo: &mut HashMap<Pattern, usize>,
+        memo: &mut BTreeMap<Pattern, usize>,
         stats: &mut SearchStats,
         threads: Threads,
     ) {
-        let mut seen: HashSet<&Pattern> = HashSet::with_capacity(batch.len());
+        let mut seen: BTreeSet<&Pattern> = BTreeSet::new();
         let fresh: Vec<&Pattern> = batch
             .iter()
             .filter(|p| !memo.contains_key(*p) && seen.insert(*p))
@@ -131,7 +131,7 @@ impl CoverageAnalyzer {
     fn memo_count(
         &self,
         p: &Pattern,
-        memo: &mut HashMap<Pattern, usize>,
+        memo: &mut BTreeMap<Pattern, usize>,
         stats: &mut SearchStats,
     ) -> usize {
         if let Some(c) = memo.get(p) {
@@ -165,7 +165,7 @@ impl CoverageAnalyzer {
     /// thread count.
     pub fn mups_pattern_breaker_with(&self, threads: Threads) -> (Vec<Pattern>, SearchStats) {
         let cards = self.counter.cardinalities();
-        let mut memo: HashMap<Pattern, usize> = HashMap::new();
+        let mut memo: BTreeMap<Pattern, usize> = BTreeMap::new();
         let mut stats = SearchStats::default();
 
         let mut mups = Vec::new();
@@ -188,7 +188,10 @@ impl CoverageAnalyzer {
             self.batch_count(&children, &mut memo, &mut stats, threads);
             let mut next = Vec::new();
             for child in children {
-                if memo[&child] >= self.threshold {
+                // Always a memo hit after `batch_count`, so this cannot
+                // panic the way a `memo[&child]` index could and the
+                // serial evaluation stats are untouched.
+                if self.memo_count(&child, &mut memo, &mut stats) >= self.threshold {
                     next.push(child);
                 } else {
                     // Uncovered: MUP iff *all* parents are covered.
@@ -226,7 +229,7 @@ impl CoverageAnalyzer {
     /// thread count.
     pub fn mups_deep_diver_with(&self, threads: Threads) -> (Vec<Pattern>, SearchStats) {
         let cards = self.counter.cardinalities();
-        let mut memo: HashMap<Pattern, usize> = HashMap::new();
+        let mut memo: BTreeMap<Pattern, usize> = BTreeMap::new();
         let mut stats = SearchStats::default();
         let root = Pattern::root(self.counter.dim());
         if self.memo_count(&root, &mut memo, &mut stats) < self.threshold {
@@ -241,7 +244,9 @@ impl CoverageAnalyzer {
             let children = node.canonical_children(&cards);
             self.batch_count(&children, &mut memo, &mut stats, threads);
             for child in children {
-                if memo[&child] >= self.threshold {
+                // Memo hit after `batch_count`; see the Pattern-Breaker
+                // loop for why this replaces a panicking index.
+                if self.memo_count(&child, &mut memo, &mut stats) >= self.threshold {
                     stack.push(child);
                 } else {
                     let all_parents_covered = child
@@ -279,7 +284,7 @@ impl CoverageAnalyzer {
             }
             all = next;
         }
-        let covered: HashMap<Pattern, bool> = all
+        let covered: BTreeMap<Pattern, bool> = all
             .iter()
             .map(|p| {
                 stats.nodes_evaluated += 1;

@@ -22,6 +22,35 @@ use rdi_table::Value;
 use crate::mup::CoverageAnalyzer;
 use crate::pattern::Pattern;
 
+/// Why a remediation plan could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemedyError {
+    /// The candidate pool of full assignments is empty — some attribute
+    /// has an empty domain (e.g. the table has no rows), so no tuple can
+    /// be planned at all.
+    NoCandidates,
+    /// A deficient target matches no candidate assignment. Unreachable
+    /// through [`CoverageAnalyzer`]'s public constructors (every pattern
+    /// is completed by some full assignment of its own domains), kept as
+    /// a defensive error instead of a panic.
+    UncoverableTarget,
+}
+
+impl std::fmt::Display for RemedyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemedyError::NoCandidates => {
+                write!(f, "no candidate assignments: an attribute domain is empty")
+            }
+            RemedyError::UncoverableTarget => {
+                write!(f, "a deficient pattern matches no candidate assignment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RemedyError {}
+
 /// Count of `pattern` in the base data plus planned additions.
 fn count_with_plan(
     analyzer: &CoverageAnalyzer,
@@ -75,14 +104,14 @@ fn cover_targets(
     targets: &[Pattern],
     candidates: &[Vec<u16>],
     plan_cells: &mut Vec<Vec<u16>>,
-) {
+) -> Result<(), RemedyError> {
     let tau = analyzer.threshold();
     let mut deficit: Vec<usize> = targets
         .iter()
         .map(|m| tau.saturating_sub(count_with_plan(analyzer, plan_cells, m)))
         .collect();
     while deficit.iter().any(|&d| d > 0) {
-        let best = candidates
+        let Some(best) = candidates
             .iter()
             .map(|cell| {
                 let gain = targets
@@ -93,8 +122,14 @@ fn cover_targets(
                 (gain, cell)
             })
             .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(a.1)))
-            .expect("non-empty candidate set");
-        debug_assert!(best.0 > 0, "deficient target must be matchable");
+        else {
+            return Err(RemedyError::NoCandidates);
+        };
+        if best.0 == 0 {
+            // Formerly a debug_assert: a zero-gain pick would loop
+            // forever, so fail loudly instead.
+            return Err(RemedyError::UncoverableTarget);
+        }
         for (m, d) in targets.iter().zip(deficit.iter_mut()) {
             if *d > 0 && m.matches(best.1) {
                 *d -= 1;
@@ -102,6 +137,7 @@ fn cover_targets(
         }
         plan_cells.push(best.1.clone());
     }
+    Ok(())
 }
 
 /// Plan the tuples to add so that the **current** MUPs of level ≤
@@ -113,7 +149,14 @@ fn cover_targets(
 /// Note: covering a MUP can *expose* deeper previously-dominated patterns
 /// as new MUPs of the augmented data; if you need every pattern of level
 /// ≤ `goal_level` covered, use [`remedy_to_fixpoint`].
-pub fn remedy_greedy(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec<Vec<Value>> {
+///
+/// Errors with [`RemedyError::NoCandidates`] when the attribute domains
+/// admit no full assignment (e.g. an empty table) while something is
+/// deficient.
+pub fn remedy_greedy(
+    analyzer: &CoverageAnalyzer,
+    goal_level: usize,
+) -> Result<Vec<Vec<Value>>, RemedyError> {
     let (mups, _) = analyzer.mups_pattern_breaker();
     let targets: Vec<Pattern> = mups
         .into_iter()
@@ -121,11 +164,11 @@ pub fn remedy_greedy(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec<Vec<
         .collect();
     let candidates = analyzer.counter().all_assignments();
     let mut plan_cells = Vec::new();
-    cover_targets(analyzer, &targets, &candidates, &mut plan_cells);
-    plan_cells
+    cover_targets(analyzer, &targets, &candidates, &mut plan_cells)?;
+    Ok(plan_cells
         .iter()
         .map(|c| analyzer.counter().decode_full(c))
-        .collect()
+        .collect())
 }
 
 /// Plan tuples so that **every** pattern of level ≤ `goal_level` is
@@ -134,7 +177,12 @@ pub fn remedy_greedy(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec<Vec<
 /// until no deficient pattern remains. Beware the cost at high goal
 /// levels — full closure at `goal_level = d` requires τ tuples for every
 /// value combination.
-pub fn remedy_to_fixpoint(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec<Vec<Value>> {
+///
+/// Shares [`remedy_greedy`]'s error conditions.
+pub fn remedy_to_fixpoint(
+    analyzer: &CoverageAnalyzer,
+    goal_level: usize,
+) -> Result<Vec<Vec<Value>>, RemedyError> {
     let candidates = analyzer.counter().all_assignments();
     let mut plan_cells: Vec<Vec<u16>> = Vec::new();
     loop {
@@ -142,12 +190,12 @@ pub fn remedy_to_fixpoint(analyzer: &CoverageAnalyzer, goal_level: usize) -> Vec
         if targets.is_empty() {
             break;
         }
-        cover_targets(analyzer, &targets, &candidates, &mut plan_cells);
+        cover_targets(analyzer, &targets, &candidates, &mut plan_cells)?;
     }
-    plan_cells
+    Ok(plan_cells
         .iter()
         .map(|c| analyzer.counter().decode_full(c))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -179,7 +227,7 @@ mod tests {
     fn plan_fixes_coverage() {
         let t = table(&[("M", "w"), ("M", "b"), ("F", "w")]);
         let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
-        let plan = remedy_greedy(&an, 2);
+        let plan = remedy_greedy(&an, 2).expect("remediable");
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0], vec![Value::str("F"), Value::str("b")]);
         // Re-analyze after applying: no MUPs remain.
@@ -204,7 +252,7 @@ mod tests {
             ("F", "b"),
         ]);
         let an = CoverageAnalyzer::new(&t, &["g", "r"], 3).unwrap();
-        let plan = remedy_greedy(&an, 2);
+        let plan = remedy_greedy(&an, 2).expect("remediable");
         assert_eq!(plan.len(), 2);
         assert!(plan
             .iter()
@@ -238,7 +286,7 @@ mod tests {
         let an = CoverageAnalyzer::new(&t, &["a", "b", "c"], 1).unwrap();
         let (mups, _) = an.mups_pattern_breaker();
         assert_eq!(mups.len(), 3);
-        let plan = remedy_greedy(&an, 3);
+        let plan = remedy_greedy(&an, 3).expect("remediable");
         assert_eq!(plan.len(), 2);
         assert!(plan.contains(&vec![Value::str("0"), Value::str("0"), Value::str("1")]));
     }
@@ -248,14 +296,14 @@ mod tests {
         let t = table(&[("M", "w"), ("M", "b"), ("F", "w")]);
         let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
         // MUP (F,b) is level 2; with goal_level=1 nothing to do
-        assert!(remedy_greedy(&an, 1).is_empty());
+        assert!(remedy_greedy(&an, 1).expect("remediable").is_empty());
     }
 
     #[test]
     fn already_covered_needs_no_plan() {
         let t = table(&[("M", "w"), ("M", "b"), ("F", "w"), ("F", "b")]);
         let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
-        assert!(remedy_greedy(&an, 2).is_empty());
+        assert!(remedy_greedy(&an, 2).expect("remediable").is_empty());
     }
 
     #[test]
@@ -265,7 +313,7 @@ mod tests {
         // (1,0) — the fixpoint must cover those too.
         let t = table(&[("0", "0"), ("1", "1")]);
         let an = CoverageAnalyzer::new(&t, &["g", "r"], 2).unwrap();
-        let plan = remedy_to_fixpoint(&an, 2);
+        let plan = remedy_to_fixpoint(&an, 2).expect("remediable");
         let fixed = apply_plan(&t, &plan);
         let an2 = CoverageAnalyzer::new(&fixed, &["g", "r"], 2).unwrap();
         assert!(
@@ -274,5 +322,33 @@ mod tests {
         );
         // every full assignment needs τ=2 tuples → 8 total, 2 exist
         assert_eq!(plan.len(), 6);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema, Table};
+
+    #[test]
+    fn empty_table_yields_no_candidates_error() {
+        // No rows → every attribute domain is empty → the root is a MUP
+        // but nothing can be planned. The old code panicked here.
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("r", DataType::Str),
+        ]);
+        let t = Table::new(schema);
+        let an = CoverageAnalyzer::new(&t, &["g", "r"], 1).unwrap();
+        assert_eq!(remedy_greedy(&an, 2), Err(RemedyError::NoCandidates));
+        assert_eq!(remedy_to_fixpoint(&an, 2), Err(RemedyError::NoCandidates));
+    }
+
+    #[test]
+    fn errors_render_messages() {
+        assert!(RemedyError::NoCandidates.to_string().contains("empty"));
+        assert!(RemedyError::UncoverableTarget
+            .to_string()
+            .contains("no candidate"));
     }
 }

@@ -85,7 +85,7 @@ proptest! {
         let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
         let d = attrs.len();
         let (mups, _) = an.mups_pattern_breaker();
-        let plan = remedy_greedy(&an, d);
+        let plan = remedy_greedy(&an, d).expect("remediable");
         let mut fixed = t.clone();
         for row in &plan {
             fixed.push_row(row.clone()).unwrap();
@@ -102,7 +102,7 @@ proptest! {
         let attrs_ref: Vec<&str> = attrs.iter().map(String::as_str).collect();
         let an = CoverageAnalyzer::new(&t, &attrs_ref, tau).unwrap();
         let d = attrs.len();
-        let plan = remedy_to_fixpoint(&an, d);
+        let plan = remedy_to_fixpoint(&an, d).expect("remediable");
         let mut fixed = t.clone();
         for row in &plan {
             fixed.push_row(row.clone()).unwrap();

@@ -78,6 +78,7 @@ impl SyntheticLake {
             let t = normal(rng, 0.0, 1.0);
             query
                 .push_row(vec![Value::str(key.clone()), Value::Float(t)])
+                // rdi-lint: allow(R5): row literal matches the schema built above
                 .expect("schema match");
             target_by_key.push((key, t));
         }
@@ -115,6 +116,7 @@ impl SyntheticLake {
             let t = normal(&mut qrng, 0.0, 1.0);
             query
                 .push_row(vec![Value::str(key.clone()), Value::Float(t)])
+                // rdi-lint: allow(R5): row literal matches the schema built above
                 .expect("schema match");
             target_by_key.push((key, t));
         }
@@ -138,8 +140,10 @@ impl SyntheticLake {
         let ckeys: std::collections::HashSet<String> = candidate
             .table
             .column("key")
+            // rdi-lint: allow(R5): every candidate is generated with a Str "key" column
             .expect("key column")
             .as_str_slice()
+            // rdi-lint: allow(R5): every candidate is generated with a Str "key" column
             .expect("string column")
             .iter()
             .flatten()
@@ -187,6 +191,7 @@ fn generate_candidate<R: Rng + ?Sized>(
             correlation * t + (1.0 - correlation * correlation).sqrt() * normal(rng, 0.0, 1.0);
         table
             .push_row(vec![Value::str(key.clone()), Value::Float(feat)])
+            // rdi-lint: allow(R5): row literal matches the schema built above
             .expect("schema match");
     }
     // Filler keys disjoint from the query.
@@ -194,6 +199,7 @@ fn generate_candidate<R: Rng + ?Sized>(
         let key = format!("c{c:03}_{i:06}");
         table
             .push_row(vec![Value::str(key), Value::Float(normal(rng, 0.0, 1.0))])
+            // rdi-lint: allow(R5): row literal matches the schema built above
             .expect("schema match");
     }
     Candidate {

@@ -66,6 +66,7 @@ impl LshEnsemble {
             .partitions
             .iter_mut()
             .find(|p| size <= p.upper)
+            // rdi-lint: allow(R5): caller-contract guard, same class as the asserts above — `new` documents partitions cover sizes up to max_size
             .unwrap_or_else(|| panic!("size {size} exceeds max partition"));
         p.members.push((id, sig, size));
     }

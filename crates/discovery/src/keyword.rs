@@ -5,7 +5,7 @@
 //! and (a sample of) its string cell values — scored against keyword
 //! queries with BM25.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::Table;
 
@@ -21,8 +21,9 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// A BM25 keyword index over registered tables.
 #[derive(Debug, Default)]
 pub struct KeywordIndex {
-    /// token → (doc id → term frequency)
-    postings: HashMap<String, HashMap<usize, usize>>,
+    /// token → (doc id → term frequency); BTreeMaps so score accumulation
+    /// visits documents in a deterministic order (lint rule R1).
+    postings: BTreeMap<String, BTreeMap<usize, usize>>,
     /// per-document token counts
     doc_len: Vec<usize>,
     names: Vec<String>,
@@ -86,7 +87,7 @@ impl KeywordIndex {
             return Vec::new();
         }
         let avg_len: f64 = self.doc_len.iter().sum::<usize>() as f64 / n as f64;
-        let mut scores: HashMap<usize, f64> = HashMap::new();
+        let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
         for term in tokenize(query) {
             let Some(docs) = self.postings.get(&term) else {
                 continue;

@@ -11,7 +11,7 @@
 //! pairs, so any correlation measure evaluated on it approximates the true
 //! join-correlation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{Table, Value};
 use serde::{Deserialize, Serialize};
@@ -49,8 +49,9 @@ impl KmvSketch {
         assert!(k > 0);
         let kidx = table.schema().index_of(key)?;
         let pidx = payload.map(|p| table.schema().index_of(p)).transpose()?;
-        // per key: (payload sum over numeric rows, numeric row count)
-        let mut agg: HashMap<Value, (f64, usize)> = HashMap::new();
+        // per key: (payload sum over numeric rows, numeric row count);
+        // sorted map so the entries vec is built in key order (R1)
+        let mut agg: BTreeMap<Value, (f64, usize)> = BTreeMap::new();
         for i in 0..table.num_rows() {
             let kv = table.column_at(kidx).value(i);
             if kv.is_null() {
@@ -100,7 +101,8 @@ impl KmvSketch {
         if self.entries.len() < self.k {
             return self.entries.len() as f64;
         }
-        let u_k = self.entries.last().expect("non-empty").0;
+        // full sketch with k > 0 ⇒ entries non-empty; 0.0 is unreachable
+        let u_k = self.entries.last().map_or(0.0, |e| e.0);
         if u_k <= 0.0 {
             return self.entries.len() as f64;
         }
@@ -115,7 +117,7 @@ impl KmvSketch {
             (Some(a), Some(b)) => a.0.min(b.0),
             _ => return Vec::new(),
         };
-        let map: HashMap<&Value, f64> = other
+        let map: BTreeMap<&Value, f64> = other
             .entries
             .iter()
             .filter(|(u, _, _)| *u <= bound)

@@ -5,7 +5,7 @@
 //! `1 − (1 − J^r)^b` — an S-curve whose inflection is tuned to the query
 //! threshold.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rdi_par::{par_map, Threads};
 
@@ -18,7 +18,7 @@ pub struct MinHashLsh {
     bands: usize,
     rows: usize,
     /// per-band bucket maps: band-hash → member ids
-    tables: Vec<HashMap<u64, Vec<usize>>>,
+    tables: Vec<BTreeMap<u64, Vec<usize>>>,
     /// stored signatures for optional post-filtering
     signatures: Vec<MinHash>,
 }
@@ -30,7 +30,7 @@ impl MinHashLsh {
         MinHashLsh {
             bands,
             rows,
-            tables: vec![HashMap::new(); bands],
+            tables: vec![BTreeMap::new(); bands],
             signatures: Vec::new(),
         }
     }
@@ -113,16 +113,15 @@ impl MinHashLsh {
         assert_eq!(sig.k(), self.signature_len(), "signature length mismatch");
         // every query probes one bucket per band
         rdi_obs::counter("discovery.lsh_probes").add(self.bands as u64);
-        let mut out: HashSet<usize> = HashSet::new();
+        let mut out: BTreeSet<usize> = BTreeSet::new();
         for (band, table) in self.tables.iter().enumerate() {
             let h = band_hash(sig, band, self.rows);
             if let Some(ids) = table.get(&h) {
                 out.extend(ids.iter().copied());
             }
         }
-        let mut v: Vec<usize> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+        // BTreeSet iteration is already sorted ascending.
+        out.into_iter().collect()
     }
 
     /// Query then drop candidates whose *estimated* Jaccard is below

@@ -96,6 +96,7 @@ impl Navigator {
                     };
                     avg(i).total_cmp(&avg(j)).then(j.cmp(&i))
                 })
+                // rdi-lint: allow(R5): merged clusters hold ≥ 2 members by construction, so max_by always yields a medoid
                 .expect("non-empty cluster");
             let id = nodes.len();
             nodes.push(NavNode::Internal {

@@ -5,14 +5,14 @@
 //! is the exact counterpart the sketch-based searches are benchmarked
 //! against (precision/recall and latency).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{Table, Value};
 
 /// Inverted index over registered columns' distinct value sets.
 #[derive(Debug, Default)]
 pub struct OverlapIndex {
-    postings: HashMap<Value, Vec<usize>>,
+    postings: BTreeMap<Value, Vec<usize>>,
     sizes: Vec<usize>,
     names: Vec<String>,
 }
@@ -63,7 +63,7 @@ impl OverlapIndex {
     /// Exact overlap |Q ∩ X| for every candidate with non-zero overlap,
     /// as `(id, overlap)` sorted by overlap descending (ties by id).
     pub fn overlaps(&self, table: &Table, column: &str) -> rdi_table::Result<Vec<(usize, usize)>> {
-        let mut acc: HashMap<usize, usize> = HashMap::new();
+        let mut acc: BTreeMap<usize, usize> = BTreeMap::new();
         for v in table.distinct(column)? {
             if let Some(ids) = self.postings.get(&v) {
                 for &id in ids {

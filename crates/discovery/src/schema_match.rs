@@ -32,7 +32,7 @@ pub struct ColumnMatch {
 
 /// Character-bigram Jaccard of two (lowercased) identifiers.
 fn name_similarity(a: &str, b: &str) -> f64 {
-    let grams = |s: &str| -> std::collections::HashSet<(char, char)> {
+    let grams = |s: &str| -> std::collections::BTreeSet<(char, char)> {
         let cs: Vec<char> = s.to_lowercase().chars().collect();
         cs.windows(2).map(|w| (w[0], w[1])).collect()
     };
@@ -99,8 +99,8 @@ pub fn match_schemas(
             .then(a.target.cmp(&b.target))
             .then(a.source.cmp(&b.source))
     });
-    let mut used_t = std::collections::HashSet::new();
-    let mut used_s = std::collections::HashSet::new();
+    let mut used_t = std::collections::BTreeSet::new();
+    let mut used_s = std::collections::BTreeSet::new();
     Ok(pairs
         .into_iter()
         .filter(|m| used_t.insert(m.target.clone()) && used_s.insert(m.source.clone()))

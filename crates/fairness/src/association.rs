@@ -8,7 +8,7 @@
 //! and mixed ([`mutual_information`] with equi-width binning) pairs, plus
 //! a convenience dispatcher over table columns ([`table_association`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{DataType, Table};
 
@@ -71,17 +71,20 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
 /// when either variable is constant.
 pub fn cramers_v<A, B>(xs: &[A], ys: &[B]) -> f64
 where
-    A: Eq + std::hash::Hash + Clone,
-    B: Eq + std::hash::Hash + Clone,
+    A: Ord + Clone,
+    B: Ord + Clone,
 {
     assert_eq!(xs.len(), ys.len(), "paired samples required");
     let n = xs.len();
     if n == 0 {
         return 0.0;
     }
-    let mut joint: HashMap<(A, B), f64> = HashMap::new();
-    let mut px: HashMap<A, f64> = HashMap::new();
-    let mut py: HashMap<B, f64> = HashMap::new();
+    // BTreeMaps so the χ² accumulation below visits cells in sorted key
+    // order — f64 addition is not associative, so iteration order is
+    // part of the bitwise-determinism contract (lint rule R1).
+    let mut joint: BTreeMap<(A, B), f64> = BTreeMap::new();
+    let mut px: BTreeMap<A, f64> = BTreeMap::new();
+    let mut py: BTreeMap<B, f64> = BTreeMap::new();
     for (x, y) in xs.iter().zip(ys) {
         *joint.entry((x.clone(), y.clone())).or_insert(0.0) += 1.0;
         *px.entry(x.clone()).or_insert(0.0) += 1.0;
@@ -121,8 +124,8 @@ pub fn mutual_information(xs: &[f64], ys: &[f64], bins: usize) -> f64 {
 /// Mutual information between two label vectors.
 pub fn mutual_information_labels<A, B>(xs: &[A], ys: &[B]) -> f64
 where
-    A: Eq + std::hash::Hash + Clone,
-    B: Eq + std::hash::Hash + Clone,
+    A: Ord + Clone,
+    B: Ord + Clone,
 {
     assert_eq!(xs.len(), ys.len());
     let n = xs.len();
@@ -130,9 +133,10 @@ where
         return 0.0;
     }
     let nf = n as f64;
-    let mut joint: HashMap<(A, B), f64> = HashMap::new();
-    let mut px: HashMap<A, f64> = HashMap::new();
-    let mut py: HashMap<B, f64> = HashMap::new();
+    // Sorted iteration keeps the MI sum bitwise-deterministic (R1).
+    let mut joint: BTreeMap<(A, B), f64> = BTreeMap::new();
+    let mut px: BTreeMap<A, f64> = BTreeMap::new();
+    let mut py: BTreeMap<B, f64> = BTreeMap::new();
     for (x, y) in xs.iter().zip(ys) {
         *joint.entry((x.clone(), y.clone())).or_insert(0.0) += 1.0;
         *px.entry(x.clone()).or_insert(0.0) += 1.0;
@@ -251,11 +255,11 @@ pub fn table_association(table: &Table, a: &str, b: &str) -> rdi_table::Result<f
 }
 
 /// Shannon entropy (nats) of a label vector.
-pub fn entropy<A: Eq + std::hash::Hash + Clone>(xs: &[A]) -> f64 {
+pub fn entropy<A: Ord + Clone>(xs: &[A]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mut counts: HashMap<A, f64> = HashMap::new();
+    let mut counts: BTreeMap<A, f64> = BTreeMap::new();
     for x in xs {
         *counts.entry(x.clone()).or_insert(0.0) += 1.0;
     }
@@ -383,6 +387,34 @@ mod tests {
             prop_assert!((a - b).abs() < 1e-9);
             // MI ≤ min entropy
             prop_assert!(a <= entropy(&xs).min(entropy(&ys)) + 1e-9);
+        }
+
+        /// Sorted (BTreeMap) accumulation makes every association measure
+        /// *bitwise* invariant under row permutation: the f64 sums visit
+        /// identical cells in identical order regardless of how the input
+        /// rows were ordered. Guards the R1 (hash-collection) conversion.
+        #[test]
+        fn association_bitwise_invariant_under_row_order(
+            pairs in prop::collection::vec((0u8..4, 0u8..4), 2..100),
+            rot in 0usize..100,
+        ) {
+            let xs: Vec<u8> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<u8> = pairs.iter().map(|p| p.1).collect();
+            let k = rot % pairs.len();
+            let mut xr = xs.clone();
+            let mut yr = ys.clone();
+            xr.rotate_left(k);
+            yr.rotate_left(k);
+            prop_assert_eq!(cramers_v(&xs, &ys).to_bits(), cramers_v(&xr, &yr).to_bits());
+            prop_assert_eq!(
+                mutual_information_labels(&xs, &ys).to_bits(),
+                mutual_information_labels(&xr, &yr).to_bits()
+            );
+            prop_assert_eq!(entropy(&xs).to_bits(), entropy(&xr).to_bits());
+            // Reversal, a parity-odd permutation rotation cannot express.
+            let xv: Vec<u8> = xs.iter().rev().copied().collect();
+            let yv: Vec<u8> = ys.iter().rev().copied().collect();
+            prop_assert_eq!(cramers_v(&xs, &ys).to_bits(), cramers_v(&xv, &yv).to_bits());
         }
 
         #[test]

@@ -9,7 +9,7 @@
 //! answers COUNT/SUM/AVG with weights — removing the representation bias
 //! that the raw aggregates propagate into downstream applications.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{GroupKey, GroupSpec, Predicate, Table, TableError};
 
@@ -19,7 +19,7 @@ use rdi_table::{GroupKey, GroupSpec, Predicate, Table, TableError};
 pub fn post_stratification_weights(
     table: &Table,
     spec: &GroupSpec,
-    population: &HashMap<GroupKey, f64>,
+    population: &BTreeMap<GroupKey, f64>,
 ) -> rdi_table::Result<Vec<f64>> {
     let total: f64 = population.values().sum();
     if !(0.99..=1.01).contains(&total) {
@@ -29,7 +29,7 @@ pub fn post_stratification_weights(
     }
     let counts = spec.counts(table)?;
     let n = table.num_rows() as f64;
-    let mut weight_of: HashMap<GroupKey, f64> = HashMap::new();
+    let mut weight_of: BTreeMap<GroupKey, f64> = BTreeMap::new();
     for (k, &c) in &counts {
         let Some(&pop) = population.get(k) else {
             return Err(TableError::SchemaMismatch(format!(
@@ -63,7 +63,7 @@ impl<'a> DebiasedView<'a> {
     pub fn new(
         table: &'a Table,
         spec: &GroupSpec,
-        population: &HashMap<GroupKey, f64>,
+        population: &BTreeMap<GroupKey, f64>,
     ) -> rdi_table::Result<Self> {
         Ok(DebiasedView {
             table,
@@ -157,8 +157,8 @@ mod tests {
         t
     }
 
-    fn population() -> HashMap<GroupKey, f64> {
-        let mut m = HashMap::new();
+    fn population() -> BTreeMap<GroupKey, f64> {
+        let mut m = BTreeMap::new();
         m.insert(GroupKey(vec![Value::str("maj")]), 0.5);
         m.insert(GroupKey(vec![Value::str("min")]), 0.5);
         m
@@ -207,7 +207,7 @@ mod tests {
         let t = biased_sample();
         let spec = GroupSpec::new(vec!["g"]);
         // missing group
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         m.insert(GroupKey(vec![Value::str("maj")]), 1.0);
         assert!(post_stratification_weights(&t, &spec, &m).is_err());
         // doesn't sum to one

@@ -1,6 +1,6 @@
 //! Discrete categorical distributions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -95,12 +95,13 @@ impl Categorical {
 
     /// Index of the most probable category.
     pub fn argmax(&self) -> usize {
+        // `probs` is non-empty by construction; 0 is unreachable.
         self.probs
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty")
+            .unwrap_or(0)
     }
 
     /// Mix with another distribution: `(1-w)·self + w·other`.
@@ -124,9 +125,9 @@ impl Categorical {
 /// Build aligned dense distributions from two count maps over the same
 /// (unioned) domain. Returns `(domain, p, q)` with the domain sorted for
 /// determinism.
-pub fn align_counts<K: Ord + Clone + std::hash::Hash>(
-    p_counts: &HashMap<K, usize>,
-    q_counts: &HashMap<K, usize>,
+pub fn align_counts<K: Ord + Clone>(
+    p_counts: &BTreeMap<K, usize>,
+    q_counts: &BTreeMap<K, usize>,
     alpha: f64,
 ) -> (Vec<K>, Categorical, Categorical) {
     let mut domain: Vec<K> = p_counts.keys().chain(q_counts.keys()).cloned().collect();
@@ -201,9 +202,9 @@ mod tests {
 
     #[test]
     fn align_counts_unions_domains() {
-        let mut p = HashMap::new();
+        let mut p = BTreeMap::new();
         p.insert("a", 3usize);
-        let mut q = HashMap::new();
+        let mut q = BTreeMap::new();
         q.insert("b", 3usize);
         let (dom, pd, qd) = align_counts(&p, &q, 0.5);
         assert_eq!(dom, vec!["a", "b"]);

@@ -1,6 +1,6 @@
 //! Group fairness metrics over prediction outcomes and query outputs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{GroupKey, GroupSpec, Table};
 use serde::{Deserialize, Serialize};
@@ -77,12 +77,12 @@ pub fn tally_outcomes(
     predictions: &[bool],
     labels: &[bool],
     groups: &[GroupKey],
-) -> HashMap<GroupKey, GroupOutcomes> {
+) -> BTreeMap<GroupKey, GroupOutcomes> {
     assert!(
         predictions.len() == labels.len() && labels.len() == groups.len(),
         "parallel vectors required"
     );
-    let mut m: HashMap<GroupKey, GroupOutcomes> = HashMap::new();
+    let mut m: BTreeMap<GroupKey, GroupOutcomes> = BTreeMap::new();
     for ((p, y), g) in predictions.iter().zip(labels).zip(groups) {
         m.entry(g.clone()).or_default().record(*p, *y);
     }
@@ -91,26 +91,25 @@ pub fn tally_outcomes(
 
 /// Maximum pairwise difference of positive rates across groups
 /// (demographic parity difference; 0 = perfect parity).
-pub fn demographic_parity_difference(outcomes: &HashMap<GroupKey, GroupOutcomes>) -> f64 {
+pub fn demographic_parity_difference(outcomes: &BTreeMap<GroupKey, GroupOutcomes>) -> f64 {
     max_pairwise_gap(outcomes.values().map(GroupOutcomes::positive_rate))
 }
 
 /// Equalized-odds difference: the larger of the max pairwise TPR gap and
 /// the max pairwise FPR gap across groups.
-pub fn equalized_odds_difference(outcomes: &HashMap<GroupKey, GroupOutcomes>) -> f64 {
+pub fn equalized_odds_difference(outcomes: &BTreeMap<GroupKey, GroupOutcomes>) -> f64 {
     let tpr_gap = max_pairwise_gap(outcomes.values().map(GroupOutcomes::tpr));
     let fpr_gap = max_pairwise_gap(outcomes.values().map(GroupOutcomes::fpr));
     tpr_gap.max(fpr_gap)
 }
 
-/// Per-group accuracy, sorted by group key for deterministic output.
-pub fn group_accuracy(outcomes: &HashMap<GroupKey, GroupOutcomes>) -> Vec<(GroupKey, f64)> {
-    let mut v: Vec<(GroupKey, f64)> = outcomes
+/// Per-group accuracy, sorted by group key for deterministic output
+/// (BTreeMap iteration is already in key order).
+pub fn group_accuracy(outcomes: &BTreeMap<GroupKey, GroupOutcomes>) -> Vec<(GroupKey, f64)> {
+    outcomes
         .iter()
         .map(|(k, o)| (k.clone(), o.accuracy()))
-        .collect();
-    v.sort_by(|a, b| a.0.cmp(&b.0));
-    v
+        .collect()
 }
 
 fn max_pairwise_gap(rates: impl Iterator<Item = f64>) -> f64 {
@@ -134,7 +133,7 @@ pub fn disparity(table: &Table, selected: &[usize], spec: &GroupSpec) -> rdi_tab
     if selected.is_empty() {
         return Ok(0.0);
     }
-    let mut counts: HashMap<GroupKey, usize> = HashMap::new();
+    let mut counts: BTreeMap<GroupKey, usize> = BTreeMap::new();
     for &i in selected {
         *counts.entry(spec.key_of(table, i)?).or_insert(0) += 1;
     }
@@ -142,8 +141,10 @@ pub fn disparity(table: &Table, selected: &[usize], spec: &GroupSpec) -> rdi_tab
     for key in spec.keys(table)? {
         counts.entry(key).or_insert(0);
     }
-    let max = *counts.values().max().expect("non-empty") as f64;
-    let min = *counts.values().min().expect("non-empty") as f64;
+    // `selected` is non-empty here, so `counts` is too; `unwrap_or(0)`
+    // keeps the path panic-free without changing the value.
+    let max = counts.values().copied().max().unwrap_or(0) as f64;
+    let min = counts.values().copied().min().unwrap_or(0) as f64;
     Ok((max - min) / selected.len() as f64)
 }
 
@@ -213,9 +214,9 @@ mod tests {
 
     #[test]
     fn empty_and_single_group_edge_cases() {
-        let o: HashMap<GroupKey, GroupOutcomes> = HashMap::new();
+        let o: BTreeMap<GroupKey, GroupOutcomes> = BTreeMap::new();
         assert_eq!(demographic_parity_difference(&o), 0.0);
-        let mut one = HashMap::new();
+        let mut one = BTreeMap::new();
         one.insert(key("a"), GroupOutcomes::default());
         assert_eq!(demographic_parity_difference(&one), 0.0);
         assert_eq!(GroupOutcomes::default().accuracy(), 0.0);

@@ -7,7 +7,7 @@
 //! incomplete gamma function (χ²_k survival function), implemented from
 //! scratch per the workspace's no-new-dependencies rule.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of a χ² independence test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,17 +26,18 @@ pub struct ChiSquareTest {
 /// either side, or an empty input.
 pub fn chi_square_test<A, B>(xs: &[A], ys: &[B]) -> Option<ChiSquareTest>
 where
-    A: Eq + std::hash::Hash + Clone,
-    B: Eq + std::hash::Hash + Clone,
+    A: Ord + Clone,
+    B: Ord + Clone,
 {
     assert_eq!(xs.len(), ys.len(), "paired samples required");
     let n = xs.len();
     if n == 0 {
         return None;
     }
-    let mut joint: HashMap<(A, B), f64> = HashMap::new();
-    let mut px: HashMap<A, f64> = HashMap::new();
-    let mut py: HashMap<B, f64> = HashMap::new();
+    // Sorted iteration keeps the χ² sum bitwise-deterministic (R1).
+    let mut joint: BTreeMap<(A, B), f64> = BTreeMap::new();
+    let mut px: BTreeMap<A, f64> = BTreeMap::new();
+    let mut py: BTreeMap<B, f64> = BTreeMap::new();
     for (x, y) in xs.iter().zip(ys) {
         *joint.entry((x.clone(), y.clone())).or_insert(0.0) += 1.0;
         *px.entry(x.clone()).or_insert(0.0) += 1.0;

@@ -201,7 +201,10 @@ impl RangeQuery2d {
                 }
             }
         }
-        let ((i1, i2, j1, j2), sim) = best.expect("empty box always feasible");
+        // With ε ≥ 0 the empty box is always feasible; the fallback fires
+        // only for a negative ε — degrade to the empty box, not a panic.
+        let empty_sim = if orig_count == 0 { 1.0 } else { 0.0 };
+        let ((i1, i2, j1, j2), sim) = best.unwrap_or(((0, 0, 0, 0), empty_sim));
         let (selected, a) = self.counts(i1, i2, j1, j2);
         let bound = |endpoints: &[f64], lo_idx: usize, hi_idx: usize| -> (f64, f64) {
             if lo_idx >= hi_idx {

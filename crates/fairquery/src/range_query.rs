@@ -57,7 +57,8 @@ impl RangeQueryEngine {
         let mut prefix_a = Vec::with_capacity(pts.len() + 1);
         prefix_a.push(0);
         for (_, is_a) in &pts {
-            prefix_a.push(prefix_a.last().unwrap() + *is_a as usize);
+            // the vec starts with a pushed 0, so `last` is never None
+            prefix_a.push(prefix_a.last().copied().unwrap_or(0) + *is_a as usize);
         }
         Ok(RangeQueryEngine { xs, prefix_a })
     }
@@ -70,7 +71,8 @@ impl RangeQueryEngine {
         let mut prefix_a = Vec::with_capacity(pts.len() + 1);
         prefix_a.push(0);
         for (_, is_a) in &pts {
-            prefix_a.push(prefix_a.last().unwrap() + *is_a as usize);
+            // the vec starts with a pushed 0, so `last` is never None
+            prefix_a.push(prefix_a.last().copied().unwrap_or(0) + *is_a as usize);
         }
         RangeQueryEngine { xs, prefix_a }
     }
@@ -138,7 +140,10 @@ impl RangeQueryEngine {
                 }
             }
         }
-        let ((i, j), sim) = best.expect("empty range always feasible");
+        // With ε ≥ 0 the empty range [0, 0) is always feasible, so the
+        // fallback only fires for a (nonsensical) negative ε — degrade to
+        // the empty range rather than panic.
+        let ((i, j), sim) = best.unwrap_or(((0, 0), self.similarity_idx(orig, (0, 0))));
         self.materialize(i, j, sim)
     }
 
@@ -201,17 +206,19 @@ impl RangeQueryEngine {
             }
             // pick the move with the lowest disparity, tie-broken by
             // similarity to the original
-            let (ni, nj) = cands
-                .into_iter()
-                .min_by(|&a, &b| {
-                    self.disparity_idx(a.0, a.1)
-                        .cmp(&self.disparity_idx(b.0, b.1))
-                        .then(
-                            self.similarity_idx(orig, b)
-                                .total_cmp(&self.similarity_idx(orig, a)),
-                        )
-                })
-                .expect("at least one move");
+            // `cands` is empty only for an empty engine, which construction
+            // forbids — but degrade to the empty-range bailout either way.
+            let Some((ni, nj)) = cands.into_iter().min_by(|&a, &b| {
+                self.disparity_idx(a.0, a.1)
+                    .cmp(&self.disparity_idx(b.0, b.1))
+                    .then(
+                        self.similarity_idx(orig, b)
+                            .total_cmp(&self.similarity_idx(orig, a)),
+                    )
+            }) else {
+                let mid = (i + j) / 2;
+                return self.materialize(mid, mid, self.similarity_idx(orig, (mid, mid)));
+            };
             // no progress → bail to the empty range (always feasible)
             if self.disparity_idx(ni, nj) >= self.disparity_idx(i, j) {
                 let mid = (i + j) / 2;

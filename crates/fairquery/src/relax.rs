@@ -51,21 +51,24 @@ pub fn relax_for_coverage(
     let mut i = pts.partition_point(|(x, _)| *x < lo);
     let mut j = pts.partition_point(|(x, _)| *x <= hi);
     let original = j - i;
-    let mut counts: std::collections::HashMap<&GroupKey, usize> =
-        keys.iter().map(|k| (k, 0)).collect();
+    let mut counts: std::collections::BTreeMap<GroupKey, usize> =
+        keys.iter().map(|k| (k.clone(), 0)).collect();
     for (_, g) in &pts[i..j] {
-        *counts.get_mut(g).expect("key known") += 1;
+        *counts.entry(g.clone()).or_insert(0) += 1;
     }
 
-    let deficient =
-        |counts: &std::collections::HashMap<&GroupKey, usize>| keys.iter().any(|g| counts[g] < k);
+    let deficient = |counts: &std::collections::BTreeMap<GroupKey, usize>| {
+        keys.iter().any(|g| counts.get(g).copied().unwrap_or(0) < k)
+    };
 
     while deficient(&counts) {
         // candidate expansions: take pts[i-1] (left) or pts[j] (right);
         // prefer the one that helps a deficient group; tie → smaller gap.
         let left = i.checked_sub(1).map(|p| &pts[p]);
         let right = pts.get(j);
-        let helps = |p: Option<&(f64, GroupKey)>| p.is_some_and(|(_, g)| counts[g] < k);
+        let helps = |p: Option<&(f64, GroupKey)>| {
+            p.is_some_and(|(_, g)| counts.get(g).copied().unwrap_or(0) < k)
+        };
         let pick_left = match (left, right) {
             (None, None) => break, // data exhausted
             (Some(_), None) => true,
@@ -79,9 +82,9 @@ pub fn relax_for_coverage(
         };
         if pick_left {
             i -= 1;
-            *counts.get_mut(&pts[i].1).expect("key known") += 1;
+            *counts.entry(pts[i].1.clone()).or_insert(0) += 1;
         } else {
-            *counts.get_mut(&pts[j].1).expect("key known") += 1;
+            *counts.entry(pts[j].1.clone()).or_insert(0) += 1;
             j += 1;
         }
     }
@@ -92,8 +95,10 @@ pub fn relax_for_coverage(
     } else {
         (lo, hi)
     };
-    let mut group_counts: Vec<(String, usize)> =
-        keys.iter().map(|g| (g.to_string(), counts[g])).collect();
+    let mut group_counts: Vec<(String, usize)> = keys
+        .iter()
+        .map(|g| (g.to_string(), counts.get(g).copied().unwrap_or(0)))
+        .collect();
     group_counts.sort();
     Ok(Relaxation {
         lo: new_lo,

@@ -1,6 +1,6 @@
 //! Join index: key → row indices, with frequency statistics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdi_table::{Table, Value};
 
@@ -8,7 +8,7 @@ use rdi_table::{Table, Value};
 /// with the max multiplicity needed by accept-reject sampling.
 #[derive(Debug, Clone)]
 pub struct JoinIndex {
-    map: HashMap<Value, Vec<usize>>,
+    map: BTreeMap<Value, Vec<usize>>,
     max_multiplicity: usize,
 }
 
@@ -17,7 +17,7 @@ impl JoinIndex {
     /// join).
     pub fn build(table: &Table, key: &str) -> rdi_table::Result<Self> {
         let idx = table.schema().index_of(key)?;
-        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        let mut map: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
         for i in 0..table.num_rows() {
             let v = table.column_at(idx).value(i);
             if !v.is_null() {

@@ -7,7 +7,7 @@
 //! `(N_l·N_r)/(n_l·n_r)`. Estimates tighten *anytime* — the caller can stop
 //! whenever the interval is good enough (online aggregation, §3.4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 use rdi_table::{Table, Value};
@@ -44,7 +44,7 @@ pub struct RippleJoin<'a> {
     perm_right: Vec<usize>,
     n_left: usize,
     n_right: usize,
-    seen: HashMap<Value, KeySeen>,
+    seen: BTreeMap<Value, KeySeen>,
     matched_count: f64,
     matched_sum: f64,
     sum_side: Side,
@@ -84,7 +84,7 @@ impl<'a> RippleJoin<'a> {
             perm_right,
             n_left: 0,
             n_right: 0,
-            seen: HashMap::new(),
+            seen: BTreeMap::new(),
             matched_count: 0.0,
             matched_sum: 0.0,
             sum_side,

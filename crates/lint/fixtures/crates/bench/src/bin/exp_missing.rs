@@ -1,0 +1,6 @@
+//! Planted-violation fixture: an experiment binary that never emits its
+//! metrics snapshot (planted R6). Never compiled.
+
+fn main() {
+    println!("experiment ran but reported nothing");
+}

@@ -1,0 +1,8 @@
+//! Fixture: a compliant experiment binary — emits the snapshot marker,
+//! and as a binary it may unwrap freely. Never compiled.
+
+fn main() {
+    let parsed: Option<u64> = "7".parse().ok();
+    println!("draws = {}", parsed.unwrap()); // fine: binaries are R5-exempt
+    rdi_bench::emit_metrics_snapshot();
+}

@@ -1,0 +1,44 @@
+//! Planted-violation fixture: an "algorithm crate" file. Never compiled —
+//! the `fixtures/` directory is excluded from the workspace scan and from
+//! every cargo target; it exists only for rdi-lint's own tests.
+
+use std::collections::HashMap; // planted R1
+use std::time::Instant; // planted R3
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: HashMap<u64, usize> = HashMap::new(); // planted R1 (x2 on one line, deduped per token)
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let started = Instant::now(); // planted R3
+    let _ = started;
+    let mut v: Vec<(u64, usize)> = counts.into_iter().collect();
+    v.sort();
+    v
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // planted R5
+}
+
+pub fn suppressed_first(xs: &[u64]) -> u64 {
+    // rdi-lint: allow(R5): fixture demonstrating a well-formed suppression
+    *xs.first().unwrap()
+}
+
+pub fn innocuous() {
+    // Rule-pattern text in non-code positions must NOT fire:
+    let _s = "HashMap::new() and .unwrap() and thread::spawn inside a string";
+    let _r = r#"raw string with Instant::now() and panic!("x")"#;
+    let _c = 'u'; // not the start of an `unwrap` ident
+    /* block comment: thread_rng() from_entropy() /* nested: .expect("x") */ all ignored */
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1); // exempt: cfg(test)
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: integration tests are exempt from every rule.
+
+#[test]
+fn tests_may_unwrap_and_time() {
+    let started = std::time::Instant::now();
+    let v: Option<u64> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+    let _elapsed = started.elapsed();
+}

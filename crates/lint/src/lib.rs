@@ -1,0 +1,123 @@
+//! # rdi-lint
+//!
+//! A zero-dependency static analyzer enforcing the workspace invariants
+//! that make RDI results *accountable*: reproducible execution and
+//! auditable provenance (tutorial §2.5/§5). The thread-invariance and
+//! metrics guarantees built in earlier PRs are runtime-tested; this crate
+//! statically prevents the easy ways to silently break them — an
+//! unordered `HashMap` iteration, a bare `thread::spawn`, an unseeded
+//! RNG, a wall-clock read in an algorithm kernel.
+//!
+//! ## Rule catalog
+//!
+//! | id | name | scope | demands |
+//! |----|------|-------|---------|
+//! | R1 | `hash-collection` | algorithm crates | no `HashMap`/`HashSet`: use `BTreeMap`/`BTreeSet` or sort, or suppress with the reason order never escapes |
+//! | R2 | `bare-thread-spawn` | all but `crates/par` | no `thread::spawn`; parallelism goes through `rdi-par` |
+//! | R3 | `wall-clock` | algorithm crates | no `Instant`/`SystemTime` (obs spans and bench harnesses live elsewhere and are exempt) |
+//! | R4 | `entropy-rng` | all but `compat-rand` | no `from_entropy`/`thread_rng`/`OsRng`: RNGs must be explicitly seeded |
+//! | R5 | `panic-site` | library code | no `.unwrap()`/`.expect()`/`panic!`; tests, benches, examples and binaries exempt |
+//! | R6 | `metrics-snapshot` | `crates/bench/src/bin/exp_*.rs` | every experiment must emit a `METRICS_SNAPSHOT` line |
+//! | R7 | `bad-suppression` | all scanned files | every `rdi-lint:` directive must parse and carry a reason |
+//!
+//! Algorithm crates: `coverage`, `discovery`, `joinsample`, `tailor`,
+//! `fairness`, `cleaning`. Vendored `crates/compat-*` shims mirror
+//! external APIs and are skipped entirely, as are `tests/`, `benches/`,
+//! `examples/`, `build.rs`, and `#[cfg(test)]` modules (by convention the
+//! trailing module of a file).
+//!
+//! ## Suppressions
+//!
+//! ```text
+//! // rdi-lint: allow(R1): membership-only set, iteration order never escapes
+//! // rdi-lint: allow-file(R5): vendored parser, panics audited 2026-08
+//! ```
+//!
+//! `allow(...)` covers findings on its own line or the line directly
+//! below; `allow-file(...)` covers the whole file. The reason after the
+//! closing `):` is **mandatory** — a directive without one is itself a
+//! finding (R7), so every escape hatch is an audited, explained decision.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+mod report;
+mod rules;
+mod suppress;
+
+pub use report::{report_json, Report};
+pub use rules::{analyze_source, FileReport, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during the workspace walk.
+/// `fixtures` keeps rdi-lint's own planted-violation test tree (and any
+/// future fixture corpus) out of the real scan.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Recursively collect every `.rs` file under `root` in sorted order
+/// (determinism: findings are reported in a stable order on every
+/// machine), skipping [`SKIP_DIRS`] and vendored `compat-*` crates.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with("compat-") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze every workspace `.rs` file under `root`.
+pub fn analyze_tree(root: &Path) -> io::Result<Report> {
+    let files = collect_rs_files(root)?;
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        let file_report = analyze_source(&rel, &src);
+        report.files_scanned += 1;
+        report.suppressed += file_report.suppressed;
+        report.findings.extend(file_report.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// One rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`R1`…`R7`).
+    pub rule: &'static str,
+    /// Short rule name (`hash-collection`, …).
+    pub name: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation of the violation and the fix.
+    pub message: String,
+}

@@ -1,0 +1,99 @@
+//! `rdi-lint` — scan the workspace for determinism / provenance /
+//! panic-safety violations.
+//!
+//! ```text
+//! rdi-lint [ROOT] [--json]
+//! ```
+//!
+//! * `ROOT` — tree to scan; defaults to the workspace root (derived from
+//!   this crate's manifest directory, falling back to the current
+//!   directory).
+//! * `--json` — print the machine-readable report to stdout (findings
+//!   still go to stderr); without it the findings print to stdout.
+//!
+//! Exit status: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rdi_lint::{analyze_tree, report_json, Report};
+
+fn default_root() -> PathBuf {
+    // crates/lint/../../ is the workspace root when run via cargo.
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(manifest).join("../..");
+        if candidate.join("Cargo.toml").is_file() {
+            return candidate;
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn print_findings(report: &Report, to_stderr: bool) {
+    for f in &report.findings {
+        let line = format!(
+            "{}:{}: {} ({}): {}",
+            f.file, f.line, f.rule, f.name, f.message
+        );
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+    let summary = format!(
+        "rdi-lint: {} finding(s) in {} file(s) scanned ({} suppressed)",
+        report.findings.len(),
+        report.files_scanned,
+        report.suppressed,
+    );
+    if to_stderr {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: rdi-lint [ROOT] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("rdi-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let report = match analyze_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rdi-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print_findings(&report, true);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report_json(&report, &root.display().to_string()))
+                .unwrap_or_else(|e| format!("{{\"error\": \"{e:?}\"}}"))
+        );
+    } else {
+        print_findings(&report, false);
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

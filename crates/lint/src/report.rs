@@ -1,0 +1,75 @@
+//! Machine-readable report assembly (JSON via the compat serde_json).
+
+use serde_json::Value;
+
+use crate::rules::RULES;
+use crate::Finding;
+
+/// Aggregated analysis result for a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by valid suppression directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Render the report as the JSON document consumed by `validate_lint`
+/// in CI. Schema (stable; bump `version` on change):
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "root": "...",
+///   "files_scanned": 154,
+///   "suppressed": 12,
+///   "rules": [{"id": "R1", "name": "hash-collection", "summary": "..."}],
+///   "findings": [{"rule": "R1", "name": "...", "file": "...",
+///                 "line": 10, "message": "..."}]
+/// }
+/// ```
+pub fn report_json(report: &Report, root: &str) -> Value {
+    let rules = RULES
+        .iter()
+        .map(|(id, name, summary)| {
+            Value::Obj(vec![
+                ("id".into(), Value::Str((*id).into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("summary".into(), Value::Str((*summary).into())),
+            ])
+        })
+        .collect();
+    let findings = report
+        .findings
+        .iter()
+        .map(|f| {
+            Value::Obj(vec![
+                ("rule".into(), Value::Str(f.rule.into())),
+                ("name".into(), Value::Str(f.name.into())),
+                ("file".into(), Value::Str(f.file.clone())),
+                ("line".into(), Value::U64(f.line as u64)),
+                ("message".into(), Value::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("version".into(), Value::U64(1)),
+        ("root".into(), Value::Str(root.into())),
+        (
+            "files_scanned".into(),
+            Value::U64(report.files_scanned as u64),
+        ),
+        ("suppressed".into(), Value::U64(report.suppressed as u64)),
+        ("rules".into(), Value::Arr(rules)),
+        ("findings".into(), Value::Arr(findings)),
+    ])
+}

@@ -1,0 +1,298 @@
+//! The rule engine: file classification plus token-pattern rules.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::suppress::parse_suppressions;
+use crate::Finding;
+
+/// The rule catalog: `(id, name, summary)`. The ids are stable — they
+/// appear in suppression directives and in the JSON report consumed by
+/// CI — so renumbering is a breaking change.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "R1",
+        "hash-collection",
+        "no HashMap/HashSet in algorithm crates: iteration order is \
+         nondeterministic; use BTreeMap/BTreeSet or an explicit sort",
+    ),
+    (
+        "R2",
+        "bare-thread-spawn",
+        "no thread::spawn outside crates/par: parallelism must go through \
+         rdi-par so RDI_THREADS stays authoritative",
+    ),
+    (
+        "R3",
+        "wall-clock",
+        "no Instant/SystemTime in algorithm crates: results must be a \
+         function of inputs and seeds, never of elapsed time",
+    ),
+    (
+        "R4",
+        "entropy-rng",
+        "no from_entropy/thread_rng/OsRng outside compat-rand: every RNG \
+         must be constructed from an explicit seed",
+    ),
+    (
+        "R5",
+        "panic-site",
+        "no .unwrap()/.expect()/panic! in non-test library code: fallible \
+         paths return Result/Option; infallible ones carry an audited \
+         suppression",
+    ),
+    (
+        "R6",
+        "metrics-snapshot",
+        "every crates/bench/src/bin/exp_*.rs must emit a METRICS_SNAPSHOT \
+         line so CI can validate its observability output",
+    ),
+    (
+        "R7",
+        "bad-suppression",
+        "every rdi-lint directive must parse and carry a non-empty reason",
+    ),
+];
+
+/// Crates whose kernels carry the bitwise thread-invariance guarantee;
+/// R1 and R3 apply to their non-test code.
+const ALGO_CRATES: &[&str] = &[
+    "coverage",
+    "discovery",
+    "joinsample",
+    "tailor",
+    "fairness",
+    "cleaning",
+];
+
+/// What the analyzer decided about one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived suppression filtering.
+    pub findings: Vec<Finding>,
+    /// Violations silenced by a valid directive.
+    pub suppressed: usize,
+}
+
+/// Classification derived from a file's workspace-relative path.
+struct FileCtx<'a> {
+    /// `Some("coverage")` for `crates/coverage/...`, `None` for the root
+    /// package.
+    crate_name: Option<&'a str>,
+    /// Under a `tests/`, `benches/` or `examples/` directory, or
+    /// `build.rs`: no rules apply.
+    exempt_all: bool,
+    /// Binary target (`src/bin/...` or `src/main.rs`): R5 does not apply.
+    is_bin: bool,
+    /// `crates/bench/src/bin/exp_*.rs`: R6 applies.
+    is_experiment: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    fn classify(rel: &'a str) -> Self {
+        let components: Vec<&str> = rel.split('/').collect();
+        let crate_name = match components.first() {
+            Some(&"crates") => components.get(1).copied(),
+            _ => None,
+        };
+        let dirs = &components[..components.len().saturating_sub(1)];
+        let file_name = components.last().copied().unwrap_or("");
+        let exempt_all = dirs
+            .iter()
+            .any(|d| matches!(*d, "tests" | "benches" | "examples"))
+            || file_name == "build.rs";
+        let is_bin = dirs.ends_with(&["src", "bin"]) || rel.ends_with("src/main.rs");
+        let is_experiment = crate_name == Some("bench")
+            && dirs.ends_with(&["src", "bin"])
+            && file_name.starts_with("exp_");
+        FileCtx {
+            crate_name,
+            exempt_all,
+            is_bin,
+            is_experiment,
+        }
+    }
+
+    fn in_algo_crate(&self) -> bool {
+        self.crate_name.is_some_and(|c| ALGO_CRATES.contains(&c))
+    }
+}
+
+/// Analyze one file's source. `rel` is its workspace-relative path with
+/// `/` separators (used for scoping rules and reported in findings).
+pub fn analyze_source(rel: &str, src: &str) -> FileReport {
+    let ctx = FileCtx::classify(rel);
+    let tokens = lex(src);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let suppressions = parse_suppressions(&tokens, rel, &mut raw);
+
+    if !ctx.exempt_all {
+        // Comment-free view for pattern matching.
+        let code: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        // Everything from the first `#[cfg(test)]` on is test code (by
+        // workspace convention the tests module trails the file).
+        let test_boundary = cfg_test_boundary(&code);
+        let in_test = |line: u32| test_boundary.is_some_and(|b| line >= b);
+
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || in_test(tok.line) {
+                continue;
+            }
+            match tok.text.as_str() {
+                "HashMap" | "HashSet" if ctx.in_algo_crate() => {
+                    finding(
+                        &mut raw,
+                        "R1",
+                        rel,
+                        tok.line,
+                        format!(
+                            "`{}` in algorithm crate `{}`: iteration order is nondeterministic; \
+                         use BTreeMap/BTreeSet or an explicit sort before order-sensitive output",
+                            tok.text,
+                            ctx.crate_name.unwrap_or(""),
+                        ),
+                    );
+                }
+                "spawn" if ctx.crate_name != Some("par") && is_path_call(&code, i, "thread") => {
+                    finding(
+                        &mut raw,
+                        "R2",
+                        rel,
+                        tok.line,
+                        String::from(
+                            "`thread::spawn` outside crates/par: route parallelism through \
+                         rdi-par so RDI_THREADS stays authoritative and joins are scoped",
+                        ),
+                    );
+                }
+                "Instant" | "SystemTime" if ctx.in_algo_crate() => {
+                    finding(&mut raw, "R3", rel, tok.line, format!(
+                        "`{}` in algorithm crate `{}`: wall-clock reads make results a \
+                         function of the schedule; timing belongs in rdi-obs spans or bench harnesses",
+                        tok.text,
+                        ctx.crate_name.unwrap_or(""),
+                    ));
+                }
+                "from_entropy" | "thread_rng" | "OsRng" => {
+                    finding(
+                        &mut raw,
+                        "R4",
+                        rel,
+                        tok.line,
+                        format!(
+                            "`{}`: entropy-seeded RNG construction; derive every RNG from an \
+                         explicit seed (e.g. SeedableRng::seed_from_u64) for reproducibility",
+                            tok.text,
+                        ),
+                    );
+                }
+                "unwrap" | "expect" if !ctx.is_bin && is_method_call(&code, i) => {
+                    finding(
+                        &mut raw,
+                        "R5",
+                        rel,
+                        tok.line,
+                        format!(
+                            "`.{}()` in library code: return Result/Option on fallible paths, \
+                         or suppress with a reason if the call is provably infallible",
+                            tok.text,
+                        ),
+                    );
+                }
+                "panic" if !ctx.is_bin && is_macro_bang(&code, i) => {
+                    finding(
+                        &mut raw,
+                        "R5",
+                        rel,
+                        tok.line,
+                        String::from(
+                            "`panic!` in library code: return an error instead, or suppress \
+                         with a reason if the branch is provably unreachable",
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if ctx.is_experiment && !emits_metrics_snapshot(&tokens) {
+        finding(
+            &mut raw,
+            "R6",
+            rel,
+            1,
+            String::from(
+                "experiment binary never emits a METRICS_SNAPSHOT line; call \
+             rdi_bench::emit_metrics_snapshot() before exiting",
+            ),
+        );
+    }
+
+    let mut report = FileReport::default();
+    for f in raw {
+        // R7 findings are never suppressible: a malformed directive must
+        // not be silenced by another (possibly equally malformed) one.
+        let covered = f.rule != "R7" && suppressions.iter().any(|s| s.covers(f.rule, f.line));
+        if covered {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report
+}
+
+fn finding(out: &mut Vec<Finding>, rule: &'static str, file: &str, line: u32, message: String) {
+    let name = RULES
+        .iter()
+        .find(|(id, _, _)| *id == rule)
+        .map(|(_, n, _)| *n)
+        .unwrap_or("unknown");
+    out.push(Finding {
+        rule,
+        name,
+        file: file.to_string(),
+        line,
+        message,
+    });
+}
+
+/// Token index of the first `#[cfg(test)]` attribute, as a line number.
+fn cfg_test_boundary(code: &[&Token]) -> Option<u32> {
+    code.windows(7).find_map(|w| {
+        let texts: Vec<&str> = w.iter().map(|t| t.text.as_str()).collect();
+        (texts == ["#", "[", "cfg", "(", "test", ")", "]"]).then(|| w[0].line)
+    })
+}
+
+/// Is `code[i]` the method segment of `recv.name(...)`?
+fn is_method_call(code: &[&Token], i: usize) -> bool {
+    i >= 1 && code[i - 1].text == "." && code.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Is `code[i]` the final segment of a `prefix::name(...)` path call?
+fn is_path_call(code: &[&Token], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && code[i - 1].text == ":"
+        && code[i - 2].text == ":"
+        && code[i - 3].text == prefix
+        && code.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Is `code[i]` a macro invocation name (`name!`)?
+fn is_macro_bang(code: &[&Token], i: usize) -> bool {
+    code.get(i + 1).is_some_and(|t| t.text == "!")
+}
+
+/// Does the file reference the snapshot marker — via the shared constant,
+/// the helper, or a literal `METRICS_SNAPSHOT` string?
+fn emits_metrics_snapshot(tokens: &[Token]) -> bool {
+    tokens.iter().any(|t| match t.kind {
+        TokenKind::Ident => t.text == "METRICS_MARKER" || t.text == "emit_metrics_snapshot",
+        TokenKind::StrLit => t.text.contains("METRICS_SNAPSHOT"),
+        _ => false,
+    })
+}

@@ -1,0 +1,111 @@
+//! Parsing of `// rdi-lint:` suppression directives.
+
+use crate::lexer::{Token, TokenKind};
+use crate::Finding;
+
+/// A parsed `allow` / `allow-file` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// Rule ids it covers (upper-cased, e.g. `R1`).
+    pub rules: Vec<String>,
+    /// Whole-file scope (`allow-file`) vs same/next line (`allow`).
+    pub file_wide: bool,
+}
+
+impl Suppression {
+    /// Does this directive cover `rule` at `line`?
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule)
+            && (self.file_wide || line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extract suppressions from a file's comment tokens. Directives that
+/// fail to parse — unknown verb, empty rule list, or a missing reason —
+/// become R7 findings: an escape hatch that does not explain itself is
+/// treated as a violation, not silently ignored.
+pub fn parse_suppressions(
+    tokens: &[Token],
+    file: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(rest) = tok.text.find("rdi-lint:").map(|i| &tok.text[i + 9..]) else {
+            continue;
+        };
+        let rest = rest.trim();
+        // Only a `verb(...)`-shaped first word is a directive attempt;
+        // prose that merely mentions `rdi-lint:` is not. A directive that
+        // malforms *past* this gate is an R7 finding, never ignored.
+        if !rest
+            .split_whitespace()
+            .next()
+            .is_some_and(|w| w.contains('('))
+        {
+            continue;
+        }
+        match parse_directive(rest) {
+            Ok(mut s) => {
+                s.line = tok.line;
+                out.push(s);
+            }
+            Err(why) => findings.push(Finding {
+                rule: "R7",
+                name: "bad-suppression",
+                file: file.to_string(),
+                line: tok.line,
+                message: format!("malformed rdi-lint directive: {why}"),
+            }),
+        }
+    }
+    out
+}
+
+fn parse_directive(text: &str) -> Result<Suppression, String> {
+    let (verb, rest) = match text.find('(') {
+        Some(i) => (&text[..i], &text[i + 1..]),
+        None => return Err("expected `allow(...)` or `allow-file(...)`".into()),
+    };
+    let file_wide = match verb.trim() {
+        "allow" => false,
+        "allow-file" => true,
+        other => return Err(format!("unknown directive `{other}`")),
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule list".into());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".into());
+    }
+    if let Some(bad) = rules
+        .iter()
+        .find(|r| !crate::RULES.iter().any(|(id, _, _)| id == r))
+    {
+        return Err(format!("unknown rule `{bad}`"));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix(':')
+        .or_else(|| after.strip_prefix('—'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err("missing reason — write `allow(Rn): why this is safe`".into());
+    }
+    Ok(Suppression {
+        line: 0,
+        rules,
+        file_wide,
+    })
+}

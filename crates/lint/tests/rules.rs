@@ -1,0 +1,254 @@
+//! Rule-engine tests: the planted fixture tree plus targeted
+//! `analyze_source` cases for scoping and suppression behavior.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use rdi_lint::{analyze_source, analyze_tree};
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
+}
+
+#[test]
+fn fixture_tree_reports_all_seven_rules() {
+    let report = analyze_tree(fixture_root()).expect("fixture tree scans");
+    let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        BTreeSet::from(["R1", "R2", "R3", "R4", "R5", "R6", "R7"]),
+        "expected every rule to fire on the planted tree; findings: {:#?}",
+        report.findings
+    );
+    // ≥ 6 distinct rule ids is the acceptance floor; we plant all 7.
+    assert!(rules.len() >= 6);
+}
+
+#[test]
+fn fixture_tree_counts_and_suppressions() {
+    let report = analyze_tree(fixture_root()).expect("fixture tree scans");
+    let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
+    // planted.rs: `use HashMap` + declaration line with two HashMap tokens
+    assert_eq!(count("R1"), 3);
+    assert_eq!(count("R2"), 1);
+    // planted.rs: `use Instant` + `Instant::now()`
+    assert_eq!(count("R3"), 2);
+    // mylib: from_entropy + thread_rng
+    assert_eq!(count("R4"), 2);
+    // planted.rs unwrap + mylib panic! + expect + unwrap-under-bad-directive
+    assert_eq!(count("R5"), 4);
+    assert_eq!(count("R6"), 1);
+    assert_eq!(count("R7"), 1);
+    // the one valid allow(R5) in planted.rs
+    assert_eq!(report.suppressed, 1);
+    // exp_ok.rs and the fixture integration test contribute no findings
+    assert!(report.files_scanned >= 5);
+}
+
+#[test]
+fn fixture_r6_names_the_missing_experiment() {
+    let report = analyze_tree(fixture_root()).expect("fixture tree scans");
+    let r6: Vec<_> = report.findings.iter().filter(|f| f.rule == "R6").collect();
+    assert_eq!(r6.len(), 1);
+    assert!(r6[0].file.ends_with("exp_missing.rs"));
+}
+
+#[test]
+fn hash_collections_flagged_only_in_algorithm_crates() {
+    let src = "use std::collections::HashMap;\n";
+    for algo in [
+        "coverage",
+        "discovery",
+        "joinsample",
+        "tailor",
+        "fairness",
+        "cleaning",
+    ] {
+        let rel = format!("crates/{algo}/src/lib.rs");
+        let r = analyze_source(&rel, src);
+        assert_eq!(r.findings.len(), 1, "{algo} should flag");
+        assert_eq!(r.findings[0].rule, "R1");
+    }
+    for other in [
+        "crates/table/src/lib.rs",
+        "crates/obs/src/lib.rs",
+        "src/lib.rs",
+    ] {
+        assert!(analyze_source(other, src).findings.is_empty(), "{other}");
+    }
+}
+
+#[test]
+fn wall_clock_exempt_in_obs_and_bench() {
+    let src = "use std::time::Instant;\nfn t() { let _ = Instant::now(); }\n";
+    assert!(analyze_source("crates/obs/src/span.rs", src)
+        .findings
+        .is_empty());
+    assert_eq!(
+        analyze_source("crates/tailor/src/runner.rs", src)
+            .findings
+            .len(),
+        2
+    );
+}
+
+#[test]
+fn thread_spawn_allowed_only_in_par() {
+    let src = "fn go() { std::thread::spawn(|| {}); }\n";
+    assert!(analyze_source("crates/par/src/lib.rs", src)
+        .findings
+        .is_empty());
+    let r = analyze_source("crates/table/src/lib.rs", src);
+    assert_eq!(r.findings.len(), 1);
+    assert_eq!(r.findings[0].rule, "R2");
+    // `scope.spawn` (a method, not the bare path call) is not R2's target
+    let scoped = "fn go(s: &S) { s.spawn(|| {}); }\n";
+    assert!(analyze_source("crates/table/src/lib.rs", scoped)
+        .findings
+        .is_empty());
+}
+
+#[test]
+fn unwrap_expect_only_as_method_calls() {
+    // Idents named unwrap/expect that are not `.name(` calls do not fire.
+    let src =
+        "fn unwrap() {}\nfn caller() { unwrap(); }\nstruct S; impl S { fn expect(&self) {} }\n";
+    assert!(analyze_source("crates/table/src/lib.rs", src)
+        .findings
+        .is_empty());
+    let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(
+        analyze_source("crates/table/src/lib.rs", bad)
+            .findings
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn bins_tests_benches_examples_are_r5_exempt() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    for exempt in [
+        "crates/bench/src/bin/tool.rs",
+        "crates/table/tests/t.rs",
+        "crates/bench/benches/b.rs",
+        "examples/demo.rs",
+        "src/main.rs",
+    ] {
+        assert!(analyze_source(exempt, src).findings.is_empty(), "{exempt}");
+    }
+    assert_eq!(
+        analyze_source("crates/table/src/lib.rs", src)
+            .findings
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn cfg_test_region_is_exempt() {
+    let src = "fn lib(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { None::<u8>.unwrap(); panic!(\"boom\"); }\n\
+               }\n";
+    let r = analyze_source("crates/table/src/lib.rs", src);
+    assert_eq!(r.findings.len(), 1, "only the pre-boundary unwrap fires");
+    assert_eq!(r.findings[0].line, 1);
+}
+
+#[test]
+fn suppression_covers_same_and_next_line_only() {
+    let same_line = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // rdi-lint: allow(R5): infallible by construction\n";
+    let r = analyze_source("crates/table/src/lib.rs", same_line);
+    assert!(r.findings.is_empty());
+    assert_eq!(r.suppressed, 1);
+
+    let line_above = "// rdi-lint: allow(R5): audited\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(analyze_source("crates/table/src/lib.rs", line_above)
+        .findings
+        .is_empty());
+
+    let too_far = "// rdi-lint: allow(R5): audited\n\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(
+        analyze_source("crates/table/src/lib.rs", too_far)
+            .findings
+            .len(),
+        1
+    );
+
+    // the directive must name the right rule
+    let wrong_rule =
+        "// rdi-lint: allow(R1): wrong rule\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(
+        analyze_source("crates/table/src/lib.rs", wrong_rule)
+            .findings
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn allow_file_covers_everything_and_lists() {
+    let src = "// rdi-lint: allow-file(R5, R1): vendored shim, audited 2026-08\n\
+               use std::collections::HashMap;\n\
+               fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               fn g(x: Option<u8>) -> u8 { x.expect(\"y\") }\n";
+    let r = analyze_source("crates/fairness/src/lib.rs", src);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 3);
+}
+
+#[test]
+fn malformed_directives_are_r7_and_suppress_nothing() {
+    for bad in [
+        "// rdi-lint: allow(R5)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        "// rdi-lint: allow(): empty\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        "// rdi-lint: allow(R99): unknown rule\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        "// rdi-lint: deny(R5): unknown verb\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    ] {
+        let r = analyze_source("crates/table/src/lib.rs", bad);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"R7"), "{bad:?} → {rules:?}");
+        assert!(
+            rules.contains(&"R5"),
+            "malformed directive must not suppress: {bad:?}"
+        );
+        assert_eq!(r.suppressed, 0);
+    }
+}
+
+#[test]
+fn entropy_rng_flagged_everywhere_including_bins() {
+    let src = "fn f() { let _ = rand::thread_rng(); }\n";
+    for path in [
+        "crates/datagen/src/lib.rs",
+        "crates/bench/src/bin/exp_foo.rs",
+        "src/lib.rs",
+    ] {
+        let r = analyze_source(path, src);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "R4"),
+            "{path} should flag R4"
+        );
+    }
+}
+
+#[test]
+fn experiment_marker_accepted_in_all_forms() {
+    for ok in [
+        "fn main() { rdi_bench::emit_metrics_snapshot(); }\n",
+        "fn main() { println!(\"{}{}\", METRICS_MARKER, json); }\n",
+        "fn main() { println!(\"METRICS_SNAPSHOT {}\", json); }\n",
+    ] {
+        let r = analyze_source("crates/bench/src/bin/exp_x.rs", ok);
+        assert!(!r.findings.iter().any(|f| f.rule == "R6"), "{ok}");
+    }
+    let missing = "fn main() {}\n";
+    let r = analyze_source("crates/bench/src/bin/exp_x.rs", missing);
+    assert!(r.findings.iter().any(|f| f.rule == "R6"));
+    // non-experiment bins in bench carry no marker obligation
+    let r = analyze_source("crates/bench/src/bin/validate_metrics.rs", missing);
+    assert!(r.findings.is_empty());
+}

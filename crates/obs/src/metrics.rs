@@ -176,12 +176,58 @@ impl Histogram {
 /// the registry's lifetime — including across [`MetricsRegistry::reset`],
 /// which zeroes values but never drops entries, so call sites may cache
 /// handles in statics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    clock: ClockSource,
+}
+
+/// Time source for span durations.
+///
+/// `Wall` (the default) reads the OS monotonic clock. `Fake` is a
+/// per-registry tick counter: every clock read returns the next integer,
+/// so span "nanos" become deterministic tick deltas and snapshots are
+/// byte-reproducible across runs — selected by `RDI_FAKE_CLOCK=1` in the
+/// environment or [`MetricsRegistry::with_fake_clock`].
+#[derive(Debug)]
+enum ClockSource {
+    Wall,
+    Fake(AtomicU64),
+}
+
+/// An opaque span start time from either clock source.
+#[derive(Debug)]
+pub(crate) enum ClockInstant {
+    Wall(std::time::Instant),
+    Fake(u64),
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        let fake = std::env::var("RDI_FAKE_CLOCK").is_ok_and(|v| v == "1");
+        MetricsRegistry {
+            counters: Mutex::default(),
+            gauges: Mutex::default(),
+            histograms: Mutex::default(),
+            spans: Mutex::default(),
+            clock: if fake {
+                ClockSource::Fake(AtomicU64::new(0))
+            } else {
+                ClockSource::Wall
+            },
+        }
+    }
+}
+
+/// Lock a registry mutex, recovering from poisoning: every value held
+/// under these locks is a plain aggregate (map of handles, span log),
+/// so a panic mid-update cannot leave a broken invariant — continuing
+/// with the inner value is always safe.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl MetricsRegistry {
@@ -191,9 +237,48 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// A registry whose span clock is the deterministic tick counter
+    /// regardless of `RDI_FAKE_CLOCK` — for tests that assert on span
+    /// durations.
+    pub fn with_fake_clock() -> Self {
+        MetricsRegistry {
+            clock: ClockSource::Fake(AtomicU64::new(0)),
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// True when span durations come from the deterministic tick
+    /// counter rather than the wall clock.
+    pub fn uses_fake_clock(&self) -> bool {
+        matches!(self.clock, ClockSource::Fake(_))
+    }
+
+    /// Read the span clock: a wall instant, or the next tick.
+    pub(crate) fn clock_now(&self) -> ClockInstant {
+        match &self.clock {
+            ClockSource::Wall => ClockInstant::Wall(std::time::Instant::now()),
+            ClockSource::Fake(ticks) => {
+                ClockInstant::Fake(ticks.fetch_add(1, Ordering::Relaxed) + 1)
+            }
+        }
+    }
+
+    /// Nanoseconds (wall) or elapsed ticks (fake) since `start`.
+    pub(crate) fn clock_elapsed(&self, start: &ClockInstant) -> u64 {
+        match (start, &self.clock) {
+            (ClockInstant::Wall(t), _) => t.elapsed().as_nanos() as u64,
+            (ClockInstant::Fake(s), ClockSource::Fake(ticks)) => {
+                (ticks.fetch_add(1, Ordering::Relaxed) + 1).saturating_sub(*s)
+            }
+            // A fake start can only come from this registry's own fake
+            // clock, so this arm is unreachable; 0 keeps it total.
+            (ClockInstant::Fake(_), ClockSource::Wall) => 0,
+        }
+    }
+
     /// The counter named `name`, created on first access.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock(&self.counters);
         match map.get(name) {
             Some(c) => Arc::clone(c),
             None => {
@@ -206,7 +291,7 @@ impl MetricsRegistry {
 
     /// The gauge named `name`, created on first access.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock(&self.gauges);
         match map.get(name) {
             Some(g) => Arc::clone(g),
             None => {
@@ -221,7 +306,7 @@ impl MetricsRegistry {
     /// access (later calls ignore `bounds` and return the existing
     /// histogram).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock(&self.histograms);
         match map.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -241,22 +326,22 @@ impl MetricsRegistry {
     /// All finished span records, in completion order (children before
     /// parents).
     pub fn span_records(&self) -> Vec<SpanRecord> {
-        self.spans.lock().unwrap().clone()
+        lock(&self.spans).clone()
     }
 
     /// Zero every metric and clear the span log. Entries (and therefore
     /// cached handles) survive.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in lock(&self.counters).values() {
             c.reset();
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in lock(&self.gauges).values() {
             g.reset();
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in lock(&self.histograms).values() {
             h.reset();
         }
-        self.spans.lock().unwrap().clear();
+        lock(&self.spans).clear();
     }
 
     /// The snapshot as a JSON tree:
@@ -271,24 +356,15 @@ impl MetricsRegistry {
     ///
     /// Names are sorted, so the layout is deterministic.
     pub fn snapshot_value(&self) -> Value {
-        let counters: Vec<(String, Value)> = self
-            .counters
-            .lock()
-            .unwrap()
+        let counters: Vec<(String, Value)> = lock(&self.counters)
             .iter()
             .map(|(k, c)| (k.clone(), Value::U64(c.get())))
             .collect();
-        let gauges: Vec<(String, Value)> = self
-            .gauges
-            .lock()
-            .unwrap()
+        let gauges: Vec<(String, Value)> = lock(&self.gauges)
             .iter()
             .map(|(k, g)| (k.clone(), Value::F64(g.get())))
             .collect();
-        let histograms: Vec<(String, Value)> = self
-            .histograms
-            .lock()
-            .unwrap()
+        let histograms: Vec<(String, Value)> = lock(&self.histograms)
             .iter()
             .map(|(k, h)| {
                 let v = Value::Obj(vec![
@@ -308,7 +384,7 @@ impl MetricsRegistry {
             .collect();
         // Aggregate spans per path, sorted.
         let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-        for r in self.spans.lock().unwrap().iter() {
+        for r in lock(&self.spans).iter() {
             let e = agg.entry(r.path.clone()).or_insert((0, 0));
             e.0 += 1;
             e.1 += r.nanos;
@@ -335,6 +411,7 @@ impl MetricsRegistry {
 
     /// [`MetricsRegistry::snapshot_value`] as compact JSON text.
     pub fn snapshot_json(&self) -> String {
+        // rdi-lint: allow(R5): serializing an in-memory Value tree built by snapshot_value cannot fail
         serde_json::to_string(&self.snapshot_value()).expect("snapshot serializes")
     }
 }

@@ -1,8 +1,12 @@
 //! RAII span timers with per-thread parent/child nesting.
+//!
+//! Durations come from the registry's clock source: the wall clock by
+//! default, or a deterministic tick counter under `RDI_FAKE_CLOCK=1`
+//! (see [`MetricsRegistry::with_fake_clock`]).
 
 use std::cell::RefCell;
-use std::time::Instant;
 
+use crate::metrics::ClockInstant;
 use crate::MetricsRegistry;
 
 thread_local! {
@@ -29,7 +33,7 @@ pub struct SpanRecord {
 pub struct SpanGuard<'r> {
     registry: &'r MetricsRegistry,
     path: String,
-    start: Instant,
+    start: ClockInstant,
     /// Keep the guard `!Send`: the thread-local stack entry must be
     /// popped by the opening thread.
     _not_send: std::marker::PhantomData<*const ()>,
@@ -45,7 +49,7 @@ impl<'r> SpanGuard<'r> {
         SpanGuard {
             registry,
             path,
-            start: Instant::now(),
+            start: registry.clock_now(),
             _not_send: std::marker::PhantomData,
         }
     }
@@ -58,11 +62,11 @@ impl<'r> SpanGuard<'r> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        let nanos = self.start.elapsed().as_nanos() as u64;
+        let nanos = self.registry.clock_elapsed(&self.start);
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
-        self.registry.spans.lock().unwrap().push(SpanRecord {
+        crate::metrics::lock(&self.registry.spans).push(SpanRecord {
             path: std::mem::take(&mut self.path),
             nanos,
         });
@@ -109,6 +113,57 @@ mod tests {
         drop(reg.span("b"));
         let paths: Vec<String> = reg.span_records().into_iter().map(|r| r.path).collect();
         assert_eq!(paths, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fake_clock_spans_are_deterministic() {
+        // Two independent registries replay the identical span structure
+        // and must agree byte-for-byte — tick deltas, not wall time.
+        let run = || {
+            let reg = MetricsRegistry::with_fake_clock();
+            assert!(reg.uses_fake_clock());
+            {
+                let _outer = reg.span("outer");
+                let _inner = reg.span("inner");
+            }
+            reg.span_records()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // outer opens at tick 1, inner spans ticks 2..3, outer closes at 4
+        assert_eq!(
+            a[0],
+            SpanRecord {
+                path: "outer/inner".into(),
+                nanos: 1
+            }
+        );
+        assert_eq!(
+            a[1],
+            SpanRecord {
+                path: "outer".into(),
+                nanos: 3
+            }
+        );
+    }
+
+    #[test]
+    fn fake_clock_snapshot_is_reproducible() {
+        let snap = || {
+            let reg = MetricsRegistry::with_fake_clock();
+            {
+                let _s = reg.span("work");
+            }
+            reg.counter("hits").inc();
+            reg.snapshot_json()
+        };
+        assert_eq!(snap(), snap());
+    }
+
+    #[test]
+    fn wall_clock_is_the_default() {
+        assert!(!MetricsRegistry::new().uses_fake_clock());
     }
 
     #[test]

@@ -208,7 +208,12 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            // join errs only when the worker panicked — re-raise that
+            // panic on the caller instead of a fresh unwrap panic.
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
     let mut out = Vec::with_capacity(items.len());
     for chunk in per_chunk.iter_mut() {
@@ -252,10 +257,17 @@ where
                 scope.spawn(move || chunk.iter().fold(init(), fold))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            // join errs only when the worker panicked — re-raise that
+            // panic on the caller instead of a fresh unwrap panic.
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
     let mut acc = per_chunk.into_iter();
-    let first = acc.next().expect("at least one chunk");
+    // chunks_of yields at least one range, so the fallback (the fold
+    // identity, matching the serial fold of zero items) is unreachable.
+    let first = acc.next().unwrap_or_else(&init);
     acc.fold(first, combine)
 }
 

@@ -316,6 +316,7 @@ impl NutritionalLabel {
 
     /// Render as JSON.
     pub fn to_json(&self) -> String {
+        // rdi-lint: allow(R5): serializing an in-memory label of plain scalars cannot fail
         serde_json::to_string_pretty(self).expect("label serializes")
     }
 

@@ -143,6 +143,7 @@ impl Table {
             .zip(values)
             .zip(self.schema.fields())
         {
+            // rdi-lint: allow(R5): the type-check loop above already rejected mismatched values
             col.push(v, &f.name).expect("validated above");
         }
         self.num_rows += 1;

@@ -88,11 +88,12 @@ impl Value {
         match (self, other) {
             (Null, Null) => Ordering::Equal,
             (Str(a), Str(b)) => a.cmp(b),
-            (a, b) if rank(a) == 1 && rank(b) == 1 => {
-                let fa = a.as_f64().expect("numeric");
-                let fb = b.as_f64().expect("numeric");
-                fa.total_cmp(&fb)
-            }
+            (a, b) if rank(a) == 1 && rank(b) == 1 => match (a.as_f64(), b.as_f64()) {
+                (Some(fa), Some(fb)) => fa.total_cmp(&fb),
+                // rank 1 ⇒ both numeric, so this arm is unreachable;
+                // fall back to rank order rather than panic.
+                _ => rank(a).cmp(&rank(b)),
+            },
             (a, b) => rank(a).cmp(&rank(b)),
         }
     }

@@ -6,7 +6,7 @@
 //! ([`UcbColl`]) learns them online from its own observations, balancing
 //! exploration and exploitation (tutorial §4.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::RngCore;
 
@@ -173,7 +173,7 @@ impl Policy for RatioColl {
 pub struct OracleDp {
     costs: Vec<f64>,
     freqs: Vec<Vec<f64>>,
-    memo: HashMap<Vec<u16>, (f64, usize)>,
+    memo: BTreeMap<Vec<u16>, (f64, usize)>,
 }
 
 impl OracleDp {
@@ -184,7 +184,7 @@ impl OracleDp {
         OracleDp {
             costs,
             freqs,
-            memo: HashMap::new(),
+            memo: BTreeMap::new(),
         }
     }
 
@@ -401,12 +401,14 @@ impl Policy for EpsilonGreedy {
         if u < self.epsilon {
             return gen_range(rng, self.costs.len());
         }
+        // `costs` is non-empty (asserted at construction), so `unwrap_or(0)`
+        // never takes its fallback; it just keeps the path panic-free.
         (0..self.costs.len())
             .max_by(|&a, &b| {
                 (self.usefulness(a, remaining) / self.costs[a])
                     .total_cmp(&(self.usefulness(b, remaining) / self.costs[b]))
             })
-            .expect("non-empty")
+            .unwrap_or(0)
     }
 
     fn observe(&mut self, source: usize, group: Option<usize>) {

@@ -150,7 +150,7 @@ pub fn run_tailoring_dedup<R: Rng>(
     let g = problem.num_groups();
     let mut per_group = vec![0usize; g];
     let mut per_source_draws = vec![0usize; sources.len()];
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut duplicates = 0usize;
     let mut total_cost = 0.0;
     let mut draws = 0usize;

@@ -8,7 +8,7 @@
 //! cargo run --example entity_collection
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,7 +86,7 @@ fn main() {
     let spec = GroupSpec::new(vec!["district"]);
     let raw_avg = pois.mean("rating").unwrap().unwrap();
     // the city truly has equal POIs per district
-    let population: HashMap<GroupKey, f64> = DISTRICTS
+    let population: BTreeMap<GroupKey, f64> = DISTRICTS
         .iter()
         .map(|d| (GroupKey(vec![Value::str(*d)]), 0.25))
         .collect();

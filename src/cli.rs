@@ -168,7 +168,7 @@ fn cmd_coverage(args: &Args) -> Result<String, String> {
         out.push_str(&format!("  {}\n", analyzer.describe(m)));
     }
     let goal = parse_flag(args, "goal-level", attrs.len())?;
-    let plan = remedy_greedy(&analyzer, goal);
+    let plan = remedy_greedy(&analyzer, goal).map_err(|e| e.to_string())?;
     if !plan.is_empty() {
         out.push_str(&format!(
             "remediation plan (goal level {goal}): add {} tuple(s)\n",

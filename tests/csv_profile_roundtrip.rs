@@ -36,7 +36,7 @@ fn csv_to_label_to_remediation() {
     assert_eq!(an.describe(&mups[0]), "gender=F, race=black");
 
     // remediation proposes exactly that tuple
-    let plan = remedy_greedy(&an, 2);
+    let plan = remedy_greedy(&an, 2).unwrap();
     assert_eq!(plan.len(), 1);
     assert_eq!(plan[0], vec![Value::str("F"), Value::str("black")]);
 

@@ -2,7 +2,7 @@
 //! marginal tailoring, dedup-aware collection, FairPrep grids,
 //! interventional repair, lake navigation, and sample debiasing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -163,7 +163,7 @@ fn navigation_guides_to_unionable_sources_then_debias_answers_population_queries
         .collect();
     let sample = t.take(&skewed_idx);
     let spec = GroupSpec::new(vec!["gender"]);
-    let population: HashMap<GroupKey, f64> = [("F", 1.0 / 3.0), ("M", 2.0 / 3.0)]
+    let population: BTreeMap<GroupKey, f64> = [("F", 1.0 / 3.0), ("M", 2.0 / 3.0)]
         .iter()
         .map(|(g, f)| (GroupKey(vec![Value::str(*g)]), *f))
         .collect();
