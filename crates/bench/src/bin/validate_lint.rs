@@ -24,7 +24,7 @@ use std::process::exit;
 const SUPPORTED_VERSION: u64 = 1;
 
 /// Every rule the catalog must list, in order.
-const RULE_IDS: [&str; 7] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
+const RULE_IDS: [&str; 8] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
 
 fn main() {
     let mut input = String::new();

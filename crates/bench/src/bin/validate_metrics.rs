@@ -1,10 +1,16 @@
 //! CI helper: validate an experiment's metrics snapshot.
 //!
 //! Reads an `exp_*` binary's stdout on **stdin**, finds the final
-//! `METRICS_SNAPSHOT {json}` line, parses the JSON, and checks that
-//! every counter named on the command line is present. Exits non-zero
-//! (with a message on stderr) when the marker is missing, the JSON does
-//! not parse, or an expected counter is absent — so a pipeline like
+//! `METRICS_SNAPSHOT {json}` line, parses the JSON, validates the
+//! snapshot against the schema rdi-obs promises (`counters` maps names
+//! to unsigned integers, `gauges` to numbers, `histograms` to
+//! `{bounds, counts, count, sum}` objects with `counts` one longer
+//! than `bounds` and bucket totals equal to `count`, `spans` to
+//! `{count, total_ns}` objects), and checks that every counter named
+//! on the command line is present. Exits non-zero (with a message on
+//! stderr) when the marker is missing, the JSON does not parse, the
+//! schema is violated, or an expected counter is absent — so a
+//! pipeline like
 //!
 //! ```text
 //! cargo run --bin exp_coverage | cargo run --bin validate_metrics -- \
@@ -40,13 +46,14 @@ fn main() {
             exit(2);
         }
     };
-    for section in ["counters", "gauges", "histograms", "spans"] {
-        if snapshot.get(section).is_none() {
-            eprintln!("validate_metrics: snapshot missing `{section}` section");
-            exit(2);
+    let schema_errors = schema_errors(&snapshot);
+    if !schema_errors.is_empty() {
+        for e in &schema_errors {
+            eprintln!("validate_metrics: schema violation: {e}");
         }
+        exit(2);
     }
-    let counters = snapshot.get("counters").expect("checked above");
+    let counters = snapshot.get("counters").expect("schema-checked above");
     let mut missing = 0usize;
     for key in &expected {
         match counters.get(key).and_then(|v| v.as_u64()) {
@@ -61,7 +68,89 @@ fn main() {
         exit(3);
     }
     println!(
-        "validate_metrics: OK ({} expected counter(s) present)",
+        "validate_metrics: OK ({} expected counter(s) present, schema valid)",
         expected.len()
     );
+}
+
+/// Object members, when `v` is a JSON object.
+fn obj_fields(v: &serde_json::Value) -> Option<&[(String, serde_json::Value)]> {
+    match v {
+        serde_json::Value::Obj(fields) => Some(fields),
+        _ => None,
+    }
+}
+
+/// Validate the snapshot against the shape `rdi_obs::MetricsRegistry::
+/// snapshot_value` documents. Returns a list of human-readable
+/// violations; empty means the snapshot conforms.
+fn schema_errors(snapshot: &serde_json::Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if obj_fields(snapshot).is_none() {
+        return vec!["snapshot root is not a JSON object".into()];
+    }
+    for section in ["counters", "gauges", "histograms", "spans"] {
+        match snapshot.get(section) {
+            None => errs.push(format!("missing `{section}` section")),
+            Some(v) if obj_fields(v).is_none() => {
+                errs.push(format!("`{section}` is not a JSON object"));
+            }
+            _ => {}
+        }
+    }
+    if !errs.is_empty() {
+        return errs;
+    }
+    let section = |name: &str| obj_fields(snapshot.member(name)).unwrap_or(&[]);
+    for (name, v) in section("counters") {
+        if v.as_u64().is_none() {
+            errs.push(format!(
+                "counter `{name}` is not an unsigned integer: {v:?}"
+            ));
+        }
+    }
+    for (name, v) in section("gauges") {
+        if v.as_f64().is_none() {
+            errs.push(format!("gauge `{name}` is not a number: {v:?}"));
+        }
+    }
+    for (name, v) in section("histograms") {
+        let bounds = v.get("bounds").and_then(|b| b.as_array());
+        let counts = v.get("counts").and_then(|c| c.as_array());
+        let count = v.get("count").and_then(|c| c.as_u64());
+        let sum = v.get("sum").and_then(|s| s.as_f64());
+        match (bounds, counts, count, sum) {
+            (Some(b), Some(c), Some(total), Some(_)) => {
+                if c.len() != b.len() + 1 {
+                    errs.push(format!(
+                        "histogram `{name}`: {} buckets for {} bounds (want bounds+1)",
+                        c.len(),
+                        b.len()
+                    ));
+                }
+                if b.iter().any(|x| x.as_f64().is_none()) {
+                    errs.push(format!("histogram `{name}`: non-numeric bound"));
+                }
+                let bucket_sum: Option<u64> = c.iter().map(|x| x.as_u64()).sum();
+                match bucket_sum {
+                    Some(s) if s == total => {}
+                    Some(s) => errs.push(format!(
+                        "histogram `{name}`: bucket counts sum to {s}, `count` says {total}"
+                    )),
+                    None => errs.push(format!("histogram `{name}`: non-integer bucket count")),
+                }
+            }
+            _ => errs.push(format!(
+                "histogram `{name}` missing bounds/counts/count/sum: {v:?}"
+            )),
+        }
+    }
+    for (name, v) in section("spans") {
+        if v.get("count").and_then(|c| c.as_u64()).is_none()
+            || v.get("total_ns").and_then(|n| n.as_u64()).is_none()
+        {
+            errs.push(format!("span `{name}` missing count/total_ns: {v:?}"));
+        }
+    }
+    errs
 }

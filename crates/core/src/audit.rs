@@ -26,6 +26,11 @@ pub struct Finding {
 pub struct AuditReport {
     /// Per-requirement findings, in spec order.
     pub findings: Vec<Finding>,
+    /// Degradation disclosures: one line per source the pipeline could
+    /// not fully collect from (quarantines, abandoned draws). Empty for
+    /// a clean run; filled in by the pipeline, not by [`audit`] itself,
+    /// because only the executor knows what failed.
+    pub degradation: Vec<String>,
 }
 
 impl AuditReport {
@@ -51,6 +56,12 @@ impl AuditReport {
                 f.evidence
             ));
         }
+        if !self.degradation.is_empty() {
+            md.push_str("\n## Degradation\n\n");
+            for line in &self.degradation {
+                md.push_str(&format!("- {line}\n"));
+            }
+        }
         md
     }
 }
@@ -61,7 +72,10 @@ pub fn audit(table: &Table, spec: &RequirementSpec) -> rdi_table::Result<AuditRe
     for r in &spec.requirements {
         findings.push(check(table, r, spec)?);
     }
-    Ok(AuditReport { findings })
+    Ok(AuditReport {
+        findings,
+        degradation: Vec::new(),
+    })
 }
 
 fn check(table: &Table, r: &Requirement, spec: &RequirementSpec) -> rdi_table::Result<Finding> {

@@ -1,0 +1,543 @@
+//! The resilient tailoring executor: retries, circuit breakers, and
+//! graceful degradation.
+//!
+//! [`run_resilient`] drives the same draw loop as
+//! [`rdi_tailor::run_tailoring`] but calls the fallible
+//! [`Source::try_draw`] and treats failures as data rather than
+//! aborting:
+//!
+//! * each failed attempt is retried up to
+//!   [`rdi_fault::ResilienceConfig::max_attempts`] times with capped
+//!   exponential backoff charged to a virtual [`rdi_fault::TickClock`]
+//!   (never a wall-clock sleep);
+//! * a per-source [`rdi_fault::CircuitBreaker`] quarantines a source
+//!   for the rest of the run after `breaker_threshold` consecutive
+//!   failed attempts; draws routed to a quarantined source are
+//!   redirected to the next live source (cyclically by index);
+//! * when every source is quarantined the run **degrades** instead of
+//!   erroring: it returns the partial collection plus typed
+//!   [`ProvenanceEvent`]s naming every quarantined source and the rows
+//!   that could not be collected.
+//!
+//! Determinism: the executor consumes the run RNG in exactly the same
+//! order as `run_tailoring` (one `policy.choose`, then one `try_draw`
+//! per attempt), so with fault-free sources the outcome — collected
+//! table, counters, provenance — is bitwise identical to the legacy
+//! runner's.
+
+use rand::Rng;
+use rdi_fault::{CircuitBreaker, ResilienceConfig, TickClock};
+use rdi_obs::ProvenanceEvent;
+use rdi_table::{Table, TableError};
+use rdi_tailor::{record_outcome, Draw, DtProblem, Policy, Source, SourceError, TailorOutcome};
+
+/// How one source fared over a resilient run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceHealth {
+    /// Source name.
+    pub name: String,
+    /// Physical attempts issued (first tries + retries).
+    pub attempts: u64,
+    /// Attempts that returned a record.
+    pub successes: u64,
+    /// Failed attempts per failure mode, indexed by
+    /// [`SourceError::index`].
+    pub failures_by_kind: [u64; 4],
+    /// Retries spent (attempts beyond each logical draw's first).
+    pub retries: u64,
+    /// Logical draws abandoned after exhausting attempts or hitting the
+    /// breaker.
+    pub abandoned_draws: u64,
+    /// Set once the circuit breaker opened.
+    pub quarantined: Option<Quarantine>,
+}
+
+/// When and why a source's breaker opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Consecutive failed attempts that tripped the breaker.
+    pub consecutive_failures: u32,
+    /// Virtual tick at which it opened.
+    pub at_tick: u64,
+}
+
+impl SourceHealth {
+    fn new(name: &str) -> Self {
+        SourceHealth {
+            name: name.to_string(),
+            attempts: 0,
+            successes: 0,
+            failures_by_kind: [0; 4],
+            retries: 0,
+            abandoned_draws: 0,
+            quarantined: None,
+        }
+    }
+
+    /// Total failed attempts across all modes.
+    pub fn failures_total(&self) -> u64 {
+        self.failures_by_kind.iter().sum()
+    }
+
+    /// The non-zero `(kind, count)` pairs in stable taxonomy order.
+    pub fn failures_by_kind_named(&self) -> Vec<(String, u64)> {
+        SourceError::ALL
+            .iter()
+            .map(|e| (e.kind().to_string(), self.failures_by_kind[e.index()]))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+}
+
+/// Everything a resilient run produces.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The ordinary tailoring outcome (collected table, counts, cost —
+    /// cost is charged per *attempt*, so retries are paid for).
+    pub tailor: TailorOutcome,
+    /// Per-source fault/retry/quarantine accounting, in source order.
+    pub health: Vec<SourceHealth>,
+    /// Typed provenance: `SourceQuarantined` events in occurrence
+    /// order, then one `SourceFaults` summary per affected source in
+    /// source order.
+    pub events: Vec<ProvenanceEvent>,
+    /// True when requirements went unmet *because of* source failures
+    /// (quarantines or faults), as opposed to an ordinary budget cap.
+    pub degraded: bool,
+    /// Virtual backoff ticks accrued across all retries.
+    pub backoff_ticks: u64,
+}
+
+impl ResilientOutcome {
+    /// Names of quarantined sources, in source order.
+    pub fn quarantined(&self) -> Vec<String> {
+        self.health
+            .iter()
+            .filter(|h| h.quarantined.is_some())
+            .map(|h| h.name.clone())
+            .collect()
+    }
+
+    /// Rows still missing per group (`lo` minus collected, saturating).
+    pub fn missing_per_group(&self, problem: &DtProblem) -> Vec<usize> {
+        self.tailor
+            .per_group
+            .iter()
+            .zip(&problem.requirements)
+            .map(|(&c, r)| r.lo.saturating_sub(c))
+            .collect()
+    }
+}
+
+/// Drive `policy` against fallible `sources` until the problem's
+/// requirements are met, `max_draws` logical draws have been issued, or
+/// every source is quarantined.
+///
+/// Never fails on *source* trouble — `Err` is reserved for structural
+/// problems (invalid problem, mismatched schemas, no sources), same as
+/// [`rdi_tailor::run_tailoring`]. See the module docs for semantics.
+pub fn run_resilient<S: Source, R: Rng>(
+    sources: &mut [S],
+    problem: &DtProblem,
+    policy: &mut dyn Policy,
+    rng: &mut R,
+    max_draws: usize,
+    config: &ResilienceConfig,
+) -> rdi_table::Result<ResilientOutcome> {
+    problem.validate()?;
+    config.validate();
+    if sources.is_empty() {
+        return Err(TableError::SchemaMismatch("no sources".into()));
+    }
+    let schema = sources[0].schema().clone();
+    for s in sources.iter() {
+        if s.schema() != &schema {
+            return Err(TableError::SchemaMismatch(format!(
+                "source `{}` schema differs; integrate schemas before tailoring",
+                s.name()
+            )));
+        }
+    }
+
+    let g = problem.num_groups();
+    let mut per_group = vec![0usize; g];
+    let mut per_source_draws = vec![0usize; sources.len()];
+    let mut total_cost = 0.0;
+    let mut draws = 0usize;
+    let mut collected = Table::new(schema);
+
+    let mut breakers: Vec<CircuitBreaker> = (0..sources.len())
+        .map(|_| CircuitBreaker::new(config.breaker_threshold))
+        .collect();
+    let mut health: Vec<SourceHealth> = sources
+        .iter()
+        .map(|s| SourceHealth::new(s.name()))
+        .collect();
+    let mut clock = TickClock::new();
+    let mut events: Vec<ProvenanceEvent> = Vec::new();
+    let mut backoff_ticks = 0u64;
+    let mut all_quarantined = false;
+
+    let attempts_hist = rdi_obs::histogram("executor.attempts_per_draw", &[1.0, 2.0, 4.0, 8.0]);
+
+    let satisfied = |per_group: &[usize]| -> bool {
+        per_group
+            .iter()
+            .zip(&problem.requirements)
+            .all(|(&c, r)| c >= r.lo)
+    };
+
+    while !satisfied(&per_group) && draws < max_draws {
+        let remaining: Vec<usize> = per_group
+            .iter()
+            .zip(&problem.requirements)
+            .map(|(&c, r)| r.lo.saturating_sub(c))
+            .collect();
+        let chosen = policy.choose(&remaining, rng);
+        assert!(
+            chosen < sources.len(),
+            "policy chose invalid source {chosen}"
+        );
+
+        // Redirect a pick of a quarantined source to the next live one
+        // (cyclic by index; deterministic). No live source left → the
+        // run degrades instead of spinning.
+        let s = match (0..sources.len())
+            .map(|off| (chosen + off) % sources.len())
+            .find(|&i| !breakers[i].is_open())
+        {
+            Some(s) => s,
+            None => {
+                all_quarantined = true;
+                break;
+            }
+        };
+        if s != chosen {
+            rdi_obs::counter("executor.redirects").inc();
+        }
+
+        // One logical draw: up to max_attempts physical attempts, each
+        // paid for, with backoff between failures.
+        let mut attempt: u32 = 0;
+        let mut drawn: Option<Draw> = None;
+        loop {
+            attempt += 1;
+            health[s].attempts += 1;
+            total_cost += sources[s].cost();
+            match sources[s].try_draw(rng) {
+                Ok(d) => {
+                    breakers[s].record_success();
+                    health[s].successes += 1;
+                    drawn = Some(d);
+                    break;
+                }
+                Err(e) => {
+                    health[s].failures_by_kind[e.index()] += 1;
+                    rdi_obs::counter("executor.faults").inc();
+                    if breakers[s].record_failure() {
+                        let q = Quarantine {
+                            consecutive_failures: breakers[s].consecutive_failures(),
+                            at_tick: clock.now(),
+                        };
+                        health[s].quarantined = Some(q);
+                        events.push(ProvenanceEvent::SourceQuarantined {
+                            source: health[s].name.clone(),
+                            consecutive_failures: q.consecutive_failures,
+                            at_tick: q.at_tick,
+                        });
+                        rdi_obs::counter("executor.breaker_trips").inc();
+                        break; // no more attempts against a quarantined source
+                    }
+                    if attempt >= config.max_attempts {
+                        break;
+                    }
+                    let wait = config.backoff.delay(attempt);
+                    clock.advance(wait);
+                    backoff_ticks += wait;
+                    health[s].retries += 1;
+                    rdi_obs::counter("executor.retries").inc();
+                }
+            }
+        }
+        attempts_hist.record(f64::from(attempt));
+
+        // A failed logical draw still counts against the budget and is
+        // reported to the policy as an unproductive draw, so policies
+        // learn to avoid flaky sources exactly as they avoid useless
+        // ones.
+        draws += 1;
+        per_source_draws[s] += 1;
+        match drawn {
+            Some((group, row)) => {
+                policy.observe(s, group.filter(|&gi| remaining[gi] > 0));
+                if let Some(gi) = group {
+                    if per_group[gi] < problem.requirements[gi].hi {
+                        per_group[gi] += 1;
+                        collected.push_row(row)?;
+                    }
+                }
+            }
+            None => {
+                health[s].abandoned_draws += 1;
+                rdi_obs::counter("executor.abandoned_draws").inc();
+                policy.observe(s, None);
+            }
+        }
+    }
+
+    let ok = satisfied(&per_group);
+    record_outcome(&per_group, draws, total_cost);
+    rdi_obs::counter("executor.backoff_ticks").add(backoff_ticks);
+
+    for h in &health {
+        if h.failures_total() > 0 {
+            events.push(ProvenanceEvent::SourceFaults {
+                source: h.name.clone(),
+                by_kind: h.failures_by_kind_named(),
+                retries: h.retries,
+            });
+        }
+    }
+
+    let any_faults = health.iter().any(|h| h.failures_total() > 0);
+    let degraded = all_quarantined || (!ok && any_faults);
+
+    Ok(ResilientOutcome {
+        tailor: TailorOutcome {
+            total_cost,
+            draws,
+            per_group,
+            satisfied: ok,
+            collected,
+            per_source_draws,
+        },
+        health,
+        events,
+        degraded,
+        backoff_ticks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_fault::{FaultSpec, FaultySource};
+    use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Value};
+    use rdi_tailor::{run_tailoring, RandomPolicy, TableSource};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive)
+        ])
+    }
+
+    fn problem(na: usize, nb: usize) -> DtProblem {
+        DtProblem::exact_counts(
+            GroupSpec::new(vec!["g"]),
+            vec![
+                (GroupKey(vec![Value::str("a")]), na),
+                (GroupKey(vec![Value::str("b")]), nb),
+            ],
+        )
+    }
+
+    fn source(name: &str, frac_a: f64, n: usize, p: &DtProblem) -> TableSource {
+        let mut t = Table::new(schema());
+        for i in 0..n {
+            let g = if (i as f64) < frac_a * n as f64 {
+                "a"
+            } else {
+                "b"
+            };
+            t.push_row(vec![Value::str(g)]).unwrap();
+        }
+        TableSource::new(name, t, 1.0, p).unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_is_bitwise_identical_to_legacy_runner() {
+        let p = problem(40, 40);
+        let mut legacy_sources = vec![source("s0", 0.5, 500, &p), source("s1", 0.2, 500, &p)];
+        let mut new_sources = legacy_sources.clone();
+        let mut pol_a = RandomPolicy::new(2);
+        let mut pol_b = RandomPolicy::new(2);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let legacy =
+            run_tailoring(&mut legacy_sources, &p, &mut pol_a, &mut rng_a, 100_000).unwrap();
+        let res = run_resilient(
+            &mut new_sources,
+            &p,
+            &mut pol_b,
+            &mut rng_b,
+            100_000,
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(res.tailor.collected, legacy.collected);
+        assert_eq!(res.tailor.per_group, legacy.per_group);
+        assert_eq!(res.tailor.per_source_draws, legacy.per_source_draws);
+        assert_eq!(res.tailor.draws, legacy.draws);
+        assert_eq!(res.tailor.total_cost, legacy.total_cost);
+        assert!(!res.degraded);
+        assert!(res.events.is_empty());
+        assert_eq!(res.backoff_ticks, 0);
+    }
+
+    #[test]
+    fn thirty_percent_faults_complete_without_panic() {
+        let p = problem(50, 50);
+        let mut sources: Vec<FaultySource<TableSource>> = (0..3)
+            .map(|i| {
+                FaultySource::new(
+                    source(&format!("s{i}"), 0.5, 500, &p),
+                    FaultSpec::uniform(0.3),
+                    100 + i as u64,
+                )
+            })
+            .collect();
+        let mut policy = RandomPolicy::new(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = run_resilient(
+            &mut sources,
+            &p,
+            &mut policy,
+            &mut rng,
+            1_000_000,
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert!(res.tailor.satisfied, "30% faults should only slow the run");
+        assert!(!res.degraded);
+        let faults: u64 = res.health.iter().map(|h| h.failures_total()).sum();
+        assert!(faults > 0, "faults must have been observed");
+        let retries: u64 = res.health.iter().map(|h| h.retries).sum();
+        assert!(retries > 0, "retries must have been spent");
+        assert!(res.backoff_ticks > 0);
+        // fault summaries name every affected source
+        let summarized: Vec<&str> = res
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ProvenanceEvent::SourceFaults { source, .. } => Some(source.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(summarized, vec!["s0", "s1", "s2"]);
+    }
+
+    #[test]
+    fn dead_source_is_quarantined_and_run_succeeds_off_the_live_one() {
+        let p = problem(20, 20);
+        let mut sources = vec![
+            FaultySource::new(source("dead", 0.5, 500, &p), FaultSpec::dead(), 9),
+            FaultySource::new(source("live", 0.5, 500, &p), FaultSpec::none(), 10),
+        ];
+        let mut policy = RandomPolicy::new(2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = run_resilient(
+            &mut sources,
+            &p,
+            &mut policy,
+            &mut rng,
+            1_000_000,
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert!(res.tailor.satisfied);
+        assert!(!res.degraded, "requirements met: not degraded");
+        assert_eq!(res.quarantined(), vec!["dead".to_string()]);
+        let q = res.health[0].quarantined.expect("dead source quarantined");
+        assert_eq!(q.consecutive_failures, 5);
+        assert!(matches!(
+            &res.events[0],
+            ProvenanceEvent::SourceQuarantined { source, .. } if source == "dead"
+        ));
+        // after quarantine the dead source receives no further attempts
+        assert_eq!(res.health[0].attempts, u64::from(q.consecutive_failures));
+    }
+
+    #[test]
+    fn all_sources_dead_degrades_instead_of_spinning() {
+        let p = problem(10, 10);
+        let mut sources = vec![
+            FaultySource::new(source("d0", 0.5, 100, &p), FaultSpec::dead(), 1),
+            FaultySource::new(source("d1", 0.5, 100, &p), FaultSpec::dead(), 2),
+        ];
+        let mut policy = RandomPolicy::new(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let res = run_resilient(
+            &mut sources,
+            &p,
+            &mut policy,
+            &mut rng,
+            1_000_000,
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert!(!res.tailor.satisfied);
+        assert!(res.degraded);
+        assert_eq!(res.quarantined(), vec!["d0".to_string(), "d1".to_string()]);
+        assert_eq!(res.missing_per_group(&p), vec![10, 10]);
+        assert_eq!(res.tailor.collected.num_rows(), 0);
+        // far fewer than max_draws logical draws were issued
+        assert!(res.tailor.draws < 100);
+    }
+
+    #[test]
+    fn cost_is_charged_per_attempt() {
+        let p = problem(5, 5);
+        let mut sources = vec![FaultySource::new(
+            source("s", 0.5, 100, &p),
+            FaultSpec::uniform(0.5),
+            3,
+        )];
+        let mut policy = RandomPolicy::new(1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let res = run_resilient(
+            &mut sources,
+            &p,
+            &mut policy,
+            &mut rng,
+            100_000,
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        let attempts: u64 = res.health.iter().map(|h| h.attempts).sum();
+        assert!(attempts as usize > res.tailor.draws, "retries happened");
+        assert_eq!(
+            res.tailor.total_cost, attempts as f64,
+            "unit cost × attempts"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_identical_outcomes() {
+        let run = || {
+            let p = problem(15, 15);
+            let mut sources = vec![
+                FaultySource::new(source("s0", 0.5, 200, &p), FaultSpec::uniform(0.4), 50),
+                FaultySource::new(source("s1", 0.3, 200, &p), FaultSpec::uniform(0.2), 51),
+            ];
+            let mut policy = RandomPolicy::new(2);
+            let mut rng = StdRng::seed_from_u64(12);
+            run_resilient(
+                &mut sources,
+                &p,
+                &mut policy,
+                &mut rng,
+                1_000_000,
+                &ResilienceConfig::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.tailor.collected, b.tailor.collected);
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.backoff_ticks, b.backoff_ticks);
+    }
+}

@@ -36,17 +36,21 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod executor;
 pub mod pipeline;
 pub mod requirement;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::audit::{audit, AuditReport, Finding};
-    pub use crate::pipeline::{Pipeline, PipelineResult};
+    pub use crate::executor::{run_resilient, Quarantine, ResilientOutcome, SourceHealth};
+    pub use crate::pipeline::{Pipeline, PipelineError, PipelineResult};
     pub use crate::requirement::{Requirement, RequirementSpec};
+    pub use rdi_fault::ResilienceConfig;
     pub use rdi_obs::ProvenanceEvent;
 }
 
 pub use audit::{audit, AuditReport, Finding};
-pub use pipeline::{Pipeline, PipelineResult};
+pub use executor::{run_resilient, Quarantine, ResilientOutcome, SourceHealth};
+pub use pipeline::{Pipeline, PipelineError, PipelineResult};
 pub use requirement::{Requirement, RequirementSpec};

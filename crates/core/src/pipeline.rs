@@ -6,16 +6,61 @@
 //! the pipeline always emitted ([`ProvenanceEvent::render`]), and each
 //! stage runs under an `rdi-obs` span so wall time lands in the global
 //! metrics registry.
+//!
+//! Tailoring runs on the resilient executor ([`crate::executor`]): the
+//! pipeline accepts any fallible [`Source`], retries transient
+//! failures, quarantines sources whose circuit breakers trip, and —
+//! rather than erroring — **degrades gracefully**, shipping partial
+//! data with provenance and audit entries that name every degraded
+//! source and the rows that could not be collected. With fault-free
+//! sources the behaviour (data, provenance, metrics) is bitwise
+//! identical to the pre-resilience pipeline.
 
 use rand::Rng;
 use rdi_cleaning::{impute, ImputeStrategy};
+use rdi_fault::ResilienceConfig;
 use rdi_obs::ProvenanceEvent;
 use rdi_profile::{LabelConfig, NutritionalLabel};
-use rdi_table::{GroupSpec, Table};
-use rdi_tailor::{run_tailoring, DtProblem, Policy, TableSource};
+use rdi_table::{GroupSpec, Table, TableError};
+use rdi_tailor::{DtProblem, Policy, Source};
 
 use crate::audit::{audit, AuditReport};
+use crate::executor::{run_resilient, SourceHealth};
 use crate::requirement::RequirementSpec;
+
+/// Why a pipeline run failed outright.
+///
+/// Source failures never produce a `PipelineError` — those are retried,
+/// quarantined, and reported as degradation. Errors are reserved for
+/// structural problems: an invalid problem, mismatched schemas, a
+/// missing imputation column.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A structural table/problem error from an underlying stage.
+    Table(TableError),
+}
+
+impl From<TableError> for PipelineError {
+    fn from(e: TableError) -> Self {
+        PipelineError::Table(e)
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Table(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Table(e) => Some(e),
+        }
+    }
+}
 
 /// Pipeline configuration.
 pub struct Pipeline {
@@ -42,8 +87,16 @@ pub struct PipelineResult {
     /// Step-by-step typed provenance log (render with
     /// [`ProvenanceEvent::render`] or [`PipelineResult::provenance_lines`]).
     pub provenance: Vec<ProvenanceEvent>,
-    /// Total tailoring cost paid.
+    /// Total tailoring cost paid (per attempt — retries are paid for).
     pub total_cost: f64,
+    /// True when the run shipped partial data because sources failed or
+    /// were quarantined (see the `Degraded` provenance event for what
+    /// is missing).
+    pub degraded: bool,
+    /// Names of sources quarantined by their circuit breakers.
+    pub quarantined: Vec<String>,
+    /// Per-source fault/retry/quarantine accounting, in source order.
+    pub health: Vec<SourceHealth>,
 }
 
 impl PipelineResult {
@@ -58,13 +111,31 @@ impl PipelineResult {
 
 impl Pipeline {
     /// Run the pipeline against `sources` using `policy` for source
-    /// selection.
-    pub fn run<R: Rng>(
+    /// selection, with default [`ResilienceConfig`].
+    pub fn run<S: Source, R: Rng>(
         &self,
-        sources: &mut [TableSource],
+        sources: &mut [S],
         policy: &mut dyn Policy,
         rng: &mut R,
-    ) -> rdi_table::Result<PipelineResult> {
+    ) -> Result<PipelineResult, PipelineError> {
+        self.run_with(sources, policy, rng, &ResilienceConfig::default())
+    }
+
+    /// Run the pipeline with explicit resilience parameters.
+    ///
+    /// Source failures are retried, backed off, and quarantined per
+    /// `config`; an `Err` is returned only for structural problems (see
+    /// [`PipelineError`]). A run whose requirements go unmet because of
+    /// source failures still returns `Ok` — with
+    /// [`PipelineResult::degraded`] set and a `Degraded` provenance
+    /// event naming the quarantined sources and missing rows.
+    pub fn run_with<S: Source, R: Rng>(
+        &self,
+        sources: &mut [S],
+        policy: &mut dyn Policy,
+        rng: &mut R,
+        config: &ResilienceConfig,
+    ) -> Result<PipelineResult, PipelineError> {
         let _pipeline_span = rdi_obs::span("pipeline");
         let mut provenance = Vec::new();
         provenance.push(ProvenanceEvent::TailoringStarted {
@@ -74,16 +145,25 @@ impl Pipeline {
         });
         let outcome = {
             let _span = rdi_obs::span("tailor");
-            run_tailoring(sources, &self.problem, policy, rng, self.max_draws)?
+            run_resilient(sources, &self.problem, policy, rng, self.max_draws, config)?
         };
+        let missing = outcome.missing_per_group(&self.problem);
+        let quarantined = outcome.quarantined();
+        provenance.extend(outcome.events.iter().cloned());
         provenance.push(ProvenanceEvent::TailoringFinished {
-            draws: outcome.draws,
-            cost: outcome.total_cost,
-            satisfied: outcome.satisfied,
-            per_group: outcome.per_group.clone(),
+            draws: outcome.tailor.draws,
+            cost: outcome.tailor.total_cost,
+            satisfied: outcome.tailor.satisfied,
+            per_group: outcome.tailor.per_group.clone(),
         });
+        if outcome.degraded {
+            provenance.push(ProvenanceEvent::Degraded {
+                quarantined: quarantined.clone(),
+                missing_per_group: missing.clone(),
+            });
+        }
 
-        let mut data = outcome.collected;
+        let mut data = outcome.tailor.collected;
         for (column, strategy) in &self.imputations {
             let _span = rdi_obs::span("impute");
             let before = data.column(column)?.null_count();
@@ -103,10 +183,34 @@ impl Pipeline {
         };
         provenance.push(ProvenanceEvent::LabelGenerated);
 
-        let report = {
+        let mut report = {
             let _span = rdi_obs::span("audit");
             audit(&data, &self.spec)?
         };
+        // Disclose degradation in the audit itself: every quarantined
+        // or failing source gets a line, and a degraded run names the
+        // rows it could not collect.
+        for h in &outcome.health {
+            if let Some(q) = h.quarantined {
+                report.degradation.push(format!(
+                    "source `{}` quarantined after {} consecutive failures; {} draw(s) abandoned",
+                    h.name, q.consecutive_failures, h.abandoned_draws
+                ));
+            } else if h.failures_total() > 0 {
+                report.degradation.push(format!(
+                    "source `{}` failed {} attempt(s) ({} retried, {} draw(s) abandoned)",
+                    h.name,
+                    h.failures_total(),
+                    h.retries,
+                    h.abandoned_draws
+                ));
+            }
+        }
+        if outcome.degraded {
+            report.degradation.push(format!(
+                "run degraded: rows not collected per group {missing:?}"
+            ));
+        }
         provenance.push(ProvenanceEvent::Audited {
             passed: report.findings.iter().filter(|f| f.passed).count(),
             total: report.findings.len(),
@@ -128,7 +232,10 @@ impl Pipeline {
             label,
             audit: report,
             provenance,
-            total_cost: outcome.total_cost,
+            total_cost: outcome.tailor.total_cost,
+            degraded: outcome.degraded,
+            quarantined,
+            health: outcome.health,
         })
     }
 }
@@ -146,7 +253,7 @@ mod tests {
     use rand::SeedableRng;
     use rdi_datagen::{skewed_sources, PopulationSpec, SourceConfig};
     use rdi_table::{GroupKey, Value};
-    use rdi_tailor::RatioColl;
+    use rdi_tailor::{RatioColl, TableSource};
 
     #[test]
     fn end_to_end_pipeline_produces_balanced_audited_data() {
@@ -235,6 +342,160 @@ mod tests {
             })
         ));
         assert!(matches!(result.provenance.last(), Some(E::Audited { .. })));
+    }
+
+    #[test]
+    fn pipeline_survives_thirty_percent_fault_rate() {
+        use rdi_fault::{FaultSpec, FaultySource};
+        let pop = PopulationSpec::two_group(0.3);
+        let mut rng = StdRng::seed_from_u64(21);
+        let generated = skewed_sources(
+            &pop,
+            &SourceConfig {
+                num_sources: 3,
+                rows_per_source: 3_000,
+                concentration: 1.0,
+                costs: vec![1.0],
+            },
+            &mut rng,
+        );
+        let problem = DtProblem::exact_counts(
+            GroupSpec::new(vec!["group"]),
+            vec![
+                (GroupKey(vec![Value::str("maj")]), 100),
+                (GroupKey(vec![Value::str("min")]), 100),
+            ],
+        );
+        let mut sources: Vec<FaultySource<TableSource>> = generated
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| {
+                FaultySource::new(
+                    TableSource::new(format!("s{i}"), g.table, g.cost, &problem).unwrap(),
+                    FaultSpec::uniform(0.3),
+                    1_000 + i as u64,
+                )
+            })
+            .collect();
+        let mut policy = RatioColl::from_sources(&sources);
+        let pipeline = Pipeline {
+            problem,
+            imputations: vec![],
+            label_config: LabelConfig::default(),
+            spec: RequirementSpec::default().with_note("fault-injected run"),
+            max_draws: 1_000_000,
+        };
+        let result = pipeline.run(&mut sources, &mut policy, &mut rng).unwrap();
+        assert!(!result.degraded, "30% faults should be absorbed by retries");
+        assert!(result.data.num_rows() >= 200);
+        // the audit discloses every failing source even on success
+        assert_eq!(result.audit.degradation.len(), 3);
+        assert!(result.audit.to_markdown().contains("## Degradation"));
+        // fault summaries made it into provenance (between start and finish)
+        use rdi_obs::ProvenanceEvent as E;
+        let n_fault_events = result
+            .provenance
+            .iter()
+            .filter(|e| matches!(e, E::SourceFaults { .. }))
+            .count();
+        assert_eq!(n_fault_events, 3);
+        assert!(matches!(
+            result.provenance.first(),
+            Some(E::TailoringStarted { .. })
+        ));
+        // scope notes still carry the complete provenance log
+        for line in result.provenance_lines() {
+            assert!(result.label.scope_notes.contains(&line));
+        }
+    }
+
+    #[test]
+    fn pipeline_degrades_gracefully_when_a_required_source_dies() {
+        use rdi_fault::{FaultSpec, FaultySource};
+        use rdi_table::{DataType, Field, Role, Schema};
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str).with_role(Role::Sensitive)
+        ]);
+        let make = |val: &str| {
+            let mut t = Table::new(schema.clone());
+            for _ in 0..200 {
+                t.push_row(vec![Value::str(val)]).unwrap();
+            }
+            t
+        };
+        let problem = DtProblem::exact_counts(
+            GroupSpec::new(vec!["g"]),
+            vec![
+                (GroupKey(vec![Value::str("a")]), 30),
+                (GroupKey(vec![Value::str("b")]), 30),
+            ],
+        );
+        // the only holder of group "b" never answers
+        let mut sources = vec![
+            FaultySource::new(
+                TableSource::new("alive-a", make("a"), 1.0, &problem).unwrap(),
+                FaultSpec::none(),
+                1,
+            ),
+            FaultySource::new(
+                TableSource::new("dead-b", make("b"), 1.0, &problem).unwrap(),
+                FaultSpec::dead(),
+                2,
+            ),
+        ];
+        let mut policy = rdi_tailor::RandomPolicy::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pipeline = Pipeline {
+            problem,
+            imputations: vec![],
+            label_config: LabelConfig::default(),
+            spec: RequirementSpec::default().with_note("degradation test"),
+            max_draws: 2_000,
+        };
+        let result = pipeline.run(&mut sources, &mut policy, &mut rng).unwrap();
+        // completes without panic or error, with partial data
+        assert!(result.degraded);
+        assert_eq!(result.quarantined, vec!["dead-b".to_string()]);
+        assert!(result.data.num_rows() >= 30, "group a fully collected");
+        // provenance names the degraded source and the missing rows
+        use rdi_obs::ProvenanceEvent as E;
+        assert!(result
+            .provenance
+            .iter()
+            .any(|e| matches!(e, E::SourceQuarantined { source, .. } if source == "dead-b")));
+        let degraded_event = result
+            .provenance
+            .iter()
+            .find_map(|e| match e {
+                E::Degraded {
+                    quarantined,
+                    missing_per_group,
+                } => Some((quarantined.clone(), missing_per_group.clone())),
+                _ => None,
+            })
+            .expect("Degraded event present");
+        assert_eq!(degraded_event.0, vec!["dead-b".to_string()]);
+        assert_eq!(degraded_event.1[1], 30, "all of group b missing");
+        // ... and so does the audit report
+        assert!(result
+            .audit
+            .degradation
+            .iter()
+            .any(|l| l.contains("dead-b")));
+        assert!(result
+            .audit
+            .degradation
+            .iter()
+            .any(|l| l.contains("rows not collected per group")));
+        // the shipped label discloses the degradation as a scope note
+        assert!(result
+            .label
+            .scope_notes
+            .iter()
+            .any(|n| n.starts_with("DEGRADED:")));
+        // health accounting: the dead source was quarantined with zero successes
+        assert_eq!(result.health[1].successes, 0);
+        assert!(result.health[1].quarantined.is_some());
     }
 
     #[test]

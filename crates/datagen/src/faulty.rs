@@ -1,0 +1,152 @@
+//! Fault-injected federation constructors.
+//!
+//! Robustness experiments (E18) need the same synthetic federation
+//! [`crate::sources::skewed_sources`] builds, but with every source
+//! wrapped in a deterministic [`FaultySource`]. The helpers here do the
+//! wrapping with one fault-RNG stream per source, split from a single
+//! master seed via [`rdi_par::stream_seed`] — so the whole federation's
+//! fault schedule is a pure function of `(spec, master_seed)` and
+//! independent of thread count or source iteration order.
+
+use rand::Rng;
+use rdi_fault::{FaultSpec, FaultySource};
+use rdi_par::stream_seed;
+use rdi_tailor::{DtProblem, TableSource};
+
+use crate::population::PopulationSpec;
+use crate::sources::{skewed_sources, SourceConfig};
+
+/// Wrap pre-built [`TableSource`]s in [`FaultySource`]s, one
+/// [`stream_seed`]-split fault stream per source.
+///
+/// All sources share `spec`; pass [`FaultSpec::none`] for a federation
+/// that is bitwise identical to the unwrapped one.
+pub fn wrap_federation(
+    sources: Vec<TableSource>,
+    spec: FaultSpec,
+    master_seed: u64,
+) -> Vec<FaultySource<TableSource>> {
+    sources
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| FaultySource::new(s, spec, stream_seed(master_seed, i as u64)))
+        .collect()
+}
+
+/// Generate a skewed federation for `problem` and wrap every source in
+/// a [`FaultySource`] injecting per `fault` — the one-call setup for
+/// robustness experiments.
+///
+/// Source `i` is named `s{i}` and gets fault stream
+/// `stream_seed(master_seed, i)`.
+pub fn faulty_skewed_sources<R: Rng + ?Sized>(
+    spec: &PopulationSpec,
+    config: &SourceConfig,
+    problem: &DtProblem,
+    fault: FaultSpec,
+    master_seed: u64,
+    rng: &mut R,
+) -> rdi_table::Result<Vec<FaultySource<TableSource>>> {
+    let generated = skewed_sources(spec, config, rng);
+    let mut wrapped = Vec::with_capacity(generated.len());
+    for (i, g) in generated.into_iter().enumerate() {
+        let base = TableSource::new(format!("s{i}"), g.table, g.cost, problem)?;
+        wrapped.push(FaultySource::new(
+            base,
+            fault,
+            stream_seed(master_seed, i as u64),
+        ));
+    }
+    Ok(wrapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdi_table::{GroupKey, GroupSpec, Value};
+    use rdi_tailor::Source;
+
+    fn problem() -> DtProblem {
+        DtProblem::exact_counts(
+            GroupSpec::new(vec!["group"]),
+            vec![
+                (GroupKey(vec![Value::str("maj")]), 10),
+                (GroupKey(vec![Value::str("min")]), 10),
+            ],
+        )
+    }
+
+    fn federation(fault: FaultSpec, master_seed: u64) -> Vec<FaultySource<TableSource>> {
+        let spec = PopulationSpec::two_group(0.3);
+        let cfg = SourceConfig {
+            num_sources: 3,
+            rows_per_source: 400,
+            concentration: 2.0,
+            costs: vec![1.0],
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        faulty_skewed_sources(&spec, &cfg, &problem(), fault, master_seed, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn builds_named_wrapped_federation() {
+        let feds = federation(FaultSpec::uniform(0.2), 42);
+        assert_eq!(feds.len(), 3);
+        for (i, f) in feds.iter().enumerate() {
+            assert_eq!(Source::name(f), format!("s{i}"));
+        }
+    }
+
+    #[test]
+    fn per_source_fault_streams_differ_but_are_reproducible() {
+        let drain = |feds: &mut Vec<FaultySource<TableSource>>| -> Vec<Vec<bool>> {
+            let mut rng = StdRng::seed_from_u64(1);
+            feds.iter_mut()
+                .map(|f| (0..200).map(|_| f.try_draw(&mut rng).is_ok()).collect())
+                .collect()
+        };
+        let mut a = federation(FaultSpec::uniform(0.4), 42);
+        let mut b = federation(FaultSpec::uniform(0.4), 42);
+        let pa = drain(&mut a);
+        let pb = drain(&mut b);
+        assert_eq!(pa, pb, "same master seed → same schedules");
+        assert_ne!(pa[0], pa[1], "sibling sources get distinct streams");
+        let mut c = federation(FaultSpec::uniform(0.4), 43);
+        assert_ne!(
+            drain(&mut c),
+            pa,
+            "different master seed → different schedules"
+        );
+    }
+
+    #[test]
+    fn rate_zero_federation_matches_bare_sources() {
+        let spec = PopulationSpec::two_group(0.3);
+        let cfg = SourceConfig {
+            num_sources: 2,
+            rows_per_source: 300,
+            concentration: 2.0,
+            costs: vec![1.0],
+        };
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(9);
+        let generated = skewed_sources(&spec, &cfg, &mut rng);
+        let bare: Vec<TableSource> = generated
+            .iter()
+            .enumerate()
+            .map(|(i, g)| TableSource::new(format!("s{i}"), g.table.clone(), g.cost, &p).unwrap())
+            .collect();
+        let mut wrapped = wrap_federation(bare.clone(), FaultSpec::none(), 7);
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        for i in 0..bare.len() {
+            for _ in 0..100 {
+                let a = TableSource::draw(&bare[i], &mut rng_a);
+                let b = wrapped[i].try_draw(&mut rng_b).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod corrupt;
+pub mod faulty;
 pub mod healthcare;
 pub mod lake;
 pub mod missing;
@@ -39,6 +40,7 @@ pub mod rng;
 pub mod sources;
 
 pub use corrupt::{corrupt_numeric, CorruptSpec};
+pub use faulty::{faulty_skewed_sources, wrap_federation};
 pub use healthcare::{healthcare_population, healthcare_sources, HealthcareConfig};
 pub use lake::{LakeConfig, SyntheticLake};
 pub use missing::{inject_missing, Mechanism, MissingSpec};

@@ -223,12 +223,11 @@ pub fn table_association(table: &Table, a: &str, b: &str) -> rdi_table::Result<f
     }
 
     // Mixed: discretize the numeric side, keep categories on the other.
-    let (num_col, cat_col, num_dt) = if numeric(fa.dtype) {
-        (ca, cb, fa.dtype)
+    let (num_col, cat_col) = if numeric(fa.dtype) {
+        (ca, cb)
     } else {
-        (cb, ca, fb.dtype)
+        (cb, ca)
     };
-    let _ = num_dt;
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for i in 0..table.num_rows() {

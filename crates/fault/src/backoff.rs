@@ -1,0 +1,84 @@
+//! Capped exponential retry backoff in virtual ticks.
+
+/// Deterministic capped exponential backoff.
+///
+/// `delay(attempt)` for attempt numbers 1, 2, 3, … is
+/// `min(cap_ticks, base_ticks · 2^(attempt-1))`, saturating rather than
+/// overflowing. Delays are **virtual ticks** charged to a
+/// [`crate::TickClock`] — no jitter and no wall sleeping, so the retry
+/// schedule is a pure function of the attempt number and identical on
+/// every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base_ticks: u64,
+    /// Upper bound on any single delay.
+    pub cap_ticks: u64,
+}
+
+impl Backoff {
+    /// A backoff schedule with the given base and cap.
+    pub fn new(base_ticks: u64, cap_ticks: u64) -> Self {
+        Backoff {
+            base_ticks,
+            cap_ticks,
+        }
+    }
+
+    /// Ticks to wait after failed attempt number `attempt` (1-based).
+    ///
+    /// `attempt == 0` is treated as "before any attempt" and waits
+    /// nothing.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        if attempt == 0 || self.base_ticks == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_ticks
+            .checked_shl(attempt - 1)
+            .unwrap_or(u64::MAX)
+            .max(self.base_ticks); // shl past the top saturates, never zeroes
+        exp.min(self.cap_ticks)
+    }
+}
+
+impl Default for Backoff {
+    /// 1, 2, 4, … capped at 64 ticks.
+    fn default() -> Self {
+        Backoff::new(1, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let b = Backoff::new(1, 64);
+        let delays: Vec<u64> = (1..=9).map(|a| b.delay(a)).collect();
+        assert_eq!(delays, vec![1, 2, 4, 8, 16, 32, 64, 64, 64]);
+    }
+
+    #[test]
+    fn attempt_zero_and_zero_base_wait_nothing() {
+        assert_eq!(Backoff::new(1, 64).delay(0), 0);
+        assert_eq!(Backoff::new(0, 64).delay(5), 0);
+    }
+
+    #[test]
+    fn huge_attempt_saturates_at_cap() {
+        let b = Backoff::new(3, 1_000);
+        assert_eq!(b.delay(200), 1_000);
+        assert_eq!(b.delay(63), 1_000);
+        assert_eq!(b.delay(64), 1_000);
+        assert_eq!(b.delay(65), 1_000);
+    }
+
+    #[test]
+    fn cap_below_base_clamps() {
+        let b = Backoff::new(10, 4);
+        assert_eq!(b.delay(1), 4);
+        assert_eq!(b.delay(2), 4);
+    }
+}

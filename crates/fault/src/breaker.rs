@@ -1,0 +1,121 @@
+//! Per-source circuit breaker.
+
+/// Whether a breaker still admits requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// The source is quarantined for the rest of the run.
+    Open,
+}
+
+/// Quarantine a source after K *consecutive* failures.
+///
+/// The breaker is deliberately simpler than a production half-open
+/// breaker: once open it stays open for the rest of the run, because a
+/// bounded experiment has no "later" in which the source might recover,
+/// and a permanent verdict keeps run results a pure function of the
+/// seed. A success while closed resets the consecutive-failure count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: u32,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures. `threshold` must be at least 1.
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold >= 1, "breaker threshold must be >= 1");
+        CircuitBreaker {
+            threshold,
+            consecutive: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// The configured consecutive-failure threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Current consecutive-failure count.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// True once the breaker has opened.
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// Record one failed attempt. Returns `true` exactly when this
+    /// failure *newly* tripped the breaker (so callers can emit a single
+    /// quarantine event).
+    pub fn record_failure(&mut self) -> bool {
+        if self.is_open() {
+            return false;
+        }
+        self.consecutive += 1;
+        if self.consecutive >= self.threshold {
+            self.state = BreakerState::Open;
+            return true;
+        }
+        false
+    }
+
+    /// Record one successful attempt (resets the consecutive count; a
+    /// no-op once open).
+    pub fn record_success(&mut self) {
+        if !self.is_open() {
+            self.consecutive = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_on_kth_consecutive_failure() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(!b.is_open());
+        assert!(b.record_failure(), "third failure newly trips");
+        assert!(b.is_open());
+        assert!(!b.record_failure(), "already open: not newly tripped");
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut b = CircuitBreaker::new(2);
+        assert!(!b.record_failure());
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(!b.record_failure());
+        assert!(b.record_failure());
+    }
+
+    #[test]
+    fn open_is_permanent() {
+        let mut b = CircuitBreaker::new(1);
+        assert!(b.record_failure());
+        b.record_success();
+        assert!(b.is_open(), "success after opening must not close it");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be >= 1")]
+    fn zero_threshold_rejected() {
+        CircuitBreaker::new(0);
+    }
+}

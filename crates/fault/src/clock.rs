@@ -1,0 +1,55 @@
+//! Virtual time for resilience accounting.
+
+/// A monotone counter of virtual *ticks*.
+///
+/// Retry backoff must never sleep wall-clock time: it would make runs
+/// slow, flaky, and non-reproducible. Instead the resilient executor
+/// charges every backoff delay to a `TickClock` and reports the total
+/// as a metric. One tick is "one backoff quantum"; it has no wall-time
+/// unit. This mirrors the `RDI_FAKE_CLOCK` discipline `rdi-obs` uses
+/// for span timing: time is modelled, not measured, so snapshots are
+/// byte-reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickClock {
+    now: u64,
+}
+
+impl TickClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        TickClock::default()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advance by `ticks` (saturating; the clock never wraps backwards).
+    pub fn advance(&mut self, ticks: u64) {
+        self.now = self.now.saturating_add(ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = TickClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(3);
+        c.advance(0);
+        c.advance(5);
+        assert_eq!(c.now(), 8);
+    }
+
+    #[test]
+    fn advance_saturates() {
+        let mut c = TickClock::new();
+        c.advance(u64::MAX);
+        c.advance(10);
+        assert_eq!(c.now(), u64::MAX);
+    }
+}

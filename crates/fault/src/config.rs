@@ -1,0 +1,65 @@
+//! Retry/backoff/breaker parameter bundle.
+
+use crate::backoff::Backoff;
+
+/// The knobs of `rdi-core`'s resilient executor.
+///
+/// Defaults are deliberately small (a bounded experiment, not a
+/// long-lived service): up to 4 attempts per logical draw with 1→64
+/// tick backoff, and quarantine after 5 consecutive failed attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Maximum attempts per logical draw (first try + retries). Must be
+    /// at least 1.
+    pub max_attempts: u32,
+    /// Backoff schedule between attempts.
+    pub backoff: Backoff,
+    /// Consecutive failed *attempts* after which a source is
+    /// quarantined for the rest of the run.
+    pub breaker_threshold: u32,
+}
+
+impl ResilienceConfig {
+    /// Validate the configuration (panics on nonsense values).
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "max_attempts must be >= 1");
+        assert!(
+            self.breaker_threshold >= 1,
+            "breaker_threshold must be >= 1"
+        );
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_attempts: 4,
+            backoff: Backoff::default(),
+            breaker_threshold: 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = ResilienceConfig::default();
+        c.validate();
+        assert_eq!(c.max_attempts, 4);
+        assert_eq!(c.backoff, Backoff::new(1, 64));
+        assert_eq!(c.breaker_threshold, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempts_rejected() {
+        ResilienceConfig {
+            max_attempts: 0,
+            ..ResilienceConfig::default()
+        }
+        .validate();
+    }
+}

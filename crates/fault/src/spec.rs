@@ -1,0 +1,229 @@
+//! Per-mode fault-injection rates.
+
+use rand::{Rng, RngCore};
+use rdi_tailor::SourceError;
+
+/// Injection rates for each failure mode, each a per-draw probability.
+///
+/// The four rates must be finite, non-negative, and sum to at most 1.0
+/// (validated by the constructors and [`FaultSpec::validate`]). A spec
+/// with [`FaultSpec::total`] of 0.0 injects nothing and is guaranteed
+/// not to consume any randomness, which is what makes a rate-0.0
+/// [`crate::FaultySource`] bitwise identical to the bare source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// P(draw fails with [`SourceError::Unavailable`]).
+    pub unavailable: f64,
+    /// P(draw fails with [`SourceError::Corrupt`]).
+    pub corrupt: f64,
+    /// P(draw fails with [`SourceError::Truncated`]).
+    pub truncated: f64,
+    /// P(draw fails with [`SourceError::Timeout`]).
+    pub timeout: f64,
+}
+
+impl FaultSpec {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultSpec {
+            unavailable: 0.0,
+            corrupt: 0.0,
+            truncated: 0.0,
+            timeout: 0.0,
+        }
+    }
+
+    /// A total per-draw failure rate split evenly across the four modes.
+    pub fn uniform(total: f64) -> Self {
+        let spec = FaultSpec {
+            unavailable: total / 4.0,
+            corrupt: total / 4.0,
+            truncated: total / 4.0,
+            timeout: total / 4.0,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// A source that fails every draw with [`SourceError::Unavailable`]
+    /// — the "host is down" scenario.
+    pub fn dead() -> Self {
+        FaultSpec {
+            unavailable: 1.0,
+            corrupt: 0.0,
+            truncated: 0.0,
+            timeout: 0.0,
+        }
+    }
+
+    /// Builder: set the [`SourceError::Unavailable`] rate.
+    pub fn with_unavailable(mut self, rate: f64) -> Self {
+        self.unavailable = rate;
+        self.validate();
+        self
+    }
+
+    /// Builder: set the [`SourceError::Corrupt`] rate.
+    pub fn with_corrupt(mut self, rate: f64) -> Self {
+        self.corrupt = rate;
+        self.validate();
+        self
+    }
+
+    /// Builder: set the [`SourceError::Truncated`] rate.
+    pub fn with_truncated(mut self, rate: f64) -> Self {
+        self.truncated = rate;
+        self.validate();
+        self
+    }
+
+    /// Builder: set the [`SourceError::Timeout`] rate.
+    pub fn with_timeout(mut self, rate: f64) -> Self {
+        self.timeout = rate;
+        self.validate();
+        self
+    }
+
+    /// The rates in [`SourceError::ALL`] order.
+    pub fn rates(&self) -> [f64; 4] {
+        [self.unavailable, self.corrupt, self.truncated, self.timeout]
+    }
+
+    /// Total per-draw failure probability.
+    pub fn total(&self) -> f64 {
+        self.rates().iter().sum()
+    }
+
+    /// Assert the spec is a valid sub-probability vector.
+    ///
+    /// Phrased via negation so NaN rates are rejected too.
+    pub fn validate(&self) {
+        for (e, r) in SourceError::ALL.iter().zip(self.rates()) {
+            assert!(
+                r >= 0.0 && r.is_finite(),
+                "fault rate for {} must be finite and non-negative, got {r}",
+                e.kind()
+            );
+        }
+        assert!(
+            self.total() <= 1.0 + 1e-12,
+            "fault rates must sum to at most 1.0, got {}",
+            self.total()
+        );
+    }
+
+    /// Sample the fault outcome of one draw from `rng`: `Some(error)`
+    /// when a fault fires, `None` for a clean draw.
+    ///
+    /// Consumes **no randomness** when [`FaultSpec::total`] is 0.0;
+    /// otherwise exactly one `f64` draw. Mode boundaries are cumulative
+    /// in [`SourceError::ALL`] order, so the schedule is a pure function
+    /// of the RNG stream.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SourceError> {
+        if self.total() <= 0.0 {
+            return None;
+        }
+        let u: f64 = rng.gen();
+        let mut edge = 0.0;
+        for (e, r) in SourceError::ALL.iter().zip(self.rates()) {
+            edge += r;
+            if u < edge {
+                return Some(*e);
+            }
+        }
+        None
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+// `sample` is also callable through a dyn RngCore (object-safe users).
+impl FaultSpec {
+    /// [`FaultSpec::sample`] monomorphized for trait-object RNGs.
+    pub fn sample_dyn(&self, rng: &mut dyn RngCore) -> Option<SourceError> {
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let s = FaultSpec::uniform(0.4);
+        assert_eq!(s.rates(), [0.1, 0.1, 0.1, 0.1]);
+        assert!((s.total() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_randomness() {
+        let s = FaultSpec::none();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), None);
+        }
+        // a's stream was never advanced
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn dead_source_always_unavailable() {
+        let s = FaultSpec::dead();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng), Some(SourceError::Unavailable));
+        }
+    }
+
+    #[test]
+    fn rates_hit_every_mode_at_expected_frequency() {
+        let s = FaultSpec::uniform(0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 4];
+        let mut clean = 0usize;
+        let n = 40_000;
+        for _ in 0..n {
+            match s.sample(&mut rng) {
+                Some(e) => counts[e.index()] += 1,
+                None => clean += 1,
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let frac = *c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.02, "mode {i}: {frac}");
+        }
+        let clean_frac = clean as f64 / n as f64;
+        assert!((clean_frac - 0.2).abs() < 0.02, "clean: {clean_frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most")]
+    fn overfull_spec_rejected() {
+        FaultSpec::uniform(0.9).with_timeout(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_rejected() {
+        FaultSpec::none().with_corrupt(-0.1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_schedules() {
+        let s = FaultSpec::uniform(0.5);
+        let seq = |seed: u64| -> Vec<Option<SourceError>> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..500).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(seq(11), seq(11));
+        assert_ne!(seq(11), seq(12), "different seeds should differ");
+    }
+}

@@ -11,7 +11,7 @@ pub fn histogram(xs: &[u64]) -> Vec<(u64, usize)> {
         *counts.entry(x).or_insert(0) += 1;
     }
     let started = Instant::now(); // planted R3
-    let _ = started;
+    let _ = started; // planted R8
     let mut v: Vec<(u64, usize)> = counts.into_iter().collect();
     v.sort();
     v
@@ -24,6 +24,11 @@ pub fn first(xs: &[u64]) -> u64 {
 pub fn suppressed_first(xs: &[u64]) -> u64 {
     // rdi-lint: allow(R5): fixture demonstrating a well-formed suppression
     *xs.first().unwrap()
+}
+
+pub fn deliberate_discard(r: Result<u64, u64>) {
+    // rdi-lint: allow(R8): fixture demonstrating an audited discard
+    let _ = r;
 }
 
 pub fn innocuous() {

@@ -28,6 +28,16 @@ pub fn missing_reason(x: Option<u64>) -> u64 {
     x.unwrap()
 }
 
+pub fn fire_and_forget(r: Result<u64, u64>) {
+    r.ok(); // planted R8
+}
+
+pub fn bound_ok_is_fine(s: &str) -> Option<u64> {
+    // a bound `.ok()` consumes the value — not an R8 discard
+    let parsed: Option<u64> = s.parse().ok();
+    parsed
+}
+
 // HashMap in a non-algorithm crate is allowed (R1 is scoped):
 pub fn lookup_table() -> std::collections::HashMap<u64, u64> {
     std::collections::HashMap::new()

@@ -19,6 +19,7 @@
 //! | R5 | `panic-site` | library code | no `.unwrap()`/`.expect()`/`panic!`; tests, benches, examples and binaries exempt |
 //! | R6 | `metrics-snapshot` | `crates/bench/src/bin/exp_*.rs` | every experiment must emit a `METRICS_SNAPSHOT` line |
 //! | R7 | `bad-suppression` | all scanned files | every `rdi-lint:` directive must parse and carry a reason |
+//! | R8 | `discarded-result` | library code | no `let _ = ...` / statement-position `.ok();`: handle or propagate fallible outcomes |
 //!
 //! Algorithm crates: `coverage`, `discovery`, `joinsample`, `tailor`,
 //! `fairness`, `cleaning`. Vendored `crates/compat-*` shims mirror
@@ -110,7 +111,7 @@ pub fn analyze_tree(root: &Path) -> io::Result<Report> {
 /// One rule violation at a file/line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`R1`…`R7`).
+    /// Rule id (`R1`…`R8`).
     pub rule: &'static str,
     /// Short rule name (`hash-collection`, …).
     pub name: &'static str,

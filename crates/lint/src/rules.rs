@@ -50,6 +50,13 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "bad-suppression",
         "every rdi-lint directive must parse and carry a non-empty reason",
     ),
+    (
+        "R8",
+        "discarded-result",
+        "no `let _ = ...` or statement-position `.ok();` in non-test \
+         library code: handle or propagate fallible outcomes; a deliberate \
+         discard carries an audited suppression",
+    ),
 ];
 
 /// Crates whose kernels carry the bitwise thread-invariance guarantee;
@@ -201,6 +208,30 @@ pub fn analyze_source(rel: &str, src: &str) -> FileReport {
                         ),
                     );
                 }
+                "let" if !ctx.is_bin && is_wildcard_discard(&code, i) => {
+                    finding(
+                        &mut raw,
+                        "R8",
+                        rel,
+                        tok.line,
+                        String::from(
+                            "`let _ = ...` in library code silently drops a value — and with \
+                         it any Err; handle or propagate it, or suppress with a reason",
+                        ),
+                    );
+                }
+                "ok" if !ctx.is_bin && is_statement_discard(&code, i) => {
+                    finding(
+                        &mut raw,
+                        "R8",
+                        rel,
+                        tok.line,
+                        String::from(
+                            "statement-position `.ok();` swallows the error branch; handle \
+                         or propagate it, or suppress with a reason",
+                        ),
+                    );
+                }
                 "panic" if !ctx.is_bin && is_macro_bang(&code, i) => {
                     finding(
                         &mut raw,
@@ -280,6 +311,34 @@ fn is_path_call(code: &[&Token], i: usize, prefix: &str) -> bool {
         && code[i - 2].text == ":"
         && code[i - 3].text == prefix
         && code.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Is `code[i]` the `let` of a `let _ = ...` wildcard discard?
+fn is_wildcard_discard(code: &[&Token], i: usize) -> bool {
+    code.get(i + 1).is_some_and(|t| t.text == "_") && code.get(i + 2).is_some_and(|t| t.text == "=")
+}
+
+/// Is `code[i]` the `ok` of a statement-position `.ok();` discard — a
+/// `recv.ok();` statement whose value feeds nothing? A `let`, `=`, or
+/// `return` between the statement start and the call means the value is
+/// consumed, so `let x = e.parse().ok();` never fires.
+fn is_statement_discard(code: &[&Token], i: usize) -> bool {
+    if !(is_method_call(code, i)
+        && code.get(i + 2).is_some_and(|t| t.text == ")")
+        && code.get(i + 3).is_some_and(|t| t.text == ";"))
+    {
+        return false;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match code[j].text.as_str() {
+            ";" | "{" | "}" => break,
+            "=" | "let" | "return" => return false,
+            _ => {}
+        }
+    }
+    true
 }
 
 /// Is `code[i]` a macro invocation name (`name!`)?

@@ -11,16 +11,16 @@ fn fixture_root() -> &'static Path {
 }
 
 #[test]
-fn fixture_tree_reports_all_seven_rules() {
+fn fixture_tree_reports_all_eight_rules() {
     let report = analyze_tree(fixture_root()).expect("fixture tree scans");
     let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
     assert_eq!(
         rules,
-        BTreeSet::from(["R1", "R2", "R3", "R4", "R5", "R6", "R7"]),
+        BTreeSet::from(["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]),
         "expected every rule to fire on the planted tree; findings: {:#?}",
         report.findings
     );
-    // ≥ 6 distinct rule ids is the acceptance floor; we plant all 7.
+    // ≥ 6 distinct rule ids is the acceptance floor; we plant all 8.
     assert!(rules.len() >= 6);
 }
 
@@ -39,8 +39,10 @@ fn fixture_tree_counts_and_suppressions() {
     assert_eq!(count("R5"), 4);
     assert_eq!(count("R6"), 1);
     assert_eq!(count("R7"), 1);
-    // the one valid allow(R5) in planted.rs
-    assert_eq!(report.suppressed, 1);
+    // planted.rs `let _ = started;` + mylib statement-position `.ok();`
+    assert_eq!(count("R8"), 2);
+    // the valid allow(R5) and allow(R8) in planted.rs
+    assert_eq!(report.suppressed, 2);
     // exp_ok.rs and the fixture integration test contribute no findings
     assert!(report.files_scanned >= 5);
 }
@@ -80,7 +82,7 @@ fn hash_collections_flagged_only_in_algorithm_crates() {
 
 #[test]
 fn wall_clock_exempt_in_obs_and_bench() {
-    let src = "use std::time::Instant;\nfn t() { let _ = Instant::now(); }\n";
+    let src = "use std::time::Instant;\nfn t() { let _t = Instant::now(); }\n";
     assert!(analyze_source("crates/obs/src/span.rs", src)
         .findings
         .is_empty());
@@ -233,6 +235,57 @@ fn entropy_rng_flagged_everywhere_including_bins() {
             "{path} should flag R4"
         );
     }
+}
+
+#[test]
+fn discarded_results_flagged_in_library_code() {
+    for bad in [
+        "fn f(r: Result<u64, u64>) { let _ = r; }\n",
+        "fn f(s: &str) { s.parse::<u64>().ok(); }\n",
+        "fn f(r: Result<(), u8>) { r.map(|v| v).ok(); }\n",
+    ] {
+        let r = analyze_source("crates/table/src/lib.rs", bad);
+        assert_eq!(r.findings.len(), 1, "{bad:?} → {:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "R8");
+    }
+}
+
+#[test]
+fn consumed_ok_and_named_bindings_are_not_discards() {
+    for ok in [
+        // the value feeds a binding, assignment, or return — consumed
+        "fn f(s: &str) -> Option<u64> { let v = s.parse().ok(); v }\n",
+        "fn f(s: &str, out: &mut Option<u64>) { *out = s.parse().ok(); }\n",
+        "fn f(s: &str) -> Option<u64> { return s.parse().ok(); }\n",
+        // `.ok()` mid-expression is not statement position
+        "fn f(s: &str) -> u64 { s.parse().ok().unwrap_or(0) }\n",
+        // a named binding is not a wildcard discard
+        "fn f(r: Result<u64, u64>) { let _r = r; }\n",
+    ] {
+        let r = analyze_source("crates/obs/src/lib.rs", ok);
+        assert!(
+            !r.findings.iter().any(|f| f.rule == "R8"),
+            "{ok:?} → {:?}",
+            r.findings
+        );
+    }
+}
+
+#[test]
+fn discards_exempt_in_bins_tests_and_suppressible() {
+    let src = "fn f(r: Result<u64, u64>) { let _ = r; }\n";
+    for exempt in [
+        "crates/bench/src/bin/tool.rs",
+        "crates/table/tests/t.rs",
+        "src/main.rs",
+    ] {
+        assert!(analyze_source(exempt, src).findings.is_empty(), "{exempt}");
+    }
+    let suppressed =
+        "fn f(r: Result<u64, u64>) { let _ = r; } // rdi-lint: allow(R8): fire-and-forget probe\n";
+    let r = analyze_source("crates/table/src/lib.rs", suppressed);
+    assert!(r.findings.is_empty());
+    assert_eq!(r.suppressed, 1);
 }
 
 #[test]

@@ -52,6 +52,36 @@ pub enum ProvenanceEvent {
         /// Requirements audited.
         total: usize,
     },
+    /// A source produced failures that the resilient executor retried
+    /// or absorbed (one summary event per affected source, emitted
+    /// after tailoring finishes).
+    SourceFaults {
+        /// Source name.
+        source: String,
+        /// Failed attempts per failure mode, as `(kind, count)` pairs
+        /// in stable taxonomy order; zero-count modes omitted.
+        by_kind: Vec<(String, u64)>,
+        /// Retries spent on this source (attempts beyond each first).
+        retries: u64,
+    },
+    /// A source was quarantined by its circuit breaker and receives no
+    /// further requests this run.
+    SourceQuarantined {
+        /// Source name.
+        source: String,
+        /// Consecutive failed attempts that tripped the breaker.
+        consecutive_failures: u32,
+        /// Virtual tick at which the breaker opened.
+        at_tick: u64,
+    },
+    /// The run completed with partial data: some requirements could not
+    /// be met because sources failed or were quarantined.
+    Degraded {
+        /// Names of quarantined sources.
+        quarantined: Vec<String>,
+        /// Rows still missing per group (group index order).
+        missing_per_group: Vec<usize>,
+    },
     /// Free-form annotation (escape hatch for custom stages).
     Note {
         /// The annotation text; rendered verbatim.
@@ -87,6 +117,31 @@ impl ProvenanceEvent {
             ProvenanceEvent::Audited { passed, total } => {
                 format!("audit: {passed}/{total} requirements passed")
             }
+            ProvenanceEvent::SourceFaults {
+                source,
+                by_kind,
+                retries,
+            } => {
+                let kinds = by_kind
+                    .iter()
+                    .map(|(k, n)| format!("{k}×{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("source `{source}` faults: {kinds}; {retries} retries")
+            }
+            ProvenanceEvent::SourceQuarantined {
+                source,
+                consecutive_failures,
+                at_tick,
+            } => format!(
+                "source `{source}` quarantined after {consecutive_failures} consecutive failures (tick {at_tick})"
+            ),
+            ProvenanceEvent::Degraded {
+                quarantined,
+                missing_per_group,
+            } => format!(
+                "DEGRADED: quarantined sources {quarantined:?}; rows not collected per group {missing_per_group:?}"
+            ),
             ProvenanceEvent::Note { text } => text.clone(),
         }
     }
@@ -179,6 +234,58 @@ mod tests {
                 "audit: 3/4 requirements passed",
             ]
         );
+    }
+
+    #[test]
+    fn resilience_events_render() {
+        let faults = ProvenanceEvent::SourceFaults {
+            source: "s1".into(),
+            by_kind: vec![("unavailable".into(), 3), ("timeout".into(), 1)],
+            retries: 4,
+        };
+        assert_eq!(
+            faults.render(),
+            "source `s1` faults: unavailable×3, timeout×1; 4 retries"
+        );
+        let quarantined = ProvenanceEvent::SourceQuarantined {
+            source: "s1".into(),
+            consecutive_failures: 5,
+            at_tick: 17,
+        };
+        assert_eq!(
+            quarantined.render(),
+            "source `s1` quarantined after 5 consecutive failures (tick 17)"
+        );
+        let degraded = ProvenanceEvent::Degraded {
+            quarantined: vec!["s1".into()],
+            missing_per_group: vec![0, 12],
+        };
+        assert_eq!(
+            degraded.render(),
+            "DEGRADED: quarantined sources [\"s1\"]; rows not collected per group [0, 12]"
+        );
+    }
+
+    #[test]
+    fn resilience_events_round_trip_through_json() {
+        let mut log = ProvenanceLog::new();
+        log.push(ProvenanceEvent::SourceFaults {
+            source: "s0".into(),
+            by_kind: vec![("corrupt".into(), 2)],
+            retries: 2,
+        });
+        log.push(ProvenanceEvent::SourceQuarantined {
+            source: "s0".into(),
+            consecutive_failures: 5,
+            at_tick: 31,
+        });
+        log.push(ProvenanceEvent::Degraded {
+            quarantined: vec!["s0".into()],
+            missing_per_group: vec![7],
+        });
+        let text = serde_json::to_string(&log).unwrap();
+        let back: ProvenanceLog = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, log);
     }
 
     #[test]

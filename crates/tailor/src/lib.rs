@@ -13,9 +13,12 @@
 //!   (exact minimums plus §5 count *ranges*);
 //! * [`marginal`] — the §5 per-attribute **marginal** requirement
 //!   extension, where one tuple credits several requirements at once;
-//! * [`source`] — cost-annotated sources that yield random tuples
-//!   ([`source::TableSource`] samples a backing table with replacement,
-//!   matching the paper's "query an API, get a random record" model);
+//! * [`source`] — cost-annotated sources that yield random tuples:
+//!   the fallible [`source::Source`] trait (`try_draw` with a typed
+//!   [`source::SourceError`] failure taxonomy, plus the legacy
+//!   infallible `draw` shim) and [`source::TableSource`], which samples
+//!   a backing table with replacement, matching the paper's "query an
+//!   API, get a random record" model and never fails;
 //! * [`policy`] — source-selection policies: the known-distribution
 //!   [`policy::RatioColl`] heuristic and exact [`policy::OracleDp`]
 //!   dynamic program, the unknown-distribution [`policy::UcbColl`]
@@ -73,12 +76,12 @@ pub mod prelude {
     };
     pub use crate::problem::{CountRequirement, DtProblem};
     pub use crate::runner::{run_tailoring, run_tailoring_dedup, TailorOutcome};
-    pub use crate::source::TableSource;
+    pub use crate::source::{Draw, Source, SourceError, TableSource};
     pub use rdi_table::{GroupKey, GroupSpec};
 }
 
 pub use marginal::{run_marginal_tailoring, MarginalOutcome, MarginalProblem, MarginalSource};
 pub use policy::{EpsilonGreedy, OracleDp, Policy, RandomPolicy, RatioColl, RoundRobin, UcbColl};
 pub use problem::{CountRequirement, DtProblem};
-pub use runner::{run_tailoring, run_tailoring_dedup, TailorOutcome};
-pub use source::TableSource;
+pub use runner::{record_outcome, run_tailoring, run_tailoring_dedup, TailorOutcome};
+pub use source::{Draw, Source, SourceError, TableSource};

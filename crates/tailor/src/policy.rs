@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use rand::RngCore;
 
-use crate::source::TableSource;
+use crate::source::Source;
 
 /// A source-selection policy.
 pub trait Policy {
@@ -109,10 +109,10 @@ impl RatioColl {
         RatioColl { costs, freqs }
     }
 
-    /// Build by reading the true frequencies off table sources.
-    pub fn from_sources(sources: &[TableSource]) -> Self {
+    /// Build by reading the true frequencies off the sources.
+    pub fn from_sources<S: Source>(sources: &[S]) -> Self {
         RatioColl::new(
-            sources.iter().map(TableSource::cost).collect(),
+            sources.iter().map(Source::cost).collect(),
             sources.iter().map(|s| s.frequencies().to_vec()).collect(),
         )
     }
@@ -188,10 +188,10 @@ impl OracleDp {
         }
     }
 
-    /// Build by reading the true frequencies off table sources.
-    pub fn from_sources(sources: &[TableSource]) -> Self {
+    /// Build by reading the true frequencies off the sources.
+    pub fn from_sources<S: Source>(sources: &[S]) -> Self {
         OracleDp::new(
-            sources.iter().map(TableSource::cost).collect(),
+            sources.iter().map(Source::cost).collect(),
             sources.iter().map(|s| s.frequencies().to_vec()).collect(),
         )
     }
@@ -288,9 +288,9 @@ impl UcbColl {
     }
 
     /// Build from sources, reading only their *costs* (not frequencies).
-    pub fn from_sources(sources: &[TableSource], num_groups: usize, exploration: f64) -> Self {
+    pub fn from_sources<S: Source>(sources: &[S], num_groups: usize, exploration: f64) -> Self {
         UcbColl::new(
-            sources.iter().map(TableSource::cost).collect(),
+            sources.iter().map(Source::cost).collect(),
             num_groups,
             exploration,
         )
@@ -372,9 +372,9 @@ impl EpsilonGreedy {
     }
 
     /// Build from sources, reading only their costs.
-    pub fn from_sources(sources: &[TableSource], num_groups: usize, epsilon: f64) -> Self {
+    pub fn from_sources<S: Source>(sources: &[S], num_groups: usize, epsilon: f64) -> Self {
         EpsilonGreedy::new(
-            sources.iter().map(TableSource::cost).collect(),
+            sources.iter().map(Source::cost).collect(),
             num_groups,
             epsilon,
         )

@@ -5,7 +5,7 @@ use rdi_table::{Table, TableError};
 
 use crate::policy::Policy;
 use crate::problem::DtProblem;
-use crate::source::TableSource;
+use crate::source::Source;
 
 /// Result of a tailoring run.
 #[derive(Debug, Clone)]
@@ -34,8 +34,8 @@ pub struct TailorOutcome {
 ///
 /// All sources must share one schema (the integration step proper —
 /// schema matching — is handled upstream by `rdi-discovery`).
-pub fn run_tailoring<R: Rng>(
-    sources: &mut [TableSource],
+pub fn run_tailoring<S: Source, R: Rng>(
+    sources: &mut [S],
     problem: &DtProblem,
     policy: &mut dyn Policy,
     rng: &mut R,
@@ -105,8 +105,9 @@ pub fn run_tailoring<R: Rng>(
 
 /// Publish a finished run's tallies onto the global [`rdi_obs`]
 /// registry: total draws, per-group collected progress, and the run's
-/// cost (gauge; last run wins).
-fn record_outcome(per_group: &[usize], draws: usize, total_cost: f64) {
+/// cost (gauge; last run wins). Public so `rdi-core`'s resilient
+/// executor reports the identical counters for its runs.
+pub fn record_outcome(per_group: &[usize], draws: usize, total_cost: f64) {
     rdi_obs::counter("tailor.runs").inc();
     rdi_obs::counter("tailor.draws").add(draws as u64);
     rdi_obs::counter("tailor.kept").add(per_group.iter().sum::<usize>() as u64);
@@ -124,8 +125,8 @@ fn record_outcome(per_group: &[usize], draws: usize, total_cost: f64) {
 /// record another source already supplied wastes its cost, exactly the
 /// effect overlap-aware source selection must reason about. Returns the
 /// outcome plus the number of duplicate draws paid for.
-pub fn run_tailoring_dedup<R: Rng>(
-    sources: &mut [TableSource],
+pub fn run_tailoring_dedup<S: Source, R: Rng>(
+    sources: &mut [S],
     problem: &DtProblem,
     policy: &mut dyn Policy,
     id_column: &str,
@@ -212,6 +213,7 @@ mod tests {
     use super::*;
     use crate::policy::{RandomPolicy, RatioColl};
     use crate::problem::CountRequirement;
+    use crate::source::TableSource;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Value};

@@ -1,9 +1,135 @@
 //! Cost-annotated data sources for tailoring.
+//!
+//! Two layers live here:
+//!
+//! * [`Source`] — the *fallible* source abstraction: every draw may fail
+//!   with a typed [`SourceError`] (`try_draw`), because real federated
+//!   sources go down, corrupt records, truncate responses, and stall
+//!   (tutorial §1, Ex. 1). The legacy infallible [`Source::draw`] is a
+//!   default-implemented shim over `try_draw`, so pre-existing source
+//!   impls and call sites keep compiling and behaving identically.
+//! * [`TableSource`] — the paper's in-memory model of an external API
+//!   (sample a backing table with replacement at a fixed cost). Its
+//!   `try_draw` never fails; fault behaviour is layered on by
+//!   `rdi-fault`'s `FaultySource` wrapper.
 
-use rand::Rng;
-use rdi_table::{Table, TableError, Value};
+use rand::{Rng, RngCore};
+use rdi_table::{Schema, Table, TableError, Value};
 
 use crate::problem::DtProblem;
+
+/// One drawn record: the row's target-group index (if any) and its
+/// values.
+pub type Draw = (Option<usize>, Vec<Value>);
+
+/// Why a single draw against a source failed — the failure taxonomy of
+/// federated integration (see DESIGN.md, "Failure taxonomy").
+///
+/// The variants are ordered from "source is gone" to "source is slow":
+/// all four are *transient per-draw verdicts*; deciding whether a source
+/// is permanently dead is the resilient executor's job (circuit
+/// breaker), not the source's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceError {
+    /// The source did not respond at all (connection refused, host down).
+    Unavailable,
+    /// The source responded with an undecodable or corrupt record.
+    Corrupt,
+    /// The source returned only part of a record.
+    Truncated,
+    /// The source stalled past its deadline.
+    Timeout,
+}
+
+impl SourceError {
+    /// Every variant, in stable order (metric and report keys index
+    /// into this).
+    pub const ALL: [SourceError; 4] = [
+        SourceError::Unavailable,
+        SourceError::Corrupt,
+        SourceError::Truncated,
+        SourceError::Timeout,
+    ];
+
+    /// Stable lowercase label for metrics and provenance.
+    pub fn kind(self) -> &'static str {
+        match self {
+            SourceError::Unavailable => "unavailable",
+            SourceError::Corrupt => "corrupt",
+            SourceError::Truncated => "truncated",
+            SourceError::Timeout => "timeout",
+        }
+    }
+
+    /// Position of this variant in [`SourceError::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SourceError::Unavailable => 0,
+            SourceError::Corrupt => 1,
+            SourceError::Truncated => 2,
+            SourceError::Timeout => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Unavailable => write!(f, "source unavailable"),
+            SourceError::Corrupt => write!(f, "corrupt record"),
+            SourceError::Truncated => write!(f, "truncated record"),
+            SourceError::Timeout => write!(f, "request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A cost-annotated, possibly-failing record source.
+///
+/// The trait is object-safe (`&mut dyn RngCore` instead of a generic
+/// RNG) so executors can mix source kinds behind one slice. The only
+/// required drawing method is the fallible [`Source::try_draw`]; the
+/// legacy infallible [`Source::draw`] defaults to retrying `try_draw`
+/// until it succeeds, which preserves the historical "every draw
+/// succeeds" contract for sources that never fail and keeps out-of-tree
+/// impls compiling. Failure-*aware* callers (retry budgets, circuit
+/// breakers, degradation accounting) should call `try_draw` — that is
+/// what `rdi-core`'s resilient executor does.
+pub trait Source {
+    /// Source name (stable; used in provenance and audit reports).
+    fn name(&self) -> &str;
+
+    /// Per-request cost, charged per *attempt* whether or not a record
+    /// comes back.
+    fn cost(&self) -> f64;
+
+    /// The schema of the records this source yields.
+    fn schema(&self) -> &Schema;
+
+    /// True group frequencies `P_i(g)` over the problem's target groups.
+    /// Policies modelling the *unknown*-distribution setting must not
+    /// read this.
+    fn frequencies(&self) -> &[f64];
+
+    /// Attempt to draw one random record.
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<Draw, SourceError>;
+
+    /// Legacy infallible draw: retry [`Source::try_draw`] until a record
+    /// arrives.
+    ///
+    /// For infallible sources this is exactly one `try_draw` call. For
+    /// fault-injecting sources it retries *unboundedly* (terminating
+    /// with probability 1 whenever the per-draw fault rate is below
+    /// 1.0) — use the resilient executor for bounded retries.
+    fn draw(&mut self, rng: &mut dyn RngCore) -> Draw {
+        loop {
+            if let Ok(d) = self.try_draw(rng) {
+                return d;
+            }
+        }
+    }
+}
 
 /// A source backed by an in-memory table, sampled **with replacement** —
 /// the paper's model of querying an external API whose each request
@@ -96,6 +222,35 @@ impl TableSource {
     /// Number of backing rows.
     pub fn num_rows(&self) -> usize {
         self.table.num_rows()
+    }
+}
+
+impl Source for TableSource {
+    fn name(&self) -> &str {
+        TableSource::name(self)
+    }
+
+    fn cost(&self) -> f64 {
+        TableSource::cost(self)
+    }
+
+    fn schema(&self) -> &Schema {
+        TableSource::schema(self)
+    }
+
+    fn frequencies(&self) -> &[f64] {
+        TableSource::frequencies(self)
+    }
+
+    /// Never fails: the backing table is in memory.
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<Draw, SourceError> {
+        Ok(TableSource::draw(self, rng))
+    }
+
+    /// Bitwise identical to the inherent [`TableSource::draw`] (one
+    /// `gen_range` on `rng`, nothing else).
+    fn draw(&mut self, rng: &mut dyn RngCore) -> Draw {
+        TableSource::draw(self, rng)
     }
 }
 

@@ -14,6 +14,7 @@
 //! | [`fairness`] | `rdi-fairness` | divergences, association & fairness metrics |
 //! | [`coverage`] | `rdi-coverage` | MUP discovery & coverage remediation (§2.2) |
 //! | [`tailor`] | `rdi-tailor` | data distribution tailoring (§4.2) |
+//! | [`fault`] | `rdi-fault` | deterministic fault injection & resilience primitives |
 //! | [`joinsample`] | `rdi-joinsample` | uniform/independent sampling over joins (§3.4) |
 //! | [`discovery`] | `rdi-discovery` | dataset & feature discovery sketches (§3.1) |
 //! | [`profile`] | `rdi-profile` | nutritional labels & datasheets (§3.2) |
@@ -37,6 +38,7 @@ pub use rdi_discovery as discovery;
 pub use rdi_entitycollect as entitycollect;
 pub use rdi_fairness as fairness;
 pub use rdi_fairquery as fairquery;
+pub use rdi_fault as fault;
 pub use rdi_joinsample as joinsample;
 pub use rdi_obs as obs;
 pub use rdi_profile as profile;
