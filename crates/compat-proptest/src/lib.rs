@@ -281,7 +281,7 @@ arbitrary_ints! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// A size specification for [`vec`]: a fixed size, `lo..hi`, or
+    /// A size specification for [`vec()`]: a fixed size, `lo..hi`, or
     /// `lo..=hi`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
@@ -326,7 +326,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod builder;
 pub mod executor;
 pub mod pipeline;
 pub mod requirement;
@@ -43,6 +44,7 @@ pub mod requirement;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::audit::{audit, AuditReport, Finding};
+    pub use crate::builder::{BuiltPipeline, PipelineBuilder};
     pub use crate::executor::{run_resilient, Quarantine, ResilientOutcome, SourceHealth};
     pub use crate::pipeline::{Pipeline, PipelineError, PipelineResult};
     pub use crate::requirement::{Requirement, RequirementSpec};
@@ -51,6 +53,7 @@ pub mod prelude {
 }
 
 pub use audit::{audit, AuditReport, Finding};
+pub use builder::{BuiltPipeline, PipelineBuilder};
 pub use executor::{run_resilient, Quarantine, ResilientOutcome, SourceHealth};
 pub use pipeline::{Pipeline, PipelineError, PipelineResult};
 pub use requirement::{Requirement, RequirementSpec};

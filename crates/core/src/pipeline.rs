@@ -63,6 +63,7 @@ impl std::error::Error for PipelineError {
 }
 
 /// Pipeline configuration.
+#[derive(Debug)]
 pub struct Pipeline {
     /// The distribution-tailoring problem (what to collect).
     pub problem: DtProblem,
@@ -112,13 +113,23 @@ impl PipelineResult {
 impl Pipeline {
     /// Run the pipeline against `sources` using `policy` for source
     /// selection, with default [`ResilienceConfig`].
+    ///
+    /// This is a convenience delegate onto the single internal
+    /// execution path; prefer [`crate::PipelineBuilder`] for new code,
+    /// which exposes the same path with fluent configuration.
     pub fn run<S: Source, R: Rng>(
         &self,
         sources: &mut [S],
         policy: &mut dyn Policy,
         rng: &mut R,
     ) -> Result<PipelineResult, PipelineError> {
-        self.run_with(sources, policy, rng, &ResilienceConfig::default())
+        self.run_impl(
+            sources,
+            policy,
+            rng,
+            &ResilienceConfig::default(),
+            "pipeline",
+        )
     }
 
     /// Run the pipeline with explicit resilience parameters.
@@ -129,6 +140,11 @@ impl Pipeline {
     /// source failures still returns `Ok` — with
     /// [`PipelineResult::degraded`] set and a `Degraded` provenance
     /// event naming the quarantined sources and missing rows.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use PipelineBuilder::new(problem)...resilience(config).build().run(...) — \
+                one entry point, bitwise-identical output"
+    )]
     pub fn run_with<S: Source, R: Rng>(
         &self,
         sources: &mut [S],
@@ -136,7 +152,23 @@ impl Pipeline {
         rng: &mut R,
         config: &ResilienceConfig,
     ) -> Result<PipelineResult, PipelineError> {
-        let _pipeline_span = rdi_obs::span("pipeline");
+        self.run_impl(sources, policy, rng, config, "pipeline")
+    }
+
+    /// The single execution path behind [`Pipeline::run`],
+    /// `Pipeline::run_with`, and [`crate::BuiltPipeline::run`].
+    /// `span_root` names the root `rdi-obs` span (`"pipeline"` for the
+    /// legacy delegates; callers embedding the pipeline — e.g.
+    /// `rdi-serve` — pick their own root to keep span trees separable).
+    pub(crate) fn run_impl<S: Source, R: Rng>(
+        &self,
+        sources: &mut [S],
+        policy: &mut dyn Policy,
+        rng: &mut R,
+        config: &ResilienceConfig,
+        span_root: &str,
+    ) -> Result<PipelineResult, PipelineError> {
+        let _pipeline_span = rdi_obs::span(span_root);
         let mut provenance = Vec::new();
         provenance.push(ProvenanceEvent::TailoringStarted {
             groups: self.problem.num_groups(),

@@ -87,7 +87,7 @@ pub fn olken_sample<R: Rng>(
 const OLKEN_BLOCK: usize = 256;
 
 /// Parallel [`olken_sample`]: the `n` draws are split into fixed
-/// blocks of [`OLKEN_BLOCK`], each driven by its own `StdRng` seeded
+/// blocks of `OLKEN_BLOCK`, each driven by its own `StdRng` seeded
 /// with [`stream_seed`]`(seed, block)`, and blocks run across
 /// `threads`. Because both the block boundaries and the per-block
 /// streams are functions of `(n, seed)` alone, the samples and attempt

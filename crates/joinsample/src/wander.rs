@@ -128,14 +128,14 @@ impl<'a> WanderJoin<'a> {
     }
 
     /// Parallel [`Self::count_estimate`]: walks split into fixed blocks
-    /// of [`WALK_BLOCK`], each with its own seeded RNG stream, so the
+    /// of `WALK_BLOCK`, each with its own seeded RNG stream, so the
     /// estimate is bitwise identical for any thread count.
     pub fn count_estimate_par(&self, n_walks: usize, seed: u64, threads: Threads) -> AqpEstimate {
         self.aggregate_estimate_par(n_walks, seed, threads, |_| 1.0)
     }
 
     /// Parallel [`Self::aggregate_estimate`]. The `n_walks` trials are
-    /// split into fixed blocks of [`WALK_BLOCK`] (a function of
+    /// split into fixed blocks of `WALK_BLOCK` (a function of
     /// `n_walks` alone), each driven by a `StdRng` seeded with
     /// [`stream_seed`]`(seed, block)`, and blocks run across `threads`.
     /// Per-block contributions are concatenated in block order before

@@ -60,7 +60,7 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
 
 /// Recursively collect every `.rs` file under `root` in sorted order
 /// (determinism: findings are reported in a stable order on every
-/// machine), skipping [`SKIP_DIRS`] and vendored `compat-*` crates.
+/// machine), skipping `SKIP_DIRS` and vendored `compat-*` crates.
 pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     walk(root, &mut out)?;

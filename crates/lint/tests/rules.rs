@@ -305,3 +305,18 @@ fn experiment_marker_accepted_in_all_forms() {
     let r = analyze_source("crates/bench/src/bin/validate_metrics.rs", missing);
     assert!(r.findings.is_empty());
 }
+
+#[test]
+fn r6_covers_the_serving_experiment() {
+    // E19 (exp_serving) is classified as an experiment binary like any
+    // other `exp_*.rs`, so the METRICS_SNAPSHOT obligation applies.
+    let missing = "fn main() { println!(\"served\"); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_serving.rs", missing);
+    assert!(
+        r.findings.iter().any(|f| f.rule == "R6"),
+        "exp_serving without a metrics snapshot must trip R6"
+    );
+    let ok = "fn main() { rdi_bench::emit_metrics_snapshot(); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_serving.rs", ok);
+    assert!(!r.findings.iter().any(|f| f.rule == "R6"));
+}

@@ -1,0 +1,277 @@
+//! The memoized sketch/signature cache behind [`crate::LakeIndex`].
+//!
+//! Entries are keyed by `(owner table id, content fingerprint, sketch
+//! kind)` and evicted least-recently-used under a byte-accounted
+//! capacity. Recency is a logical sequence number bumped on every hit,
+//! so eviction order is a pure function of the access sequence — no
+//! wall clocks, no hash-map iteration order (`BTreeMap` throughout).
+//!
+//! The cache reports itself through `rdi-obs`: `serve.cache.hits`,
+//! `serve.cache.misses`, `serve.cache.evictions` counters and a
+//! `serve.cache.bytes` gauge.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rdi_discovery::{MinHash, TableSignature};
+
+/// What kind of sketch an entry holds (part of the cache key: the same
+/// table content can carry a union signature *and* per-column join
+/// profiles simultaneously).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SketchKind {
+    /// Per-column MinHash signature set for union search, with
+    /// signature length `k`.
+    Union {
+        /// MinHash signature length.
+        k: usize,
+    },
+    /// Single-column key profile (MinHash + exact distinct count) for
+    /// joinability ranking.
+    Join {
+        /// The profiled column.
+        column: String,
+        /// MinHash signature length.
+        k: usize,
+    },
+}
+
+/// Full cache key: which table, which content, which sketch.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Registered table id, or [`CacheKey::QUERY_OWNER`] for ad-hoc
+    /// query tables.
+    pub owner: String,
+    /// Content fingerprint ([`crate::fingerprint::table_fingerprint`]).
+    pub fingerprint: u64,
+    /// Sketch kind + parameters.
+    pub kind: SketchKind,
+}
+
+impl CacheKey {
+    /// Owner id used for ad-hoc query tables (not registered in the
+    /// index); their fingerprint alone identifies the content.
+    pub const QUERY_OWNER: &'static str = "<query>";
+}
+
+/// A single-column joinability profile: the column's MinHash plus its
+/// exact distinct (non-null) count, enough to estimate containment of
+/// one key set in another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyProfile {
+    /// Profiled column name.
+    pub column: String,
+    /// MinHash over the column's distinct values.
+    pub minhash: MinHash,
+    /// Exact distinct non-null value count.
+    pub distinct: usize,
+}
+
+/// A cached artifact, shared by `Arc` so batch execution can hold
+/// references while later warm passes keep mutating the cache.
+#[derive(Debug, Clone)]
+pub enum Sketch {
+    /// A full-table union-search signature.
+    Union(Arc<TableSignature>),
+    /// A single-column join profile.
+    Join(Arc<KeyProfile>),
+}
+
+impl Sketch {
+    /// Approximate heap footprint, charged against the cache capacity.
+    fn bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 64;
+        match self {
+            Sketch::Union(sig) => {
+                sig.name.len()
+                    + sig
+                        .columns
+                        .iter()
+                        .map(|(n, m)| n.len() + m.k() * 8 + 32)
+                        .sum::<usize>()
+                    + ENTRY_OVERHEAD
+            }
+            Sketch::Join(p) => p.column.len() + p.minhash.k() * 8 + ENTRY_OVERHEAD,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    sketch: Sketch,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Byte-accounted LRU cache over [`Sketch`] artifacts.
+#[derive(Debug)]
+pub struct SketchCache {
+    capacity: usize,
+    entries: BTreeMap<CacheKey, Entry>,
+    /// recency sequence → key; the smallest sequence is the LRU victim.
+    recency: BTreeMap<u64, CacheKey>,
+    clock: u64,
+    bytes: usize,
+}
+
+impl SketchCache {
+    /// An empty cache holding at most `capacity_bytes` of accounted
+    /// sketch bytes (one oversized entry is still admitted so progress
+    /// is always possible).
+    pub fn new(capacity_bytes: usize) -> Self {
+        SketchCache {
+            capacity: capacity_bytes,
+            entries: BTreeMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Configured capacity in accounted bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accounted bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of cached sketches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a sketch, bumping its recency on hit. Counts
+    /// `serve.cache.hits` / `serve.cache.misses`.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Sketch> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                self.recency.remove(&e.last_used);
+                e.last_used = clock;
+                self.recency.insert(clock, key.clone());
+                rdi_obs::counter("serve.cache.hits").inc();
+                Some(e.sketch.clone())
+            }
+            None => {
+                rdi_obs::counter("serve.cache.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built sketch, evicting least-recently-used
+    /// entries until the capacity holds (the new entry itself is never
+    /// evicted, even when oversized). Counts `serve.cache.evictions`.
+    pub fn insert(&mut self, key: CacheKey, sketch: Sketch) {
+        let bytes = sketch.bytes();
+        if let Some(old) = self.entries.remove(&key) {
+            self.recency.remove(&old.last_used);
+            self.bytes -= old.bytes;
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.recency.insert(self.clock, key.clone());
+        self.entries.insert(
+            key.clone(),
+            Entry {
+                sketch,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        while self.bytes > self.capacity && self.entries.len() > 1 {
+            let Some((&seq, victim)) = self.recency.iter().next() else {
+                break;
+            };
+            let victim = victim.clone();
+            if victim == key {
+                // The fresh entry is the LRU only when it is alone —
+                // handled by the len() > 1 guard, but stay defensive.
+                break;
+            }
+            self.recency.remove(&seq);
+            if let Some(e) = self.entries.remove(&victim) {
+                self.bytes -= e.bytes;
+            }
+            rdi_obs::counter("serve.cache.evictions").inc();
+        }
+        rdi_obs::gauge("serve.cache.bytes").set(self.bytes as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema, Table, Value};
+
+    fn sig(name: &str, k: usize) -> Sketch {
+        let schema = Schema::new(vec![Field::new("c", DataType::Str)]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::str("x")]).unwrap();
+        Sketch::Union(Arc::new(TableSignature::build(name, &t, k).unwrap()))
+    }
+
+    fn key(owner: &str) -> CacheKey {
+        CacheKey {
+            owner: owner.to_string(),
+            fingerprint: 1,
+            kind: SketchKind::Union { k: 8 },
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_sketch() {
+        let mut c = SketchCache::new(1 << 20);
+        assert!(c.get(&key("a")).is_none());
+        c.insert(key("a"), sig("a", 8));
+        assert!(matches!(c.get(&key("a")), Some(Sketch::Union(_))));
+        assert_eq!(c.len(), 1);
+        assert!(c.bytes() > 0);
+    }
+
+    #[test]
+    fn lru_eviction_is_by_last_touch() {
+        // Each signature is ~160 bytes; capacity fits two of them.
+        let mut c = SketchCache::new(340);
+        c.insert(key("a"), sig("a", 8));
+        c.insert(key("b"), sig("b", 8));
+        assert_eq!(c.len(), 2);
+        // touch `a` so `b` becomes the LRU victim
+        assert!(c.get(&key("a")).is_some());
+        c.insert(key("c"), sig("c", 8));
+        assert!(c.get(&key("a")).is_some(), "recently touched survives");
+        assert!(c.get(&key("b")).is_none(), "LRU evicted");
+        assert!(c.get(&key("c")).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_still_admitted() {
+        let mut c = SketchCache::new(1);
+        c.insert(key("big"), sig("big", 64));
+        assert_eq!(c.len(), 1, "a lone oversized entry is kept");
+        assert!(c.bytes() > c.capacity());
+        // the next insert evicts it
+        c.insert(key("next"), sig("next", 64));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("big")).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_accounting() {
+        let mut c = SketchCache::new(1 << 20);
+        c.insert(key("a"), sig("a", 8));
+        let b1 = c.bytes();
+        c.insert(key("a"), sig("a", 8));
+        assert_eq!(c.bytes(), b1);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The serving layer's typed error taxonomy.
+//!
+//! Follows the PR-4 convention (`SourceError`, `PipelineError`): every
+//! way a request can fail is a named variant, degenerate inputs
+//! included — a `k = 0` top-k or a query against an empty index is an
+//! error the caller can match on, never a silently empty result.
+
+use rdi_table::TableError;
+
+/// Why a serving request (or a registration) failed.
+///
+/// Request failures are *per request*: a failing request inside a batch
+/// yields an `Err` slot in the batch report while its neighbours
+/// complete normally (see `ServeSession`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A top-k request asked for `k = 0` — a degenerate query that
+    /// would otherwise return an empty vec indistinguishable from
+    /// "nothing matched".
+    ZeroK,
+    /// A query was issued against an index with no registered tables.
+    EmptyIndex,
+    /// The query table has no rows or no columns, so its signature is
+    /// empty and every score would be a meaningless 0. The payload
+    /// names what was empty.
+    EmptyQuery(String),
+    /// The named table is not registered in the index.
+    UnknownTable(String),
+    /// The named column does not exist in the query (or target) table.
+    UnknownColumn {
+        /// Table (or `"<query>"`) in which the column was looked up.
+        table: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A table with this id is already registered.
+    DuplicateTable(String),
+    /// Registration of an empty (zero-row) table was rejected: an empty
+    /// source can never satisfy a draw and would poison tailoring runs.
+    EmptyTable(String),
+    /// Registration with a non-positive (or NaN) per-draw cost.
+    InvalidCost(f64),
+    /// The request was shed at admission: the batch already holds
+    /// `capacity` admitted requests.
+    QueueFull {
+        /// The session's admission-queue capacity.
+        capacity: usize,
+    },
+    /// The request was shed at admission: the session's circuit breaker
+    /// opened after consecutive request failures and stays open for the
+    /// session's lifetime.
+    CircuitOpen {
+        /// Consecutive failures recorded when the breaker tripped.
+        consecutive_failures: u32,
+    },
+    /// A structural table error from an underlying stage.
+    Table(TableError),
+}
+
+impl From<TableError> for ServeError {
+    fn from(e: TableError) -> Self {
+        ServeError::Table(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ZeroK => write!(f, "top-k request with k = 0"),
+            ServeError::EmptyIndex => write!(f, "query against an empty index"),
+            ServeError::EmptyQuery(what) => write!(f, "query signature is empty: {what}"),
+            ServeError::UnknownTable(id) => write!(f, "unknown table `{id}`"),
+            ServeError::UnknownColumn { table, column } => {
+                write!(f, "no column `{column}` in `{table}`")
+            }
+            ServeError::DuplicateTable(id) => write!(f, "table `{id}` is already registered"),
+            ServeError::EmptyTable(id) => write!(f, "table `{id}` has no rows"),
+            ServeError::InvalidCost(c) => write!(f, "per-draw cost must be positive, got {c}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::CircuitOpen {
+                consecutive_failures,
+            } => write!(
+                f,
+                "session circuit breaker open after {consecutive_failures} consecutive failures"
+            ),
+            ServeError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::ZeroK, "k = 0"),
+            (ServeError::EmptyIndex, "empty index"),
+            (ServeError::EmptyQuery("no rows".into()), "no rows"),
+            (ServeError::UnknownTable("t1".into()), "`t1`"),
+            (
+                ServeError::UnknownColumn {
+                    table: "t".into(),
+                    column: "c".into(),
+                },
+                "`c`",
+            ),
+            (ServeError::QueueFull { capacity: 4 }, "capacity 4"),
+            (
+                ServeError::CircuitOpen {
+                    consecutive_failures: 5,
+                },
+                "5 consecutive",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn table_error_converts_and_chains() {
+        let e: ServeError = TableError::SchemaMismatch("boom".into()).into();
+        assert!(matches!(e, ServeError::Table(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,106 @@
+//! Content fingerprints for cache keying.
+//!
+//! A cached sketch is only valid for the exact table content it was
+//! built from, so cache keys pair the table id with a 64-bit content
+//! fingerprint: an order-dependent fold over the schema (field names,
+//! types, roles) and every value, built from the same seeded hashing
+//! primitives the sketches themselves use (`rdi_discovery::hash`). Two
+//! tables with equal schema and equal values always fingerprint
+//! identically across processes; any edit — a renamed column, a single
+//! changed cell — changes the fingerprint and misses the cache.
+
+use rdi_discovery::hash::{hash_bytes, hash_value, splitmix64};
+use rdi_table::Table;
+
+/// Seed domain for schema bytes, distinct from value hashing so a
+/// column *named* like a value never collides with one *containing* it.
+const SCHEMA_SEED: u64 = 0x5348_454d_4121;
+/// Seed domain for cell values.
+const VALUE_SEED: u64 = 0x5641_4c55_4521;
+
+/// Order-dependent combine: position matters, so row/column
+/// permutations of the same multiset fingerprint differently (a sketch
+/// built over a column is positionally agnostic, but equality of
+/// content is the conservative invariant to key on).
+fn fold(h: u64, x: u64) -> u64 {
+    splitmix64(h.rotate_left(7) ^ x)
+}
+
+/// Fingerprint a table's full content: schema, then every column's
+/// values in schema order.
+pub fn table_fingerprint(table: &Table) -> u64 {
+    let mut h = splitmix64(0x7264_692d_7365_7276); // "rdi-serv"
+    h = fold(h, table.num_rows() as u64);
+    for field in table.schema().fields() {
+        h = fold(h, hash_bytes(field.name.as_bytes(), SCHEMA_SEED));
+        h = fold(
+            h,
+            hash_bytes(format!("{:?}", field.dtype).as_bytes(), SCHEMA_SEED),
+        );
+        h = fold(
+            h,
+            hash_bytes(format!("{:?}", field.role).as_bytes(), SCHEMA_SEED),
+        );
+    }
+    for ci in 0..table.num_columns() {
+        let col = table.column_at(ci);
+        for ri in 0..table.num_rows() {
+            h = fold(h, hash_value(&col.value(ri), VALUE_SEED));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema, Value};
+
+    fn two_col(vals: &[(&str, f64)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (k, v) in vals {
+            t.push_row(vec![Value::str(*k), Value::Float(*v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        let a = two_col(&[("x", 1.0), ("y", 2.0)]);
+        let b = two_col(&[("x", 1.0), ("y", 2.0)]);
+        assert_eq!(table_fingerprint(&a), table_fingerprint(&b));
+    }
+
+    #[test]
+    fn any_edit_changes_the_fingerprint() {
+        let base = two_col(&[("x", 1.0), ("y", 2.0)]);
+        let cell = two_col(&[("x", 1.0), ("y", 2.5)]);
+        let order = two_col(&[("y", 2.0), ("x", 1.0)]);
+        assert_ne!(table_fingerprint(&base), table_fingerprint(&cell));
+        assert_ne!(table_fingerprint(&base), table_fingerprint(&order));
+    }
+
+    #[test]
+    fn schema_rename_changes_the_fingerprint() {
+        let a = two_col(&[("x", 1.0)]);
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("v", DataType::Float),
+        ]);
+        let mut b = Table::new(schema);
+        b.push_row(vec![Value::str("x"), Value::Float(1.0)])
+            .unwrap();
+        assert_ne!(table_fingerprint(&a), table_fingerprint(&b));
+    }
+
+    #[test]
+    fn empty_tables_with_different_schemas_differ() {
+        let a = Table::new(Schema::new(vec![Field::new("a", DataType::Int)]));
+        let b = Table::new(Schema::new(vec![Field::new("b", DataType::Int)]));
+        assert_ne!(table_fingerprint(&a), table_fingerprint(&b));
+    }
+}

@@ -1,0 +1,642 @@
+//! The persistent lake index: registered tables + memoized sketches.
+//!
+//! A [`LakeIndex`] owns every registered table (shared as `Arc` so
+//! batch execution can read them without cloning) and a
+//! [`SketchCache`] keyed by `(table id, content fingerprint, sketch
+//! kind)`. All mutation — registration and cache warming — happens on
+//! `&mut self`; query *execution* runs over immutable
+//! `Prepared` plans whose `Arc` handles were cloned out of the cache
+//! during the serial warm pass, which is what lets a batch fan out
+//! over `rdi-par` while staying bitwise identical to serial execution.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdi_coverage::CoverageAnalyzer;
+use rdi_discovery::{table_unionability, MinHash, TableSignature};
+use rdi_table::Table;
+use rdi_tailor::{DtProblem, RandomPolicy, TableSource};
+
+use crate::cache::{CacheKey, KeyProfile, Sketch, SketchCache, SketchKind};
+use crate::error::ServeError;
+use crate::fingerprint::table_fingerprint;
+use crate::request::{CoverageReport, ServeRequest, ServeResponse, TailorReport};
+
+/// Sizing knobs for a [`LakeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LakeIndexConfig {
+    /// MinHash signature length for union signatures and join profiles.
+    pub minhash_k: usize,
+    /// Sketch-cache capacity in accounted bytes.
+    pub cache_capacity_bytes: usize,
+}
+
+impl Default for LakeIndexConfig {
+    fn default() -> Self {
+        LakeIndexConfig {
+            minhash_k: 128,
+            cache_capacity_bytes: 4 << 20,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Registered {
+    table: Arc<Table>,
+    fingerprint: u64,
+    cost: f64,
+}
+
+/// A persistent, in-process index over a lake of registered tables.
+#[derive(Debug)]
+pub struct LakeIndex {
+    config: LakeIndexConfig,
+    tables: BTreeMap<String, Registered>,
+    cache: SketchCache,
+}
+
+impl Default for LakeIndex {
+    fn default() -> Self {
+        LakeIndex::new(LakeIndexConfig::default())
+    }
+}
+
+impl LakeIndex {
+    /// An empty index with the given sizing.
+    pub fn new(config: LakeIndexConfig) -> Self {
+        LakeIndex {
+            cache: SketchCache::new(config.cache_capacity_bytes),
+            tables: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &LakeIndexConfig {
+        &self.config
+    }
+
+    /// Register a table under a unique id with a per-draw cost (used by
+    /// [`ServeRequest::TailorRun`]). The content fingerprint is
+    /// computed once here; re-registering the same id is an error
+    /// ([`ServeError::DuplicateTable`]), as are empty tables and
+    /// non-positive costs.
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        table: Table,
+        cost: f64,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        if self.tables.contains_key(&id) {
+            return Err(ServeError::DuplicateTable(id));
+        }
+        if table.is_empty() {
+            return Err(ServeError::EmptyTable(id));
+        }
+        if cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ServeError::InvalidCost(cost));
+        }
+        let fingerprint = table_fingerprint(&table);
+        self.tables.insert(
+            id,
+            Registered {
+                table: Arc::new(table),
+                fingerprint,
+                cost,
+            },
+        );
+        rdi_obs::gauge("serve.index.tables").set(self.tables.len() as f64);
+        Ok(())
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// True when `id` is registered.
+    pub fn contains(&self, id: &str) -> bool {
+        self.tables.contains_key(id)
+    }
+
+    /// Registered ids in deterministic (sorted) order.
+    pub fn table_ids(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// A registered table by id.
+    pub fn table(&self, id: &str) -> Option<&Table> {
+        self.tables.get(id).map(|r| r.table.as_ref())
+    }
+
+    /// Accounted bytes currently held by the sketch cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// Number of cached sketches.
+    pub fn cached_sketches(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Union signature for a table, cached by content fingerprint.
+    fn union_signature(
+        &mut self,
+        owner: &str,
+        fingerprint: u64,
+        table: &Table,
+    ) -> Result<Arc<TableSignature>, ServeError> {
+        let k = self.config.minhash_k;
+        let key = CacheKey {
+            owner: owner.to_string(),
+            fingerprint,
+            kind: SketchKind::Union { k },
+        };
+        if let Some(Sketch::Union(sig)) = self.cache.get(&key) {
+            return Ok(sig);
+        }
+        let sig = Arc::new(TableSignature::build(owner, table, k)?);
+        self.cache.insert(key, Sketch::Union(sig.clone()));
+        Ok(sig)
+    }
+
+    /// Join profile for one column of a table, cached by content
+    /// fingerprint. The column must exist — callers check first and
+    /// translate the miss into the right [`ServeError`].
+    fn key_profile(
+        &mut self,
+        owner: &str,
+        fingerprint: u64,
+        table: &Table,
+        column: &str,
+    ) -> Result<Arc<KeyProfile>, ServeError> {
+        let k = self.config.minhash_k;
+        let key = CacheKey {
+            owner: owner.to_string(),
+            fingerprint,
+            kind: SketchKind::Join {
+                column: column.to_string(),
+                k,
+            },
+        };
+        if let Some(Sketch::Join(p)) = self.cache.get(&key) {
+            return Ok(p);
+        }
+        let distinct = table
+            .distinct(column)?
+            .iter()
+            .filter(|v| !v.is_null())
+            .count();
+        let profile = Arc::new(KeyProfile {
+            column: column.to_string(),
+            minhash: MinHash::from_column(table, column, k)?,
+            distinct,
+        });
+        self.cache.insert(key, Sketch::Join(profile.clone()));
+        Ok(profile)
+    }
+
+    /// Validate a request and warm every sketch it needs, returning an
+    /// immutable execution plan. This is the *only* cache-mutating
+    /// step of request handling; [`execute`] is a pure function of the
+    /// plan and a seed, so plans from one serial warm pass can run in
+    /// parallel with bitwise-serial results.
+    pub(crate) fn prepare(&mut self, request: &ServeRequest) -> Result<Prepared, ServeError> {
+        match request {
+            ServeRequest::UnionTopK { query, k } => {
+                self.check_top_k(*k)?;
+                check_query_shape(query)?;
+                let fp = table_fingerprint(query);
+                let query_sig = self.union_signature(CacheKey::QUERY_OWNER, fp, query)?;
+                let ids: Vec<String> = self.tables.keys().cloned().collect();
+                let mut candidates = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let (fp, table) = {
+                        let r = &self.tables[&id];
+                        (r.fingerprint, r.table.clone())
+                    };
+                    let sig = self.union_signature(&id, fp, &table)?;
+                    candidates.push((id, sig));
+                }
+                Ok(Prepared::Union {
+                    k: *k,
+                    query: query_sig,
+                    candidates,
+                })
+            }
+            ServeRequest::JoinableTopK { query, column, k } => {
+                self.check_top_k(*k)?;
+                check_query_shape(query)?;
+                if query.column(column).is_err() {
+                    return Err(ServeError::UnknownColumn {
+                        table: CacheKey::QUERY_OWNER.to_string(),
+                        column: column.clone(),
+                    });
+                }
+                let fp = table_fingerprint(query);
+                let query_profile = self.key_profile(CacheKey::QUERY_OWNER, fp, query, column)?;
+                if query_profile.distinct == 0 {
+                    return Err(ServeError::EmptyQuery(format!(
+                        "query column `{column}` has no non-null values"
+                    )));
+                }
+                let ids: Vec<String> = self.tables.keys().cloned().collect();
+                let mut candidates = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let (fp, table) = {
+                        let r = &self.tables[&id];
+                        (r.fingerprint, r.table.clone())
+                    };
+                    // candidates without the key column are skipped, not errors
+                    if table.column(column).is_err() {
+                        continue;
+                    }
+                    let p = self.key_profile(&id, fp, &table, column)?;
+                    candidates.push((id, p));
+                }
+                Ok(Prepared::Join {
+                    k: *k,
+                    query: query_profile,
+                    candidates,
+                })
+            }
+            ServeRequest::CoverageProbe {
+                table,
+                attributes,
+                threshold,
+            } => {
+                let r = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| ServeError::UnknownTable(table.clone()))?;
+                for a in attributes {
+                    if r.table.column(a).is_err() {
+                        return Err(ServeError::UnknownColumn {
+                            table: table.clone(),
+                            column: a.clone(),
+                        });
+                    }
+                }
+                Ok(Prepared::Coverage {
+                    table_id: table.clone(),
+                    table: r.table.clone(),
+                    attributes: attributes.clone(),
+                    threshold: *threshold,
+                })
+            }
+            ServeRequest::TailorRun {
+                problem,
+                sources,
+                max_draws,
+            } => {
+                if sources.is_empty() {
+                    return Err(ServeError::EmptyQuery("no tailoring sources named".into()));
+                }
+                let mut resolved = Vec::with_capacity(sources.len());
+                for id in sources {
+                    let r = self
+                        .tables
+                        .get(id)
+                        .ok_or_else(|| ServeError::UnknownTable(id.clone()))?;
+                    resolved.push((id.clone(), r.table.clone(), r.cost));
+                }
+                Ok(Prepared::Tailor {
+                    problem: problem.clone(),
+                    sources: resolved,
+                    max_draws: *max_draws,
+                })
+            }
+        }
+    }
+
+    fn check_top_k(&self, k: usize) -> Result<(), ServeError> {
+        if k == 0 {
+            return Err(ServeError::ZeroK);
+        }
+        if self.tables.is_empty() {
+            return Err(ServeError::EmptyIndex);
+        }
+        Ok(())
+    }
+
+    /// One-shot union top-k (`(table id, score)` descending, ties by
+    /// name) — prepare + execute without a session. Degenerate inputs
+    /// (`k = 0`, empty index, empty query) are typed errors.
+    pub fn union_top_k(
+        &mut self,
+        query: &Table,
+        k: usize,
+    ) -> Result<Vec<(String, f64)>, ServeError> {
+        let plan = self.prepare(&ServeRequest::UnionTopK {
+            query: query.clone(),
+            k,
+        })?;
+        match execute(&plan, 0) {
+            Ok(ServeResponse::UnionTopK(v)) => Ok(v),
+            Ok(_) => unreachable!("union plan executes to a union response"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One-shot joinability top-k by estimated key containment.
+    pub fn joinable_top_k(
+        &mut self,
+        query: &Table,
+        column: &str,
+        k: usize,
+    ) -> Result<Vec<(String, f64)>, ServeError> {
+        let plan = self.prepare(&ServeRequest::JoinableTopK {
+            query: query.clone(),
+            column: column.to_string(),
+            k,
+        })?;
+        match execute(&plan, 0) {
+            Ok(ServeResponse::JoinableTopK(v)) => Ok(v),
+            Ok(_) => unreachable!("join plan executes to a join response"),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Reject query tables whose signature would be empty.
+fn check_query_shape(query: &Table) -> Result<(), ServeError> {
+    if query.num_columns() == 0 {
+        return Err(ServeError::EmptyQuery("query table has no columns".into()));
+    }
+    if query.num_rows() == 0 {
+        return Err(ServeError::EmptyQuery("query table has no rows".into()));
+    }
+    Ok(())
+}
+
+/// An immutable, `Send + Sync` execution plan produced by
+/// [`LakeIndex::prepare`]. All shared state is behind `Arc`.
+#[derive(Debug, Clone)]
+pub(crate) enum Prepared {
+    Union {
+        k: usize,
+        query: Arc<TableSignature>,
+        candidates: Vec<(String, Arc<TableSignature>)>,
+    },
+    Join {
+        k: usize,
+        query: Arc<KeyProfile>,
+        candidates: Vec<(String, Arc<KeyProfile>)>,
+    },
+    Coverage {
+        table_id: String,
+        table: Arc<Table>,
+        attributes: Vec<String>,
+        threshold: usize,
+    },
+    Tailor {
+        problem: DtProblem,
+        sources: Vec<(String, Arc<Table>, f64)>,
+        max_draws: usize,
+    },
+}
+
+/// Execute a prepared plan. Pure: the response is a function of the
+/// plan and `seed` alone (the seed feeds the request's private RNG
+/// stream; only tailoring consumes randomness), so execution order and
+/// thread count cannot change any answer.
+pub(crate) fn execute(plan: &Prepared, seed: u64) -> Result<ServeResponse, ServeError> {
+    match plan {
+        Prepared::Union {
+            k,
+            query,
+            candidates,
+        } => {
+            rdi_obs::counter("serve.candidates_scored").add(candidates.len() as u64);
+            let mut scored: Vec<(String, f64)> = candidates
+                .iter()
+                .map(|(id, sig)| (id.clone(), table_unionability(query, sig)))
+                .collect();
+            // identical ranking to `UnionSearchIndex::top_k`
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            scored.truncate(*k);
+            Ok(ServeResponse::UnionTopK(scored))
+        }
+        Prepared::Join {
+            k,
+            query,
+            candidates,
+        } => {
+            rdi_obs::counter("serve.candidates_scored").add(candidates.len() as u64);
+            let mut scored: Vec<(String, f64)> = candidates
+                .iter()
+                .map(|(id, p)| (id.clone(), containment_estimate(query, p)))
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            scored.truncate(*k);
+            Ok(ServeResponse::JoinableTopK(scored))
+        }
+        Prepared::Coverage {
+            table_id,
+            table,
+            attributes,
+            threshold,
+        } => {
+            let attrs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+            let analyzer = CoverageAnalyzer::new(table, &attrs, *threshold)?;
+            let mups = analyzer.maximal_uncovered_patterns();
+            let uncovered_fraction = analyzer.uncovered_assignment_fraction(&mups);
+            Ok(ServeResponse::Coverage(CoverageReport {
+                table: table_id.clone(),
+                mups: mups.iter().map(|p| analyzer.describe(p)).collect(),
+                uncovered_fraction,
+            }))
+        }
+        Prepared::Tailor {
+            problem,
+            sources,
+            max_draws,
+        } => {
+            let mut table_sources = Vec::with_capacity(sources.len());
+            for (id, table, cost) in sources {
+                table_sources.push(TableSource::new(
+                    id.clone(),
+                    (**table).clone(),
+                    *cost,
+                    problem,
+                )?);
+            }
+            let mut policy = RandomPolicy::new(table_sources.len());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let built = rdi_core::PipelineBuilder::new(problem.clone())
+                .max_draws(*max_draws)
+                .span_root("serve.tailor")
+                .build();
+            let result = built
+                .run(&mut table_sources, &mut policy, &mut rng)
+                .map_err(|e| match e {
+                    rdi_core::PipelineError::Table(t) => ServeError::Table(t),
+                })?;
+            Ok(ServeResponse::Tailored(TailorReport {
+                rows: result.data.num_rows(),
+                total_cost: result.total_cost,
+                degraded: result.degraded,
+                quarantined: result.quarantined,
+                audit_passed: result.audit.passed(),
+            }))
+        }
+    }
+}
+
+/// Estimated containment of the query key set in a candidate key set,
+/// from the two MinHashes and exact distinct counts:
+/// `|Q ∩ X| ≈ J/(1+J) · (|Q| + |X|)`, containment `= |Q ∩ X| / |Q|`,
+/// clamped into `[0, 1]`.
+fn containment_estimate(q: &KeyProfile, x: &KeyProfile) -> f64 {
+    if x.distinct == 0 {
+        return 0.0;
+    }
+    let j = q.minhash.jaccard(&x.minhash);
+    let inter = j / (1.0 + j) * (q.distinct + x.distinct) as f64;
+    (inter / q.distinct as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdi_table::{DataType, Field, Schema, Value};
+
+    fn str_table(col: &str, vals: &[&str]) -> Table {
+        let schema = Schema::new(vec![Field::new(col, DataType::Str)]);
+        let mut t = Table::new(schema);
+        for v in vals {
+            t.push_row(vec![Value::str(*v)]).unwrap();
+        }
+        t
+    }
+
+    fn index_with(tables: &[(&str, &[&str])]) -> LakeIndex {
+        let mut idx = LakeIndex::default();
+        for (id, vals) in tables {
+            idx.register(*id, str_table("key", vals), 1.0).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        let mut empty = LakeIndex::default();
+        let q = str_table("key", &["a"]);
+        assert_eq!(
+            empty.union_top_k(&q, 3).unwrap_err(),
+            ServeError::EmptyIndex
+        );
+
+        let mut idx = index_with(&[("t1", &["a", "b"])]);
+        assert_eq!(idx.union_top_k(&q, 0).unwrap_err(), ServeError::ZeroK);
+        let no_rows = Table::new(Schema::new(vec![Field::new("key", DataType::Str)]));
+        assert!(matches!(
+            idx.union_top_k(&no_rows, 3).unwrap_err(),
+            ServeError::EmptyQuery(_)
+        ));
+        assert!(matches!(
+            idx.joinable_top_k(&q, "nope", 3).unwrap_err(),
+            ServeError::UnknownColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn registration_is_validated() {
+        let mut idx = LakeIndex::default();
+        idx.register("t", str_table("key", &["a"]), 1.0).unwrap();
+        assert_eq!(
+            idx.register("t", str_table("key", &["a"]), 1.0)
+                .unwrap_err(),
+            ServeError::DuplicateTable("t".into())
+        );
+        assert_eq!(
+            idx.register("e", str_table("key", &[]), 1.0).unwrap_err(),
+            ServeError::EmptyTable("e".into())
+        );
+        assert_eq!(
+            idx.register("c", str_table("key", &["a"]), 0.0)
+                .unwrap_err(),
+            ServeError::InvalidCost(0.0)
+        );
+        // NaN != NaN under `assert_eq!`; match on the variant instead
+        assert!(matches!(
+            idx.register("n", str_table("key", &["a"]), f64::NAN)
+                .unwrap_err(),
+            ServeError::InvalidCost(c) if c.is_nan()
+        ));
+    }
+
+    #[test]
+    fn union_ranking_matches_uncached_union_search() {
+        use rdi_discovery::UnionSearchIndex;
+        let corpus: Vec<(&str, &[&str])> = vec![
+            ("twin", &["a", "b", "c", "d"]),
+            ("half", &["a", "b", "x", "y"]),
+            ("none", &["p", "q", "r", "s"]),
+        ];
+        let mut idx = index_with(&corpus);
+        let q = str_table("key", &["a", "b", "c", "d"]);
+        let got = idx.union_top_k(&q, 3).unwrap();
+
+        // uncached reference path: fresh signatures, fresh index
+        let k = idx.config().minhash_k;
+        let mut reference = UnionSearchIndex::new();
+        for (id, vals) in &corpus {
+            reference.insert(TableSignature::build(*id, &str_table("key", vals), k).unwrap());
+        }
+        let qsig = TableSignature::build(CacheKey::QUERY_OWNER, &q, k).unwrap();
+        let want = reference.top_k(&qsig, 3);
+        assert_eq!(got.len(), want.len());
+        for ((gi, gs), (wi, ws)) in got.iter().zip(&want) {
+            assert_eq!(gi, wi);
+            assert_eq!(gs.to_bits(), ws.to_bits(), "scores byte-identical");
+        }
+    }
+
+    #[test]
+    fn repeat_queries_build_no_new_sketches() {
+        let mut idx = index_with(&[("t1", &["a", "b", "c"]), ("t2", &["x", "y", "z"])]);
+        let q = str_table("key", &["a", "b"]);
+        let built = rdi_obs::counter("discovery.sketches_built");
+        let first = idx.union_top_k(&q, 2).unwrap();
+        let after_first = built.get();
+        let second = idx.union_top_k(&q, 2).unwrap();
+        assert_eq!(built.get(), after_first, "warm query builds nothing");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn joinable_ranking_tracks_containment() {
+        let mut idx = index_with(&[
+            ("full", &["a", "b", "c", "d"]),
+            ("half", &["a", "b", "x", "y"]),
+            ("none", &["p", "q", "r", "s"]),
+        ]);
+        let q = str_table("key", &["a", "b", "c", "d"]);
+        let top = idx.joinable_top_k(&q, "key", 3).unwrap();
+        assert_eq!(top[0].0, "full");
+        assert!(top[0].1 > top[1].1);
+        assert_eq!(top[2].0, "none");
+    }
+
+    #[test]
+    fn candidates_without_the_key_column_are_skipped() {
+        let mut idx = LakeIndex::default();
+        idx.register("with", str_table("key", &["a", "b"]), 1.0)
+            .unwrap();
+        idx.register("without", str_table("other", &["a", "b"]), 1.0)
+            .unwrap();
+        let q = str_table("key", &["a", "b"]);
+        let top = idx.joinable_top_k(&q, "key", 5).unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, "with");
+    }
+}

@@ -1,0 +1,435 @@
+//! Batched request execution with bounded admission and load shedding.
+//!
+//! A [`ServeSession`] owns a [`LakeIndex`] and answers batches of
+//! [`ServeRequest`]s in three deterministic phases:
+//!
+//! 1. **Admission** (serial, arrival order): each request either enters
+//!    the bounded queue or is shed with a typed error —
+//!    [`ServeError::CircuitOpen`] once the session breaker has tripped,
+//!    [`ServeError::QueueFull`] past the queue capacity. Shedding
+//!    *degrades the batch to partial results*; it never panics and
+//!    never blocks.
+//! 2. **Warm** (serial, arrival order): every admitted request is
+//!    validated and its sketches are built or fetched from the cache —
+//!    the only cache-mutating phase, so hit/miss/eviction accounting is
+//!    a pure function of the request stream.
+//! 3. **Execute** (parallel over `rdi-par`): plans run as pure
+//!    functions of `(plan, seed)`, each request drawing from its own
+//!    RNG stream `stream_seed(session seed, arrival index)`. Results
+//!    are spliced back in arrival order, so a batch is **bitwise
+//!    identical** to submitting the same requests one at a time — for
+//!    any `RDI_THREADS`.
+//!
+//! After execution the session breaker consumes per-request outcomes in
+//! arrival order: a request *failure* counts against it, a success
+//! resets it, and once `breaker_threshold` consecutive failures accrue
+//! the session stops admitting work for its remaining lifetime
+//! (`rdi-fault` semantics: a permanently-open breaker keeps outcomes a
+//! pure function of the request stream).
+
+use rdi_fault::CircuitBreaker;
+use rdi_par::{par_map, stream_seed, Threads};
+
+use crate::error::ServeError;
+use crate::index::{execute, LakeIndex, Prepared};
+use crate::request::{ServeRequest, ServeResponse};
+
+/// Histogram bounds for batch size and admitted queue depth.
+const SIZE_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Session knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Maximum requests admitted per batch; the rest are shed with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Consecutive request failures after which the session breaker
+    /// opens (and stays open).
+    pub breaker_threshold: u32,
+    /// Thread configuration for the execute phase.
+    pub threads: Threads,
+    /// Master seed; request `i` (by arrival, across batches) executes
+    /// with RNG stream `stream_seed(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            queue_capacity: 64,
+            breaker_threshold: 5,
+            threads: Threads::auto(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of one batch: per-request results in submission order, plus
+/// degradation accounting.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One slot per submitted request, in order.
+    pub responses: Vec<Result<ServeResponse, ServeError>>,
+    /// Requests that entered the queue.
+    pub admitted: usize,
+    /// Requests shed at admission (breaker open or queue full).
+    pub shed: usize,
+    /// True when any request was shed or failed — the batch shipped
+    /// partial results.
+    pub degraded: bool,
+}
+
+/// A long-lived serving session over a [`LakeIndex`].
+#[derive(Debug)]
+pub struct ServeSession {
+    index: LakeIndex,
+    config: SessionConfig,
+    breaker: CircuitBreaker,
+    arrivals: u64,
+}
+
+impl ServeSession {
+    /// Wrap an index in a session.
+    pub fn new(index: LakeIndex, config: SessionConfig) -> Self {
+        ServeSession {
+            index,
+            breaker: CircuitBreaker::new(config.breaker_threshold),
+            config,
+            arrivals: 0,
+        }
+    }
+
+    /// The underlying index (e.g. to register more tables between
+    /// batches).
+    pub fn index_mut(&mut self) -> &mut LakeIndex {
+        &mut self.index
+    }
+
+    /// Read access to the underlying index.
+    pub fn index(&self) -> &LakeIndex {
+        &self.index
+    }
+
+    /// Tear the session down, keeping the (warm) index. A new session
+    /// over the returned index restarts the arrival counter, so
+    /// replaying the same request stream yields bitwise-identical
+    /// responses — now served from cache.
+    pub fn into_index(self) -> LakeIndex {
+        self.index
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// True once the session breaker has opened (all further requests
+    /// are shed).
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Requests seen so far (admitted or shed), across all batches.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Answer a batch. Never panics on bad requests: each slot in the
+    /// report is its own `Result`, and shed or failing requests leave
+    /// their neighbours untouched.
+    pub fn submit_batch(&mut self, requests: &[ServeRequest]) -> BatchReport {
+        let _span = rdi_obs::span("serve.batch");
+        rdi_obs::counter("serve.batches").inc();
+        rdi_obs::counter("serve.requests").add(requests.len() as u64);
+        rdi_obs::histogram("serve.batch_size", &SIZE_BOUNDS).record(requests.len() as f64);
+
+        // Phase 1: admission, serial in arrival order.
+        let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut admitted: Vec<(usize, u64)> = Vec::new(); // (position, arrival)
+        let mut shed = 0usize;
+        for (pos, _req) in requests.iter().enumerate() {
+            let arrival = self.arrivals;
+            self.arrivals += 1;
+            if self.breaker.is_open() {
+                responses[pos] = Some(Err(ServeError::CircuitOpen {
+                    consecutive_failures: self.breaker.consecutive_failures(),
+                }));
+                shed += 1;
+            } else if admitted.len() >= self.config.queue_capacity {
+                responses[pos] = Some(Err(ServeError::QueueFull {
+                    capacity: self.config.queue_capacity,
+                }));
+                shed += 1;
+            } else {
+                admitted.push((pos, arrival));
+            }
+        }
+        rdi_obs::counter("serve.shed").add(shed as u64);
+        rdi_obs::histogram("serve.queue_depth", &SIZE_BOUNDS).record(admitted.len() as f64);
+
+        // Phase 2: warm, serial in arrival order — the only phase that
+        // touches the cache.
+        let mut jobs: Vec<(usize, u64, Prepared)> = Vec::with_capacity(admitted.len());
+        for &(pos, arrival) in &admitted {
+            match self.index.prepare(&requests[pos]) {
+                Ok(plan) => jobs.push((pos, arrival, plan)),
+                Err(e) => responses[pos] = Some(Err(e)),
+            }
+        }
+
+        // Phase 3: execute in parallel; results splice back in input
+        // order (rdi-par contract), each job on its own RNG stream.
+        let seed = self.config.seed;
+        let results = par_map(
+            self.config.threads.min_len(2),
+            &jobs,
+            |(_, arrival, plan)| execute(plan, stream_seed(seed, *arrival)),
+        );
+        for ((pos, _, _), result) in jobs.into_iter().zip(results) {
+            responses[pos] = Some(result);
+        }
+
+        // Post phase: feed the breaker in arrival order, count failures.
+        let mut failed = 0usize;
+        for r in responses.iter().flatten() {
+            match r {
+                Ok(_) => self.breaker.record_success(),
+                Err(ServeError::CircuitOpen { .. }) | Err(ServeError::QueueFull { .. }) => {
+                    // shed, not failed: sheds never trip the breaker
+                }
+                Err(_) => {
+                    failed += 1;
+                    if self.breaker.record_failure() {
+                        rdi_obs::counter("serve.breaker_trips").inc();
+                    }
+                }
+            }
+        }
+        rdi_obs::counter("serve.requests_failed").add(failed as u64);
+        rdi_obs::counter("serve.requests_degraded").add((shed + failed) as u64);
+
+        let responses: Vec<Result<ServeResponse, ServeError>> = responses
+            .into_iter()
+            .map(|r| match r {
+                Some(r) => r,
+                // every slot is filled by exactly one of the phases above
+                None => Err(ServeError::EmptyQuery("request slot never resolved".into())),
+            })
+            .collect();
+        let degraded = shed > 0 || failed > 0;
+        BatchReport {
+            admitted: admitted.len(),
+            responses,
+            shed,
+            degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::LakeIndexConfig;
+    use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Table, Value};
+    use rdi_tailor::DtProblem;
+
+    fn keyed(vals: &[&str]) -> Table {
+        let schema = Schema::new(vec![Field::new("key", DataType::Str)]);
+        let mut t = Table::new(schema);
+        for v in vals {
+            t.push_row(vec![Value::str(*v)]).unwrap();
+        }
+        t
+    }
+
+    fn grouped(rows: &[(&str, f64)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("group", DataType::Str).with_role(Role::Sensitive),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (g, x) in rows {
+            t.push_row(vec![Value::str(*g), Value::Float(*x)]).unwrap();
+        }
+        t
+    }
+
+    fn session() -> ServeSession {
+        let mut idx = LakeIndex::new(LakeIndexConfig::default());
+        idx.register("abc", keyed(&["a", "b", "c"]), 1.0).unwrap();
+        idx.register("abx", keyed(&["a", "b", "x"]), 1.0).unwrap();
+        let rows: Vec<(&str, f64)> = (0..60)
+            .map(|i| (if i % 3 == 0 { "min" } else { "maj" }, i as f64))
+            .collect();
+        idx.register("pop", grouped(&rows), 1.0).unwrap();
+        ServeSession::new(idx, SessionConfig::default())
+    }
+
+    fn problem() -> DtProblem {
+        DtProblem::exact_counts(
+            GroupSpec::new(vec!["group"]),
+            vec![
+                (GroupKey(vec![Value::str("maj")]), 5),
+                (GroupKey(vec![Value::str("min")]), 5),
+            ],
+        )
+    }
+
+    fn mixed_batch() -> Vec<ServeRequest> {
+        vec![
+            ServeRequest::UnionTopK {
+                query: keyed(&["a", "b", "c"]),
+                k: 2,
+            },
+            ServeRequest::JoinableTopK {
+                query: keyed(&["a", "b"]),
+                column: "key".into(),
+                k: 2,
+            },
+            ServeRequest::CoverageProbe {
+                table: "pop".into(),
+                attributes: vec!["group".into()],
+                threshold: 10,
+            },
+            ServeRequest::TailorRun {
+                problem: problem(),
+                sources: vec!["pop".into()],
+                max_draws: 5_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn mixed_batch_answers_every_request() {
+        let mut s = session();
+        let report = s.submit_batch(&mixed_batch());
+        assert_eq!(report.responses.len(), 4);
+        assert_eq!(report.admitted, 4);
+        assert_eq!(report.shed, 0);
+        assert!(!report.degraded, "{:?}", report.responses);
+        assert!(matches!(
+            report.responses[0],
+            Ok(ServeResponse::UnionTopK(_))
+        ));
+        assert!(matches!(
+            report.responses[1],
+            Ok(ServeResponse::JoinableTopK(_))
+        ));
+        assert!(matches!(
+            report.responses[2],
+            Ok(ServeResponse::Coverage(_))
+        ));
+        match &report.responses[3] {
+            Ok(ServeResponse::Tailored(t)) => {
+                // `exact_counts` keeps unboundedly (`hi = MAX`): at
+                // least 5 of each group, plus surplus majority rows
+                // drawn while the minority catches up.
+                assert!(t.rows >= 10, "rows={}", t.rows);
+                assert!(!t.degraded);
+            }
+            other => panic!("expected tailor report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_equals_one_at_a_time() {
+        let batch = mixed_batch();
+        let mut all = session();
+        let whole = all.submit_batch(&batch);
+        let mut one = session();
+        let singles: Vec<_> = batch
+            .iter()
+            .map(|r| {
+                let mut rep = one.submit_batch(std::slice::from_ref(r));
+                rep.responses.remove(0)
+            })
+            .collect();
+        assert_eq!(whole.responses, singles);
+    }
+
+    #[test]
+    fn queue_overflow_sheds_to_partial_results() {
+        let mut idx = LakeIndex::default();
+        idx.register("t", keyed(&["a", "b"]), 1.0).unwrap();
+        let mut s = ServeSession::new(
+            idx,
+            SessionConfig {
+                queue_capacity: 2,
+                ..SessionConfig::default()
+            },
+        );
+        let req = ServeRequest::UnionTopK {
+            query: keyed(&["a"]),
+            k: 1,
+        };
+        let report = s.submit_batch(&vec![req.clone(); 5]);
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.shed, 3);
+        assert!(report.degraded);
+        assert!(report.responses[0].is_ok());
+        assert!(report.responses[1].is_ok());
+        for r in &report.responses[2..] {
+            assert_eq!(r, &Err(ServeError::QueueFull { capacity: 2 }));
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_breaker_and_shed_later_batches() {
+        let mut s = session();
+        let poison = ServeRequest::CoverageProbe {
+            table: "missing".into(),
+            attributes: vec!["group".into()],
+            threshold: 1,
+        };
+        let threshold = s.config().breaker_threshold as usize;
+        let report = s.submit_batch(&vec![poison; threshold]);
+        assert!(report.degraded);
+        assert!(s.breaker_open());
+        // a healthy batch is now fully shed — degraded, never panicking
+        let after = s.submit_batch(&mixed_batch());
+        assert_eq!(after.admitted, 0);
+        assert_eq!(after.shed, 4);
+        assert!(after
+            .responses
+            .iter()
+            .all(|r| matches!(r, Err(ServeError::CircuitOpen { .. }))));
+    }
+
+    #[test]
+    fn failures_interleaved_with_successes_do_not_trip() {
+        let mut s = session();
+        let good = ServeRequest::UnionTopK {
+            query: keyed(&["a"]),
+            k: 1,
+        };
+        let bad = ServeRequest::CoverageProbe {
+            table: "missing".into(),
+            attributes: vec![],
+            threshold: 1,
+        };
+        for _ in 0..4 {
+            let r = s.submit_batch(&[bad.clone(), good.clone()]);
+            assert!(r.degraded);
+        }
+        assert!(!s.breaker_open(), "successes keep resetting the breaker");
+    }
+
+    #[test]
+    fn warm_replay_is_bitwise_identical_and_builds_nothing() {
+        let mut s = session();
+        let batch = mixed_batch();
+        let cold = s.submit_batch(&batch);
+        // Re-serve the same stream over the warm index: same arrival
+        // indices, so even the randomized tailor run replays exactly.
+        let mut warm_session = ServeSession::new(s.into_index(), SessionConfig::default());
+        let built = rdi_obs::counter("discovery.sketches_built").get();
+        let warm = warm_session.submit_batch(&batch);
+        assert_eq!(
+            rdi_obs::counter("discovery.sketches_built").get(),
+            built,
+            "warm replay rebuilds no sketches"
+        );
+        assert_eq!(cold.responses, warm.responses);
+    }
+}

@@ -34,6 +34,9 @@ pub struct TailorOutcome {
 ///
 /// All sources must share one schema (the integration step proper —
 /// schema matching — is handled upstream by `rdi-discovery`).
+// The legacy infallible `Source::draw` shim is deprecated; this simple
+// (non-resilient) loop is its one sanctioned in-workspace caller.
+#[allow(deprecated)]
 pub fn run_tailoring<S: Source, R: Rng>(
     sources: &mut [S],
     problem: &DtProblem,
@@ -125,6 +128,7 @@ pub fn record_outcome(per_group: &[usize], draws: usize, total_cost: f64) {
 /// record another source already supplied wastes its cost, exactly the
 /// effect overlap-aware source selection must reason about. Returns the
 /// outcome plus the number of duplicate draws paid for.
+#[allow(deprecated)]
 pub fn run_tailoring_dedup<S: Source, R: Rng>(
     sources: &mut [S],
     problem: &DtProblem,

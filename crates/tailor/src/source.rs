@@ -122,6 +122,11 @@ pub trait Source {
     /// fault-injecting sources it retries *unboundedly* (terminating
     /// with probability 1 whenever the per-draw fault rate is below
     /// 1.0) — use the resilient executor for bounded retries.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use PipelineBuilder-driven executors (or call try_draw and handle the error); \
+                the infallible shim retries unboundedly"
+    )]
     fn draw(&mut self, rng: &mut dyn RngCore) -> Draw {
         loop {
             if let Ok(d) = self.try_draw(rng) {
@@ -249,6 +254,7 @@ impl Source for TableSource {
 
     /// Bitwise identical to the inherent [`TableSource::draw`] (one
     /// `gen_range` on `rng`, nothing else).
+    #[allow(deprecated)]
     fn draw(&mut self, rng: &mut dyn RngCore) -> Draw {
         TableSource::draw(self, rng)
     }

@@ -7,13 +7,10 @@
 //! cargo run --release --example dataset_discovery
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use responsible_data_integration::datagen::{LakeConfig, SyntheticLake};
 use responsible_data_integration::discovery::{
     discover_features, FeatureQuery, LshEnsemble, MinHash, OverlapIndex,
 };
-use responsible_data_integration::table::{DataType, Field, Schema, Table, Value};
+use responsible_data_integration::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);

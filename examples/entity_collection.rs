@@ -10,15 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use responsible_data_integration::entitycollect::{
     run_collection, SimulatedWorker, WorkerSelection,
 };
 use responsible_data_integration::fairness::{Categorical, DebiasedView};
-use responsible_data_integration::table::{
-    DataType, Field, GroupKey, GroupSpec, Predicate, Role, Schema, Table, Value,
-};
+use responsible_data_integration::prelude::*;
+use responsible_data_integration::table::Predicate;
 
 const DISTRICTS: [&str; 4] = ["north", "south", "west", "loop"];
 

@@ -8,10 +8,8 @@
 //! cargo run --example fair_range_query
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use responsible_data_integration::fairquery::{relax_for_coverage, RangeQuery2d, RangeQueryEngine};
-use responsible_data_integration::table::{DataType, Field, GroupSpec, Role, Schema, Table, Value};
+use responsible_data_integration::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);

@@ -9,17 +9,11 @@
 //! cargo run --release --example healthcare_tailoring
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use responsible_data_integration::acquisition::ml::{design_matrix, evaluate, LogisticRegression};
-use responsible_data_integration::core::prelude::*;
-use responsible_data_integration::core::requirement::Requirement;
 use responsible_data_integration::datagen::{
     healthcare_population, healthcare_sources, HealthcareConfig,
 };
-use responsible_data_integration::profile::LabelConfig;
-use responsible_data_integration::table::{Table, Value};
-use responsible_data_integration::tailor::prelude::*;
+use responsible_data_integration::prelude::*;
 
 const RACES: [&str; 4] = ["white", "black", "hispanic", "asian"];
 const FEATURES: [&str; 2] = ["tumor_marker", "screening_score"];
@@ -75,22 +69,18 @@ fn main() {
         .map(|(name, g)| TableSource::new(name, g.table, g.cost, &problem).unwrap())
         .collect();
     let mut policy = RatioColl::from_sources(&sources);
-    let pipeline = Pipeline {
-        problem,
-        imputations: vec![],
-        label_config: LabelConfig::default(),
-        spec: RequirementSpec::default()
-            .with(Requirement::GroupRepresentation {
-                threshold: 1_500,
-                max_uncovered_patterns: 0,
-            })
-            .with(Requirement::ScopeOfUse { min_scope_notes: 1 })
-            .with_note(
-                "Integrated from 4 simulated Chicago hospitals with differing racial skews; \
-                 tailored to equal representation for breast-cancer screening research.",
-            ),
-        max_draws: 5_000_000,
-    };
+    let pipeline = PipelineBuilder::new(problem)
+        .require(Requirement::GroupRepresentation {
+            threshold: 1_500,
+            max_uncovered_patterns: 0,
+        })
+        .require(Requirement::ScopeOfUse { min_scope_notes: 1 })
+        .scope_note(
+            "Integrated from 4 simulated Chicago hospitals with differing racial skews; \
+             tailored to equal representation for breast-cancer screening research.",
+        )
+        .max_draws(5_000_000)
+        .build();
     let result = pipeline.run(&mut sources, &mut policy, &mut rng).unwrap();
     println!("\n=== Responsible pipeline ===");
     for p in &result.provenance {

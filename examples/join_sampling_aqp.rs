@@ -8,16 +8,13 @@
 //! cargo run --release --example join_sampling_aqp
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use responsible_data_integration::joinsample::olken::materialize_samples;
 use responsible_data_integration::joinsample::ripple::Side;
 use responsible_data_integration::joinsample::{
     chaudhuri_sample, sample_then_join, JoinIndex, RippleJoin, WanderJoin,
 };
-use responsible_data_integration::table::{
-    hash_join, DataType, Field, GroupSpec, Role, Schema, Table, Value,
-};
+use responsible_data_integration::prelude::*;
+use responsible_data_integration::table::hash_join;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);

@@ -6,13 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use responsible_data_integration::core::prelude::*;
-use responsible_data_integration::datagen::{skewed_sources, PopulationSpec, SourceConfig};
-use responsible_data_integration::profile::{LabelConfig, NutritionalLabel};
-use responsible_data_integration::table::Value;
-use responsible_data_integration::tailor::prelude::*;
+use responsible_data_integration::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2022);

@@ -5,11 +5,11 @@
 
 use std::collections::HashMap;
 
-use rdi_core::prelude::*;
+use crate::prelude::*;
 use rdi_coverage::{remedy_greedy, CoverageAnalyzer};
 use rdi_fairquery::RangeQueryEngine;
-use rdi_profile::{Datasheet, LabelConfig, NutritionalLabel};
-use rdi_table::{read_csv_str, Field, GroupSpec, Role, Schema, Table};
+use rdi_profile::Datasheet;
+use rdi_table::read_csv_str;
 
 /// The usage string printed on errors.
 pub const USAGE: &str = "\

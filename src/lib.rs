@@ -23,11 +23,42 @@
 //! | [`entitycollect`] | `rdi-entitycollect` | distribution-aware crowd entity collection (§4.1) |
 //! | [`fairquery`] | `rdi-fairquery` | fairness-aware range queries (§5) |
 //! | [`core`] | `rdi-core` | the §2 requirements framework, audits, pipeline |
+//! | [`serve`] | `rdi-serve` | batched, cache-backed query serving over a lake index |
 //! | [`obs`] | `rdi-obs` | metrics registry, span timers, typed provenance |
+//!
+//! For everyday use, `use responsible_data_integration::prelude::*;`
+//! pulls in the common vocabulary: tables and schemas, the tailoring
+//! problem/policies/sources, the [`core::PipelineBuilder`] entry point,
+//! synthetic data generators, and the serving layer.
 
 #![warn(missing_docs)]
 
 pub mod cli;
+
+/// One-stop imports for examples, experiments, and downstream binaries.
+///
+/// Brings in the common vocabulary across the toolkit: typed tables
+/// ([`table::Table`], [`table::Schema`], …), the distribution-tailoring
+/// problem and policies (`DtProblem`, `TableSource`, `RatioColl`, …),
+/// the consolidated [`core::PipelineBuilder`] pipeline entry point with
+/// its audit/requirement types, synthetic data generators, nutritional
+/// labels, the `rdi-serve` serving layer, and the compat `rand`
+/// RNG types.
+pub mod prelude {
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+    pub use rdi_core::prelude::*;
+    pub use rdi_datagen::{
+        skewed_sources, LakeConfig, PopulationSpec, SourceConfig, SyntheticLake,
+    };
+    pub use rdi_profile::{LabelConfig, NutritionalLabel};
+    pub use rdi_serve::{
+        BatchReport, LakeIndex, LakeIndexConfig, ServeError, ServeRequest, ServeResponse,
+        ServeSession, SessionConfig,
+    };
+    pub use rdi_table::{DataType, Field, GroupKey, GroupSpec, Role, Schema, Table, Value};
+    pub use rdi_tailor::prelude::*;
+}
 
 pub use rdi_acquisition as acquisition;
 pub use rdi_cleaning as cleaning;
@@ -42,5 +73,6 @@ pub use rdi_fault as fault;
 pub use rdi_joinsample as joinsample;
 pub use rdi_obs as obs;
 pub use rdi_profile as profile;
+pub use rdi_serve as serve;
 pub use rdi_table as table;
 pub use rdi_tailor as tailor;
