@@ -13,7 +13,11 @@
 //!   returns bitwise-identical responses — including the randomized
 //!   tailoring run, which replays on the same per-arrival RNG stream;
 //! * overload and poison requests degrade to typed partial results
-//!   (queue shedding, breaker trip) — the batch never panics.
+//!   (queue shedding, breaker trip) — the batch never panics;
+//! * under a deliberately small byte budget the sketch caches evict
+//!   LRU entries and account every released byte
+//!   (`serve.cache.evictions` / `serve.cache.evicted_bytes`) instead
+//!   of overflowing.
 
 use rdi_bench::{emit_metrics_snapshot, f1, f3, print_table};
 use rdi_datagen::{skewed_sources, LakeConfig, PopulationSpec, SourceConfig, SyntheticLake};
@@ -287,6 +291,46 @@ fn main() {
     println!(
         "\nbreaker open = {}, every shed request got a typed error",
         breaker_session.breaker_open()
+    );
+
+    // --- 5. byte-budget pressure: caches evict, and account for it ---
+    let budget = 16 << 10;
+    let ev_0 = counter("serve.cache.evictions");
+    let evb_0 = counter("serve.cache.evicted_bytes");
+    let big = breaker_session.into_index();
+    let mut small = LakeIndex::new(LakeIndexConfig {
+        cache_capacity_bytes: budget,
+        ..LakeIndexConfig::default()
+    });
+    for id in big.table_ids() {
+        small
+            .register(id, big.table(id).unwrap().clone(), 1.0)
+            .unwrap();
+    }
+    small.union_top_k(&query, 5).unwrap();
+    small.joinable_top_k(&query, "key", 5).unwrap();
+    let evictions = counter("serve.cache.evictions") - ev_0;
+    let evicted_bytes = counter("serve.cache.evicted_bytes") - evb_0;
+    assert!(evictions > 0, "a {budget}-byte budget must evict");
+    assert!(evicted_bytes > 0, "evictions must account their bytes");
+    assert!(
+        small.cache_bytes() <= budget,
+        "resident bytes within the global budget"
+    );
+    print_table(
+        "E19d: eviction under a 16 KiB budget (counters, not wall-clock)",
+        &["measure", "value"],
+        &[
+            vec!["serve.cache.evictions".into(), evictions.to_string()],
+            vec![
+                "serve.cache.evicted_bytes".into(),
+                evicted_bytes.to_string(),
+            ],
+            vec![
+                "resident bytes / budget".into(),
+                format!("{} / {budget}", small.cache_bytes()),
+            ],
+        ],
     );
 
     emit_metrics_snapshot();

@@ -15,7 +15,9 @@
 //! * [`healthcare`] — the tutorial's Example 1 benchmark (Chicago-style
 //!   breast-cancer screening data scattered across skewed hospitals);
 //! * [`lake`] — synthetic data lakes with planted joinable/unionable
-//!   tables and planted join-correlations (§3.1).
+//!   tables and planted join-correlations (§3.1);
+//! * [`churn`] — seeded register/append/delete/drop streams for
+//!   lake-churn experiments (E20).
 
 //!
 //! ```
@@ -30,6 +32,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod corrupt;
 pub mod faulty;
 pub mod healthcare;
@@ -39,6 +42,7 @@ pub mod population;
 pub mod rng;
 pub mod sources;
 
+pub use churn::{churn_workload, ChurnConfig, ChurnEvent, ChurnWorkload};
 pub use corrupt::{corrupt_numeric, CorruptSpec};
 pub use faulty::{faulty_skewed_sources, wrap_federation};
 pub use healthcare::{healthcare_population, healthcare_sources, HealthcareConfig};

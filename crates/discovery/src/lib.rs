@@ -54,9 +54,9 @@ pub mod union_search;
 pub use ensemble::LshEnsemble;
 pub use feature::{discover_features, discover_features_with, FeatureCandidate, FeatureQuery};
 pub use keyword::KeywordIndex;
-pub use kmv::{CorrelationSketch, KmvSketch};
+pub use kmv::{CorrelationSketch, KmvSketch, UpdatableKmv};
 pub use lsh::MinHashLsh;
-pub use minhash::MinHash;
+pub use minhash::{MinHash, UpdatableMinHash};
 pub use navigate::{symmetric_unionability, Navigator};
 pub use overlap::OverlapIndex;
 pub use schema_match::{align_table, match_schemas, ColumnMatch};

@@ -320,3 +320,19 @@ fn r6_covers_the_serving_experiment() {
     let r = analyze_source("crates/bench/src/bin/exp_serving.rs", ok);
     assert!(!r.findings.iter().any(|f| f.rule == "R6"));
 }
+
+#[test]
+fn r6_covers_the_lake_churn_experiment() {
+    // E20 (exp_lake_churn) proves O(delta) maintenance *by counters*,
+    // so a run without a METRICS_SNAPSHOT is meaningless — pin the
+    // obligation to the harness name.
+    let missing = "fn main() { println!(\"churned\"); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_lake_churn.rs", missing);
+    assert!(
+        r.findings.iter().any(|f| f.rule == "R6"),
+        "exp_lake_churn without a metrics snapshot must trip R6"
+    );
+    let ok = "fn main() { rdi_bench::emit_metrics_snapshot(); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_lake_churn.rs", ok);
+    assert!(!r.findings.iter().any(|f| f.rule == "R6"));
+}

@@ -7,8 +7,10 @@
 //! wall clocks, no hash-map iteration order (`BTreeMap` throughout).
 //!
 //! The cache reports itself through `rdi-obs`: `serve.cache.hits`,
-//! `serve.cache.misses`, `serve.cache.evictions` counters and a
-//! `serve.cache.bytes` gauge.
+//! `serve.cache.misses`, `serve.cache.evictions` (capacity pressure),
+//! `serve.cache.invalidated` (explicit owner/fingerprint eviction) and
+//! `serve.cache.evicted_bytes` (bytes released by either path)
+//! counters, plus a `serve.cache.bytes` gauge.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -170,7 +172,8 @@ impl SketchCache {
 
     /// Insert a freshly built sketch, evicting least-recently-used
     /// entries until the capacity holds (the new entry itself is never
-    /// evicted, even when oversized). Counts `serve.cache.evictions`.
+    /// evicted, even when oversized). Counts `serve.cache.evictions`
+    /// and `serve.cache.evicted_bytes`.
     pub fn insert(&mut self, key: CacheKey, sketch: Sketch) {
         let bytes = sketch.bytes();
         if let Some(old) = self.entries.remove(&key) {
@@ -201,10 +204,55 @@ impl SketchCache {
             self.recency.remove(&seq);
             if let Some(e) = self.entries.remove(&victim) {
                 self.bytes -= e.bytes;
+                rdi_obs::counter("serve.cache.evicted_bytes").add(e.bytes as u64);
             }
             rdi_obs::counter("serve.cache.evictions").inc();
         }
         rdi_obs::gauge("serve.cache.bytes").set(self.bytes as f64);
+    }
+
+    /// Evict every entry owned by `owner`, regardless of fingerprint
+    /// (the table was dropped). Counts `serve.cache.invalidated` per
+    /// entry and `serve.cache.evicted_bytes`. Returns entries removed.
+    pub fn evict_owner(&mut self, owner: &str) -> usize {
+        self.evict_where(owner, |_| true)
+    }
+
+    /// Evict `owner`'s entries whose fingerprint is *not*
+    /// `keep_fingerprint` — the content changed, so old-fingerprint
+    /// entries are unreachable and must not squat in the byte budget.
+    /// Counts `serve.cache.invalidated` per entry and
+    /// `serve.cache.evicted_bytes`. Returns entries removed.
+    pub fn evict_stale(&mut self, owner: &str, keep_fingerprint: u64) -> usize {
+        self.evict_where(owner, |key| key.fingerprint != keep_fingerprint)
+    }
+
+    /// Shared owner-scoped eviction: `CacheKey` orders by owner first,
+    /// so the owner's entries form one contiguous `BTreeMap` range.
+    fn evict_where(&mut self, owner: &str, doomed: impl Fn(&CacheKey) -> bool) -> usize {
+        let victims: Vec<CacheKey> = self
+            .entries
+            .range(
+                CacheKey {
+                    owner: owner.to_string(),
+                    fingerprint: 0,
+                    kind: SketchKind::Union { k: 0 },
+                }..,
+            )
+            .take_while(|(k, _)| k.owner == owner)
+            .filter(|(k, _)| doomed(k))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &victims {
+            if let Some(e) = self.entries.remove(key) {
+                self.recency.remove(&e.last_used);
+                self.bytes -= e.bytes;
+                rdi_obs::counter("serve.cache.invalidated").inc();
+                rdi_obs::counter("serve.cache.evicted_bytes").add(e.bytes as u64);
+            }
+        }
+        rdi_obs::gauge("serve.cache.bytes").set(self.bytes as f64);
+        victims.len()
     }
 }
 
@@ -263,6 +311,67 @@ mod tests {
         c.insert(key("next"), sig("next", 64));
         assert_eq!(c.len(), 1);
         assert!(c.get(&key("big")).is_none());
+    }
+
+    fn key_fp(owner: &str, fingerprint: u64) -> CacheKey {
+        CacheKey {
+            owner: owner.to_string(),
+            fingerprint,
+            kind: SketchKind::Union { k: 8 },
+        }
+    }
+
+    #[test]
+    fn owner_eviction_releases_bytes_and_counts() {
+        // counters are process-global; other tests may bump them
+        // concurrently, so assert exact effects via return values and
+        // monotone movement via the counters
+        let invalidated = rdi_obs::counter("serve.cache.invalidated").get();
+        let freed = rdi_obs::counter("serve.cache.evicted_bytes").get();
+        let mut c = SketchCache::new(1 << 20);
+        c.insert(key_fp("t1", 1), sig("t1", 8));
+        c.insert(
+            CacheKey {
+                owner: "t1".to_string(),
+                fingerprint: 1,
+                kind: SketchKind::Join {
+                    column: "c".to_string(),
+                    k: 8,
+                },
+            },
+            sig("t1", 8),
+        );
+        c.insert(key_fp("t2", 7), sig("t2", 8));
+        let held = c.bytes();
+
+        // stale eviction: t1's fingerprint moved 1 → 2; both kinds go
+        assert_eq!(c.evict_stale("t1", 2), 2);
+        assert_eq!(c.len(), 1, "t2 untouched");
+        assert!(c.bytes() < held);
+        // keep-fingerprint entries survive
+        c.insert(key_fp("t2", 7), sig("t2", 8));
+        assert_eq!(c.evict_stale("t2", 7), 0);
+        assert_eq!(c.len(), 1);
+
+        // owner eviction: drop removes everything t2 owns
+        assert_eq!(c.evict_owner("t2"), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert!(rdi_obs::counter("serve.cache.invalidated").get() >= invalidated + 3);
+        assert!(rdi_obs::counter("serve.cache.evicted_bytes").get() > freed);
+    }
+
+    #[test]
+    fn capacity_eviction_accounts_released_bytes() {
+        let before = rdi_obs::counter("serve.cache.evicted_bytes").get();
+        let mut c = SketchCache::new(340);
+        c.insert(key("a"), sig("a", 8));
+        c.insert(key("b"), sig("b", 8));
+        c.insert(key("c"), sig("c", 8)); // evicts the LRU
+        assert!(
+            rdi_obs::counter("serve.cache.evicted_bytes").get() > before,
+            "capacity eviction reports the bytes it released"
+        );
     }
 
     #[test]

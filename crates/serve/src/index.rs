@@ -1,36 +1,69 @@
-//! The persistent lake index: registered tables + memoized sketches.
+//! The persistent lake index: registered tables + memoized sketches,
+//! sharded by table id and maintained incrementally under lake churn.
 //!
 //! A [`LakeIndex`] owns every registered table (shared as `Arc` so
-//! batch execution can read them without cloning) and a
-//! [`SketchCache`] keyed by `(table id, content fingerprint, sketch
-//! kind)`. All mutation — registration and cache warming — happens on
-//! `&mut self`; query *execution* runs over immutable
-//! `Prepared` plans whose `Arc` handles were cloned out of the cache
-//! during the serial warm pass, which is what lets a batch fan out
-//! over `rdi-par` while staying bitwise identical to serial execution.
+//! batch execution can read them without cloning) behind a fixed
+//! number of **shards**: each table id is assigned to
+//! `hash(id) % shard_count` — a pure function of the id, so the
+//! assignment is identical across processes and thread counts — and
+//! each shard carries its own [`SketchCache`] slice of the global byte
+//! budget. All mutation — registration, delta application, and cache
+//! warming — happens on `&mut self`; query *execution* runs over
+//! immutable `Prepared` plans whose `Arc` handles were cloned out of
+//! the caches during the serial warm pass, which is what lets a batch
+//! fan out over `rdi-par` while staying bitwise identical to serial
+//! execution.
+//!
+//! ## Incremental maintenance
+//!
+//! [`LakeIndex::apply_delta`] absorbs a [`TableDelta`] with sketch
+//! work proportional to the delta, not the table: appends extend the
+//! maintained per-column sketches value by value, deletes repair them
+//! exactly through their multiplicity maps, and both refresh the
+//! table's [`crate::fingerprint::FpState`] incrementally. Each delta
+//! re-inserts the refreshed sketches under the new fingerprint and
+//! eagerly evicts the old-fingerprint entries, so the next query is a
+//! cache hit that builds nothing. Deletion repair is exact but its
+//! signature-position repair cost grows with accumulated churn, so
+//! once absorbed deletions exceed
+//! [`LakeIndexConfig::deletion_debt_threshold`] the index performs one
+//! counted rebuild (`sketch.rebuilds`) and resets the debt — a cost
+//! policy only; answers are bitwise identical on both sides.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdi_coverage::CoverageAnalyzer;
+use rdi_discovery::hash::hash_bytes;
 use rdi_discovery::{table_unionability, MinHash, TableSignature};
-use rdi_table::Table;
+use rdi_table::{Table, TableDelta};
 use rdi_tailor::{DtProblem, RandomPolicy, TableSource};
 
 use crate::cache::{CacheKey, KeyProfile, Sketch, SketchCache, SketchKind};
 use crate::error::ServeError;
-use crate::fingerprint::table_fingerprint;
+use crate::fingerprint::{table_fingerprint, FpState};
+use crate::maint::{Maintained, UpdatableKeyProfile, UpdatableSignature};
 use crate::request::{CoverageReport, ServeRequest, ServeResponse, TailorReport};
+
+/// Seed domain for shard assignment (distinct from every sketch seed).
+const SHARD_SEED: u64 = 0x5348_4152_4421;
 
 /// Sizing knobs for a [`LakeIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LakeIndexConfig {
     /// MinHash signature length for union signatures and join profiles.
     pub minhash_k: usize,
-    /// Sketch-cache capacity in accounted bytes.
+    /// Total sketch-cache capacity in accounted bytes, split across
+    /// shards (remainder bytes go to the lowest-numbered shards).
     pub cache_capacity_bytes: usize,
+    /// Number of index shards (≥ 1; table ids are assigned by hash).
+    pub shard_count: usize,
+    /// Deleted rows absorbed incrementally per table before one counted
+    /// sketch rebuild resets the debt.
+    pub deletion_debt_threshold: u64,
 }
 
 impl Default for LakeIndexConfig {
@@ -38,6 +71,8 @@ impl Default for LakeIndexConfig {
         LakeIndexConfig {
             minhash_k: 128,
             cache_capacity_bytes: 4 << 20,
+            shard_count: 8,
+            deletion_debt_threshold: 512,
         }
     }
 }
@@ -45,16 +80,26 @@ impl Default for LakeIndexConfig {
 #[derive(Debug)]
 struct Registered {
     table: Arc<Table>,
-    fingerprint: u64,
+    /// Incrementally maintained content fingerprint.
+    fp: FpState,
     cost: f64,
+    /// Lazily-populated maintained sketch state (see `maint`).
+    maint: Maintained,
+}
+
+/// One shard: its slice of the table map and its slice of the cache
+/// byte budget.
+#[derive(Debug)]
+struct Shard {
+    tables: BTreeMap<String, Registered>,
+    cache: SketchCache,
 }
 
 /// A persistent, in-process index over a lake of registered tables.
 #[derive(Debug)]
 pub struct LakeIndex {
     config: LakeIndexConfig,
-    tables: BTreeMap<String, Registered>,
-    cache: SketchCache,
+    shards: Vec<Shard>,
 }
 
 impl Default for LakeIndex {
@@ -64,13 +109,18 @@ impl Default for LakeIndex {
 }
 
 impl LakeIndex {
-    /// An empty index with the given sizing.
+    /// An empty index with the given sizing. A `shard_count` of 0 is
+    /// treated as 1.
     pub fn new(config: LakeIndexConfig) -> Self {
-        LakeIndex {
-            cache: SketchCache::new(config.cache_capacity_bytes),
-            tables: BTreeMap::new(),
-            config,
-        }
+        let n = config.shard_count.max(1);
+        let total = config.cache_capacity_bytes;
+        let shards = (0..n)
+            .map(|i| Shard {
+                tables: BTreeMap::new(),
+                cache: SketchCache::new(total / n + usize::from(i < total % n)),
+            })
+            .collect();
+        LakeIndex { config, shards }
     }
 
     /// The index configuration.
@@ -78,11 +128,37 @@ impl LakeIndex {
         &self.config
     }
 
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard assignment for a table id: a pure function
+    /// of the id bytes and the shard count.
+    pub fn shard_of(&self, id: &str) -> usize {
+        (hash_bytes(id.as_bytes(), SHARD_SEED) % self.shards.len() as u64) as usize
+    }
+
+    /// Registered-table count per shard, in shard order.
+    pub fn shard_table_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.tables.len()).collect()
+    }
+
+    /// Per-shard cache capacities, in shard order; they sum to the
+    /// configured global budget.
+    pub fn shard_cache_capacities(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.cache.capacity()).collect()
+    }
+
+    fn registered(&self, id: &str) -> Option<&Registered> {
+        self.shards[self.shard_of(id)].tables.get(id)
+    }
+
     /// Register a table under a unique id with a per-draw cost (used by
     /// [`ServeRequest::TailorRun`]). The content fingerprint is
     /// computed once here; re-registering the same id is an error
-    /// ([`ServeError::DuplicateTable`]), as are empty tables and
-    /// non-positive costs.
+    /// ([`ServeError::DuplicateTable`]) — use [`LakeIndex::upsert`] to
+    /// replace — as are empty tables and non-positive costs.
     pub fn register(
         &mut self,
         id: impl Into<String>,
@@ -90,117 +166,332 @@ impl LakeIndex {
         cost: f64,
     ) -> Result<(), ServeError> {
         let id = id.into();
-        if self.tables.contains_key(&id) {
+        if self.contains(&id) {
             return Err(ServeError::DuplicateTable(id));
         }
+        self.upsert(id, table, cost)
+    }
+
+    /// Register or replace a table. Replacing an id whose content
+    /// changed eagerly evicts the old-fingerprint cache entries — they
+    /// are unreachable (nothing holds the old fingerprint any more)
+    /// and must not squat in the byte budget. Replacing with identical
+    /// content keeps the warm entries.
+    pub fn upsert(
+        &mut self,
+        id: impl Into<String>,
+        table: Table,
+        cost: f64,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
         if table.is_empty() {
             return Err(ServeError::EmptyTable(id));
         }
         if cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ServeError::InvalidCost(cost));
         }
-        let fingerprint = table_fingerprint(&table);
-        self.tables.insert(
-            id,
+        let si = self.shard_of(&id);
+        rdi_obs::counter("serve.shard.routed").inc();
+        let fp = FpState::from_table(&table);
+        let keep = fp.fingerprint();
+        let shard = &mut self.shards[si];
+        shard.tables.insert(
+            id.clone(),
             Registered {
                 table: Arc::new(table),
-                fingerprint,
+                fp,
                 cost,
+                maint: Maintained::default(),
             },
         );
-        rdi_obs::gauge("serve.index.tables").set(self.tables.len() as f64);
+        // Defensive even on fresh registration: a previous life of this
+        // id (dropped, re-registered) must leave no stale entries.
+        shard.cache.evict_stale(&id, keep);
+        self.publish_stats();
         Ok(())
+    }
+
+    /// Apply a delta to a registered table, maintaining its fingerprint
+    /// and any materialized sketches with work proportional to the
+    /// delta. Counts `serve.delta.rows_applied`; sketch maintenance
+    /// counts `sketch.incremental_updates` per absorbed value and
+    /// `sketch.rebuilds` when deletion debt crosses the threshold.
+    /// Returns the number of rows touched.
+    ///
+    /// `Drop` deregisters the table and evicts everything it cached;
+    /// the id can be registered again later.
+    pub fn apply_delta(&mut self, id: &str, delta: &TableDelta) -> Result<usize, ServeError> {
+        let k = self.config.minhash_k;
+        let debt_threshold = self.config.deletion_debt_threshold;
+        let si = self.shard_of(id);
+        rdi_obs::counter("serve.shard.routed").inc();
+        let Shard { tables, cache } = &mut self.shards[si];
+
+        if matches!(delta, TableDelta::Drop) {
+            if tables.remove(id).is_none() {
+                return Err(ServeError::UnknownTable(id.to_string()));
+            }
+            cache.evict_owner(id);
+            self.publish_stats();
+            return Ok(0);
+        }
+
+        let r = tables
+            .get_mut(id)
+            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
+        let rows_touched = match delta {
+            TableDelta::Append(rows) => {
+                Arc::make_mut(&mut r.table).append(rows)?;
+                r.fp.append(rows);
+                if let Some(u) = &mut r.maint.union {
+                    u.append_rows(rows);
+                }
+                for p in r.maint.joins.values_mut() {
+                    p.append_rows(rows)?;
+                }
+                rows.num_rows()
+            }
+            TableDelta::Delete(indices) => {
+                let removed = Arc::make_mut(&mut r.table).delete_rows(indices)?;
+                let mut sorted = indices.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                r.fp.delete(&sorted);
+                if r.maint.has_sketches() {
+                    r.maint.debt += removed.num_rows() as u64;
+                    if r.maint.debt > debt_threshold {
+                        // debt crossed: one counted rebuild per
+                        // maintained sketch, then a clean slate
+                        let table = r.table.clone();
+                        if let Some(u) = &mut r.maint.union {
+                            *u = UpdatableSignature::build(id, &table, k);
+                            rdi_obs::counter("sketch.rebuilds").inc();
+                        }
+                        for (col, p) in r.maint.joins.iter_mut() {
+                            *p = UpdatableKeyProfile::build(&table, col, k)?;
+                            rdi_obs::counter("sketch.rebuilds").inc();
+                        }
+                        r.maint.debt = 0;
+                    } else {
+                        if let Some(u) = &mut r.maint.union {
+                            u.remove_rows(&removed);
+                        }
+                        for p in r.maint.joins.values_mut() {
+                            p.remove_rows(&removed)?;
+                        }
+                    }
+                }
+                removed.num_rows()
+            }
+            TableDelta::Drop => 0, // handled above
+        };
+
+        // Refresh the cache under the new fingerprint and eagerly evict
+        // the now-unreachable old-fingerprint entries.
+        let new_fp = r.fp.fingerprint();
+        if let Some(u) = &r.maint.union {
+            cache.insert(
+                CacheKey {
+                    owner: id.to_string(),
+                    fingerprint: new_fp,
+                    kind: SketchKind::Union { k },
+                },
+                Sketch::Union(Arc::new(u.signature())),
+            );
+        }
+        for (col, p) in &r.maint.joins {
+            cache.insert(
+                CacheKey {
+                    owner: id.to_string(),
+                    fingerprint: new_fp,
+                    kind: SketchKind::Join {
+                        column: col.clone(),
+                        k,
+                    },
+                },
+                Sketch::Join(Arc::new(p.profile())),
+            );
+        }
+        cache.evict_stale(id, new_fp);
+        rdi_obs::counter("serve.delta.rows_applied").add(rows_touched as u64);
+        self.publish_stats();
+        Ok(rows_touched)
+    }
+
+    /// Publish index-level and per-shard gauges.
+    fn publish_stats(&self) {
+        rdi_obs::gauge("serve.index.tables").set(self.len() as f64);
+        for (i, s) in self.shards.iter().enumerate() {
+            rdi_obs::gauge(&format!("serve.shard.{i}.tables")).set(s.tables.len() as f64);
+            rdi_obs::gauge(&format!("serve.shard.{i}.cache_bytes")).set(s.cache.bytes() as f64);
+        }
     }
 
     /// Number of registered tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.shards.iter().map(|s| s.tables.len()).sum()
     }
 
     /// True when no table is registered.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.shards.iter().all(|s| s.tables.is_empty())
     }
 
     /// True when `id` is registered.
     pub fn contains(&self, id: &str) -> bool {
-        self.tables.contains_key(id)
+        self.registered(id).is_some()
     }
 
     /// Registered ids in deterministic (sorted) order.
     pub fn table_ids(&self) -> Vec<&str> {
-        self.tables.keys().map(String::as_str).collect()
+        let mut ids: Vec<&str> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.tables.keys().map(String::as_str))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn sorted_ids(&self) -> Vec<String> {
+        self.table_ids().into_iter().map(String::from).collect()
     }
 
     /// A registered table by id.
     pub fn table(&self, id: &str) -> Option<&Table> {
-        self.tables.get(id).map(|r| r.table.as_ref())
+        self.registered(id).map(|r| r.table.as_ref())
     }
 
-    /// Accounted bytes currently held by the sketch cache.
+    /// Accounted bytes currently held across all shard caches.
     pub fn cache_bytes(&self) -> usize {
-        self.cache.bytes()
+        self.shards.iter().map(|s| s.cache.bytes()).sum()
     }
 
-    /// Number of cached sketches.
+    /// Number of cached sketches across all shards.
     pub fn cached_sketches(&self) -> usize {
-        self.cache.len()
+        self.shards.iter().map(|s| s.cache.len()).sum()
     }
 
-    /// Union signature for a table, cached by content fingerprint.
-    fn union_signature(
+    /// Union signature for an ad-hoc query table, cached (without
+    /// maintenance) in the query owner's shard.
+    fn query_union_signature(
         &mut self,
-        owner: &str,
         fingerprint: u64,
-        table: &Table,
+        query: &Table,
     ) -> Result<Arc<TableSignature>, ServeError> {
         let k = self.config.minhash_k;
+        let si = self.shard_of(CacheKey::QUERY_OWNER);
+        let cache = &mut self.shards[si].cache;
         let key = CacheKey {
-            owner: owner.to_string(),
+            owner: CacheKey::QUERY_OWNER.to_string(),
             fingerprint,
             kind: SketchKind::Union { k },
         };
-        if let Some(Sketch::Union(sig)) = self.cache.get(&key) {
+        if let Some(Sketch::Union(sig)) = cache.get(&key) {
             return Ok(sig);
         }
-        let sig = Arc::new(TableSignature::build(owner, table, k)?);
-        self.cache.insert(key, Sketch::Union(sig.clone()));
+        let sig = Arc::new(TableSignature::build(CacheKey::QUERY_OWNER, query, k)?);
+        cache.insert(key, Sketch::Union(sig.clone()));
         Ok(sig)
     }
 
-    /// Join profile for one column of a table, cached by content
-    /// fingerprint. The column must exist — callers check first and
-    /// translate the miss into the right [`ServeError`].
-    fn key_profile(
+    /// Join profile for one column of an ad-hoc query table, cached
+    /// (without maintenance) in the query owner's shard.
+    fn query_key_profile(
         &mut self,
-        owner: &str,
         fingerprint: u64,
-        table: &Table,
+        query: &Table,
         column: &str,
     ) -> Result<Arc<KeyProfile>, ServeError> {
         let k = self.config.minhash_k;
+        let si = self.shard_of(CacheKey::QUERY_OWNER);
+        let cache = &mut self.shards[si].cache;
         let key = CacheKey {
-            owner: owner.to_string(),
+            owner: CacheKey::QUERY_OWNER.to_string(),
             fingerprint,
             kind: SketchKind::Join {
                 column: column.to_string(),
                 k,
             },
         };
-        if let Some(Sketch::Join(p)) = self.cache.get(&key) {
+        if let Some(Sketch::Join(p)) = cache.get(&key) {
             return Ok(p);
         }
-        let distinct = table
+        let distinct = query
             .distinct(column)?
             .iter()
             .filter(|v| !v.is_null())
             .count();
         let profile = Arc::new(KeyProfile {
             column: column.to_string(),
-            minhash: MinHash::from_column(table, column, k)?,
+            minhash: MinHash::from_column(query, column, k)?,
             distinct,
         });
-        self.cache.insert(key, Sketch::Join(profile.clone()));
+        cache.insert(key, Sketch::Join(profile.clone()));
+        Ok(profile)
+    }
+
+    /// Union signature for a registered table: cache hit, or derive
+    /// from maintained state, or cold-build (which starts maintenance).
+    fn registered_union_signature(&mut self, id: &str) -> Result<Arc<TableSignature>, ServeError> {
+        let k = self.config.minhash_k;
+        let si = self.shard_of(id);
+        let Shard { tables, cache } = &mut self.shards[si];
+        let r = tables
+            .get_mut(id)
+            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
+        let key = CacheKey {
+            owner: id.to_string(),
+            fingerprint: r.fp.fingerprint(),
+            kind: SketchKind::Union { k },
+        };
+        if let Some(Sketch::Union(sig)) = cache.get(&key) {
+            return Ok(sig);
+        }
+        let table = r.table.clone();
+        let u = r
+            .maint
+            .union
+            .get_or_insert_with(|| UpdatableSignature::build(id, &table, k));
+        let sig = Arc::new(u.signature());
+        cache.insert(key, Sketch::Union(sig.clone()));
+        Ok(sig)
+    }
+
+    /// Join profile for one column of a registered table: cache hit,
+    /// or derive from maintained state, or cold-build (which starts
+    /// maintenance). The column must exist — callers check first.
+    fn registered_key_profile(
+        &mut self,
+        id: &str,
+        column: &str,
+    ) -> Result<Arc<KeyProfile>, ServeError> {
+        let k = self.config.minhash_k;
+        let si = self.shard_of(id);
+        let Shard { tables, cache } = &mut self.shards[si];
+        let r = tables
+            .get_mut(id)
+            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
+        let key = CacheKey {
+            owner: id.to_string(),
+            fingerprint: r.fp.fingerprint(),
+            kind: SketchKind::Join {
+                column: column.to_string(),
+                k,
+            },
+        };
+        if let Some(Sketch::Join(p)) = cache.get(&key) {
+            return Ok(p);
+        }
+        let table = r.table.clone();
+        let profile = match r.maint.joins.entry(column.to_string()) {
+            Entry::Occupied(e) => Arc::new(e.get().profile()),
+            Entry::Vacant(v) => Arc::new(
+                v.insert(UpdatableKeyProfile::build(&table, column, k)?)
+                    .profile(),
+            ),
+        };
+        cache.insert(key, Sketch::Join(profile.clone()));
         Ok(profile)
     }
 
@@ -215,15 +506,11 @@ impl LakeIndex {
                 self.check_top_k(*k)?;
                 check_query_shape(query)?;
                 let fp = table_fingerprint(query);
-                let query_sig = self.union_signature(CacheKey::QUERY_OWNER, fp, query)?;
-                let ids: Vec<String> = self.tables.keys().cloned().collect();
+                let query_sig = self.query_union_signature(fp, query)?;
+                let ids = self.sorted_ids();
                 let mut candidates = Vec::with_capacity(ids.len());
                 for id in ids {
-                    let (fp, table) = {
-                        let r = &self.tables[&id];
-                        (r.fingerprint, r.table.clone())
-                    };
-                    let sig = self.union_signature(&id, fp, &table)?;
+                    let sig = self.registered_union_signature(&id)?;
                     candidates.push((id, sig));
                 }
                 Ok(Prepared::Union {
@@ -242,24 +529,21 @@ impl LakeIndex {
                     });
                 }
                 let fp = table_fingerprint(query);
-                let query_profile = self.key_profile(CacheKey::QUERY_OWNER, fp, query, column)?;
+                let query_profile = self.query_key_profile(fp, query, column)?;
                 if query_profile.distinct == 0 {
                     return Err(ServeError::EmptyQuery(format!(
                         "query column `{column}` has no non-null values"
                     )));
                 }
-                let ids: Vec<String> = self.tables.keys().cloned().collect();
+                let ids = self.sorted_ids();
                 let mut candidates = Vec::with_capacity(ids.len());
                 for id in ids {
-                    let (fp, table) = {
-                        let r = &self.tables[&id];
-                        (r.fingerprint, r.table.clone())
-                    };
                     // candidates without the key column are skipped, not errors
-                    if table.column(column).is_err() {
+                    let has_column = self.table(&id).is_some_and(|t| t.column(column).is_ok());
+                    if !has_column {
                         continue;
                     }
-                    let p = self.key_profile(&id, fp, &table, column)?;
+                    let p = self.registered_key_profile(&id, column)?;
                     candidates.push((id, p));
                 }
                 Ok(Prepared::Join {
@@ -274,8 +558,7 @@ impl LakeIndex {
                 threshold,
             } => {
                 let r = self
-                    .tables
-                    .get(table)
+                    .registered(table)
                     .ok_or_else(|| ServeError::UnknownTable(table.clone()))?;
                 for a in attributes {
                     if r.table.column(a).is_err() {
@@ -303,8 +586,7 @@ impl LakeIndex {
                 let mut resolved = Vec::with_capacity(sources.len());
                 for id in sources {
                     let r = self
-                        .tables
-                        .get(id)
+                        .registered(id)
                         .ok_or_else(|| ServeError::UnknownTable(id.clone()))?;
                     resolved.push((id.clone(), r.table.clone(), r.cost));
                 }
@@ -321,7 +603,7 @@ impl LakeIndex {
         if k == 0 {
             return Err(ServeError::ZeroK);
         }
-        if self.tables.is_empty() {
+        if self.is_empty() {
             return Err(ServeError::EmptyIndex);
         }
         Ok(())
@@ -526,6 +808,15 @@ mod tests {
         idx
     }
 
+    /// Bitwise equality of two rankings.
+    fn assert_ranking_eq(a: &[(String, f64)], b: &[(String, f64)]) {
+        assert_eq!(a.len(), b.len());
+        for ((ai, asc), (bi, bsc)) in a.iter().zip(b) {
+            assert_eq!(ai, bi);
+            assert_eq!(asc.to_bits(), bsc.to_bits(), "scores byte-identical");
+        }
+    }
+
     #[test]
     fn degenerate_inputs_are_typed_errors() {
         let mut empty = LakeIndex::default();
@@ -594,11 +885,7 @@ mod tests {
         }
         let qsig = TableSignature::build(CacheKey::QUERY_OWNER, &q, k).unwrap();
         let want = reference.top_k(&qsig, 3);
-        assert_eq!(got.len(), want.len());
-        for ((gi, gs), (wi, ws)) in got.iter().zip(&want) {
-            assert_eq!(gi, wi);
-            assert_eq!(gs.to_bits(), ws.to_bits(), "scores byte-identical");
-        }
+        assert_ranking_eq(&got, &want);
     }
 
     #[test]
@@ -638,5 +925,186 @@ mod tests {
         let top = idx.joinable_top_k(&q, "key", 5).unwrap();
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].0, "with");
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_budget_preserving() {
+        let idx = index_with(&[
+            ("a", &["1"]),
+            ("b", &["2"]),
+            ("c", &["3"]),
+            ("d", &["4"]),
+            ("e", &["5"]),
+            ("f", &["6"]),
+            ("g", &["7"]),
+            ("h", &["8"]),
+            ("i", &["9"]),
+            ("j", &["10"]),
+        ]);
+        assert_eq!(idx.shard_count(), 8);
+        assert_eq!(idx.shard_table_counts().iter().sum::<usize>(), 10);
+        // assignment is a pure function of the id — identical on a
+        // second index with the same config
+        let other = LakeIndex::default();
+        for id in idx.table_ids() {
+            assert_eq!(idx.shard_of(id), other.shard_of(id));
+        }
+        // more than one shard is populated (the ids spread)
+        let populated = idx.shard_table_counts().iter().filter(|&&n| n > 0).count();
+        assert!(populated > 1, "counts={:?}", idx.shard_table_counts());
+        // per-shard capacities partition the global budget exactly
+        assert_eq!(
+            idx.shard_cache_capacities().iter().sum::<usize>(),
+            idx.config().cache_capacity_bytes
+        );
+        // uneven budgets distribute the remainder to the first shards
+        let uneven = LakeIndex::new(LakeIndexConfig {
+            cache_capacity_bytes: 1003,
+            shard_count: 4,
+            ..LakeIndexConfig::default()
+        });
+        assert_eq!(uneven.shard_cache_capacities(), vec![251, 251, 251, 250]);
+    }
+
+    #[test]
+    fn append_delta_keeps_answers_bitwise_identical_to_cold_rebuild() {
+        let mut idx = index_with(&[
+            ("t1", &["a", "b", "c"]),
+            ("t2", &["x", "y", "z"]),
+            ("t3", &["a", "x", "q"]),
+        ]);
+        let q = str_table("key", &["a", "b", "x"]);
+        // warm both sketch kinds so maintenance has something to do
+        idx.union_top_k(&q, 3).unwrap();
+        idx.joinable_top_k(&q, "key", 3).unwrap();
+
+        let delta = TableDelta::Append(str_table("key", &["b", "w"]));
+        let built = rdi_obs::counter("discovery.sketches_built");
+        let before = built.get();
+        assert_eq!(idx.apply_delta("t1", &delta).unwrap(), 2);
+        let union_after = idx.union_top_k(&q, 3).unwrap();
+        let join_after = idx.joinable_top_k(&q, "key", 3).unwrap();
+        assert_eq!(
+            built.get(),
+            before,
+            "delta maintenance and warm re-query build zero sketches"
+        );
+
+        // cold reference: a fresh index registered with the final content
+        let mut cold = index_with(&[
+            ("t1", &["a", "b", "c", "b", "w"]),
+            ("t2", &["x", "y", "z"]),
+            ("t3", &["a", "x", "q"]),
+        ]);
+        assert_ranking_eq(&union_after, &cold.union_top_k(&q, 3).unwrap());
+        assert_ranking_eq(&join_after, &cold.joinable_top_k(&q, "key", 3).unwrap());
+    }
+
+    #[test]
+    fn delete_delta_repairs_incrementally_then_rebuilds_past_debt() {
+        let config = LakeIndexConfig {
+            deletion_debt_threshold: 2,
+            ..LakeIndexConfig::default()
+        };
+        let mut idx = LakeIndex::new(config);
+        idx.register("t1", str_table("key", &["a", "b", "c", "d", "e", "f"]), 1.0)
+            .unwrap();
+        idx.register("t2", str_table("key", &["a", "x"]), 1.0)
+            .unwrap();
+        let q = str_table("key", &["a", "b", "c"]);
+        idx.union_top_k(&q, 2).unwrap();
+
+        // 2 deleted rows: at the threshold, still incremental
+        let rebuilds = rdi_obs::counter("sketch.rebuilds");
+        let before = rebuilds.get();
+        assert_eq!(
+            idx.apply_delta("t1", &TableDelta::Delete(vec![4, 5]))
+                .unwrap(),
+            2
+        );
+        assert_eq!(rebuilds.get(), before, "below/at threshold: no rebuild");
+        let mut cold = index_with(&[("t1", &["a", "b", "c", "d"]), ("t2", &["a", "x"])]);
+        assert_ranking_eq(
+            &idx.union_top_k(&q, 2).unwrap(),
+            &cold.union_top_k(&q, 2).unwrap(),
+        );
+
+        // one more deleted row crosses the threshold → counted rebuild
+        assert_eq!(
+            idx.apply_delta("t1", &TableDelta::Delete(vec![3])).unwrap(),
+            1
+        );
+        assert!(rebuilds.get() > before, "debt crossed: rebuild counted");
+        let mut cold = index_with(&[("t1", &["a", "b", "c"]), ("t2", &["a", "x"])]);
+        assert_ranking_eq(
+            &idx.union_top_k(&q, 2).unwrap(),
+            &cold.union_top_k(&q, 2).unwrap(),
+        );
+    }
+
+    #[test]
+    fn drop_delta_deregisters_and_evicts_the_owner() {
+        let mut idx = index_with(&[("t1", &["a", "b"]), ("t2", &["x", "y"])]);
+        let q = str_table("key", &["a"]);
+        idx.union_top_k(&q, 2).unwrap();
+        assert!(idx.cached_sketches() >= 3, "query + two candidates cached");
+        assert_eq!(idx.apply_delta("t1", &TableDelta::Drop).unwrap(), 0);
+        assert!(!idx.contains("t1"));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(
+            idx.apply_delta("t1", &TableDelta::Drop).unwrap_err(),
+            ServeError::UnknownTable("t1".into())
+        );
+        // the id can be registered again
+        idx.register("t1", str_table("key", &["fresh"]), 1.0)
+            .unwrap();
+        assert!(idx.contains("t1"));
+    }
+
+    #[test]
+    fn upsert_evicts_stale_fingerprint_entries_eagerly() {
+        let mut idx = index_with(&[("t1", &["a", "b"])]);
+        let q = str_table("key", &["a"]);
+        idx.union_top_k(&q, 1).unwrap();
+        assert_eq!(idx.cached_sketches(), 2, "query sig + t1 sig");
+        let bytes_before = idx.cache_bytes();
+
+        // changed content: the old-fingerprint entry must not squat
+        idx.upsert("t1", str_table("key", &["a", "b", "c"]), 1.0)
+            .unwrap();
+        assert_eq!(
+            idx.cached_sketches(),
+            1,
+            "stale t1 entry evicted; query entry kept"
+        );
+        assert!(idx.cache_bytes() < bytes_before);
+
+        // identical content: warm entries survive an upsert
+        idx.union_top_k(&q, 1).unwrap();
+        assert_eq!(idx.cached_sketches(), 2);
+        idx.upsert("t1", str_table("key", &["a", "b", "c"]), 2.0)
+            .unwrap();
+        assert_eq!(
+            idx.cached_sketches(),
+            2,
+            "same fingerprint: nothing evicted"
+        );
+    }
+
+    #[test]
+    fn deltas_to_unknown_tables_are_typed_errors() {
+        let mut idx = index_with(&[("t1", &["a"])]);
+        assert_eq!(
+            idx.apply_delta("ghost", &TableDelta::Delete(vec![0]))
+                .unwrap_err(),
+            ServeError::UnknownTable("ghost".into())
+        );
+        // bad delete indices surface the table error and change nothing
+        assert!(matches!(
+            idx.apply_delta("t1", &TableDelta::Delete(vec![7]))
+                .unwrap_err(),
+            ServeError::Table(_)
+        ));
+        assert_eq!(idx.table("t1").map(Table::num_rows), Some(1));
     }
 }

@@ -6,12 +6,22 @@
 //! interactive queries over a persistent lake* (tutorial §3.1–§3.2)
 //! rather than one-shot experiment runs.
 //!
-//! * [`LakeIndex`] owns registered tables plus a memoized
-//!   sketch/signature cache ([`SketchCache`]) keyed by
-//!   `(table id, content fingerprint, sketch kind)` and evicted LRU
-//!   under a byte-accounted capacity — the sketches that every
-//!   `exp_*` harness used to rebuild from scratch are built once and
-//!   amortized across queries.
+//! * [`LakeIndex`] owns registered tables behind a fixed number of
+//!   **shards** (`hash(table id) % shard_count`, a pure function of
+//!   the id bytes) plus per-shard memoized sketch/signature caches
+//!   ([`SketchCache`]) keyed by
+//!   `(table id, content fingerprint, sketch kind)` and evicted LRU,
+//!   each against its slice of the global byte budget — the sketches
+//!   that every `exp_*` harness used to rebuild from scratch are
+//!   built once and amortized across queries.
+//! * [`LakeIndex::apply_delta`] absorbs `rdi_table::TableDelta`
+//!   append/delete/drop streams with sketch work proportional to the
+//!   **delta, not the table**: maintained updatable sketches extend
+//!   value by value, fingerprints refresh incrementally ([`FpState`]),
+//!   stale cache entries are eagerly evicted, and deletion debt past
+//!   `LakeIndexConfig::deletion_debt_threshold` triggers one counted
+//!   rebuild (`sketch.rebuilds`) — a cost policy only: answers stay
+//!   bitwise identical to cold rebuilds throughout.
 //! * [`ServeSession`] answers batches of typed requests
 //!   ([`ServeRequest`]: union top-k, joinability top-k, coverage
 //!   probes, tailoring runs) through a bounded admission queue and an
@@ -48,12 +58,13 @@ pub mod cache;
 pub mod error;
 pub mod fingerprint;
 pub mod index;
+mod maint;
 pub mod request;
 pub mod session;
 
 pub use cache::{CacheKey, KeyProfile, Sketch, SketchCache, SketchKind};
 pub use error::ServeError;
-pub use fingerprint::table_fingerprint;
+pub use fingerprint::{table_fingerprint, FpState};
 pub use index::{LakeIndex, LakeIndexConfig};
 pub use request::{CoverageReport, ServeRequest, ServeResponse, TailorReport};
 pub use session::{BatchReport, ServeSession, SessionConfig};

@@ -1,0 +1,166 @@
+//! Incremental sketch maintenance for registered tables.
+//!
+//! The cache ([`crate::cache::SketchCache`]) memoizes *immutable*
+//! sketches keyed by content fingerprint; this module keeps the
+//! *updatable* state behind them so a [`crate::LakeIndex`] can refresh
+//! a table's cached sketches after a delta in O(delta) sketch work
+//! instead of rebuilding from the full table:
+//!
+//! * [`UpdatableSignature`] — the maintained twin of
+//!   `TableSignature`: one [`UpdatableMinHash`] per column. Exact
+//!   under both inserts and removals (multiplicity map + positionwise
+//!   signature repair), so the derived signature is bitwise identical
+//!   to a cold build at every point of a delta stream.
+//! * [`UpdatableKeyProfile`] — the maintained twin of
+//!   [`crate::cache::KeyProfile`]: one column's [`UpdatableMinHash`]
+//!   whose multiplicity map also yields the exact distinct count.
+//! * [`Maintained`] — a table's lazily-populated collection of the
+//!   above, plus the **deletion debt** counter. Incremental deletion
+//!   repair is exact but costs O(distinct values) per repaired
+//!   signature position; once accumulated deleted rows exceed the
+//!   index's `deletion_debt_threshold` the index performs one counted
+//!   rebuild (`sketch.rebuilds`) from the table and resets the debt —
+//!   a cost policy, not a correctness one: answers are bitwise
+//!   identical on both sides of the threshold.
+//!
+//! Maintained state is created the first time a sketch kind is
+//! requested for a table (queries decide what is worth maintaining)
+//! and dropped wholesale when the table is dropped or replaced.
+
+use std::collections::BTreeMap;
+
+use rdi_discovery::{TableSignature, UpdatableMinHash};
+use rdi_table::Table;
+
+use crate::cache::KeyProfile;
+
+/// The maintained twin of a `TableSignature`: per-column updatable
+/// MinHashes in schema order.
+#[derive(Debug)]
+pub(crate) struct UpdatableSignature {
+    name: String,
+    columns: Vec<(String, UpdatableMinHash)>,
+}
+
+impl UpdatableSignature {
+    /// Build from a table's full content. Counts
+    /// `discovery.sketches_built` once per column — the same accounting
+    /// as `TableSignature::build`, so warm-replay "zero new sketches"
+    /// assertions see the maintained and plain paths identically.
+    pub fn build(name: &str, table: &Table, k: usize) -> Self {
+        let mut columns = Vec::with_capacity(table.num_columns());
+        for (ci, f) in table.schema().fields().iter().enumerate() {
+            let col = table.column_at(ci);
+            let m = UpdatableMinHash::build((0..table.num_rows()).map(|ri| col.value(ri)), k);
+            columns.push((f.name.clone(), m));
+        }
+        rdi_obs::counter("discovery.sketches_built").add(columns.len() as u64);
+        UpdatableSignature {
+            name: name.to_string(),
+            columns,
+        }
+    }
+
+    /// The immutable signature to cache — bitwise identical to
+    /// `TableSignature::build` over the same content.
+    pub fn signature(&self) -> TableSignature {
+        TableSignature {
+            name: self.name.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, m)| (n.clone(), m.minhash()))
+                .collect(),
+        }
+    }
+
+    /// Absorb appended rows (same schema as the registered table —
+    /// enforced by the table append itself). O(rows × columns).
+    pub fn append_rows(&mut self, rows: &Table) {
+        for (ci, (_, m)) in self.columns.iter_mut().enumerate() {
+            let col = rows.column_at(ci);
+            for ri in 0..rows.num_rows() {
+                m.insert(&col.value(ri));
+            }
+        }
+    }
+
+    /// Absorb removed rows (as returned by `Table::delete_rows`).
+    pub fn remove_rows(&mut self, removed: &Table) {
+        for (ci, (_, m)) in self.columns.iter_mut().enumerate() {
+            let col = removed.column_at(ci);
+            for ri in 0..removed.num_rows() {
+                m.remove(&col.value(ri));
+            }
+        }
+    }
+}
+
+/// The maintained twin of a [`KeyProfile`]: one column's updatable
+/// MinHash, whose multiplicity map is also the exact distinct count.
+#[derive(Debug)]
+pub(crate) struct UpdatableKeyProfile {
+    column: String,
+    minhash: UpdatableMinHash,
+}
+
+impl UpdatableKeyProfile {
+    /// Build from one column of a table's full content.
+    pub fn build(table: &Table, column: &str, k: usize) -> rdi_table::Result<Self> {
+        let col = table.column(column)?;
+        let minhash = UpdatableMinHash::build((0..table.num_rows()).map(|ri| col.value(ri)), k);
+        Ok(UpdatableKeyProfile {
+            column: column.to_string(),
+            minhash,
+        })
+    }
+
+    /// The immutable profile to cache — bitwise identical to the cold
+    /// path (`MinHash::from_column` + exact distinct count).
+    pub fn profile(&self) -> KeyProfile {
+        KeyProfile {
+            column: self.column.clone(),
+            minhash: self.minhash.minhash(),
+            distinct: self.minhash.distinct(),
+        }
+    }
+
+    /// Absorb appended rows. O(rows).
+    pub fn append_rows(&mut self, rows: &Table) -> rdi_table::Result<()> {
+        let col = rows.column(&self.column)?;
+        for ri in 0..rows.num_rows() {
+            self.minhash.insert(&col.value(ri));
+        }
+        Ok(())
+    }
+
+    /// Absorb removed rows. O(rows) plus positionwise repair.
+    pub fn remove_rows(&mut self, removed: &Table) -> rdi_table::Result<()> {
+        let col = removed.column(&self.column)?;
+        for ri in 0..removed.num_rows() {
+            self.minhash.remove(&col.value(ri));
+        }
+        Ok(())
+    }
+}
+
+/// A registered table's maintained sketch state: whichever sketch
+/// kinds queries have materialized so far, plus the deletion debt
+/// driving the rebuild policy.
+#[derive(Debug, Default)]
+pub(crate) struct Maintained {
+    /// Union-search signature, once a union query touched the table.
+    pub union: Option<UpdatableSignature>,
+    /// Join profiles per queried column.
+    pub joins: BTreeMap<String, UpdatableKeyProfile>,
+    /// Deleted rows absorbed incrementally since the last rebuild.
+    pub debt: u64,
+}
+
+impl Maintained {
+    /// True when any sketch is being maintained (debt is only
+    /// meaningful then).
+    pub fn has_sketches(&self) -> bool {
+        self.union.is_some() || !self.joins.is_empty()
+    }
+}

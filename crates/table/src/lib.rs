@@ -35,6 +35,7 @@
 
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod group;
 pub mod join;
@@ -45,6 +46,7 @@ pub mod value;
 
 pub use column::Column;
 pub use csv::{read_csv_str, write_csv_string};
+pub use delta::TableDelta;
 pub use error::TableError;
 pub use group::{GroupKey, GroupSpec, GroupStats};
 pub use join::{hash_join, join_multiplicity, JoinSide};

@@ -34,9 +34,6 @@ pub struct TailorOutcome {
 ///
 /// All sources must share one schema (the integration step proper —
 /// schema matching — is handled upstream by `rdi-discovery`).
-// The legacy infallible `Source::draw` shim is deprecated; this simple
-// (non-resilient) loop is its one sanctioned in-workspace caller.
-#[allow(deprecated)]
 pub fn run_tailoring<S: Source, R: Rng>(
     sources: &mut [S],
     problem: &DtProblem,
@@ -80,7 +77,14 @@ pub fn run_tailoring<S: Source, R: Rng>(
             .collect();
         let s = policy.choose(&remaining, rng);
         assert!(s < sources.len(), "policy chose invalid source {s}");
-        let (group, row) = sources[s].draw(rng);
+        // Infallible-source retry loop: for in-memory sources this is
+        // exactly one `try_draw`; resilient bounded-retry execution
+        // lives in the `rdi-core` executor.
+        let (group, row) = loop {
+            if let Ok(d) = sources[s].try_draw(rng) {
+                break d;
+            }
+        };
         draws += 1;
         per_source_draws[s] += 1;
         total_cost += sources[s].cost();
@@ -128,7 +132,6 @@ pub fn record_outcome(per_group: &[usize], draws: usize, total_cost: f64) {
 /// record another source already supplied wastes its cost, exactly the
 /// effect overlap-aware source selection must reason about. Returns the
 /// outcome plus the number of duplicate draws paid for.
-#[allow(deprecated)]
 pub fn run_tailoring_dedup<S: Source, R: Rng>(
     sources: &mut [S],
     problem: &DtProblem,
@@ -176,7 +179,12 @@ pub fn run_tailoring_dedup<S: Source, R: Rng>(
             .collect();
         let s = policy.choose(&remaining, rng);
         assert!(s < sources.len(), "policy chose invalid source {s}");
-        let (group, row) = sources[s].draw(rng);
+        // Same infallible-source retry loop as `run_tailoring`.
+        let (group, row) = loop {
+            if let Ok(d) = sources[s].try_draw(rng) {
+                break d;
+            }
+        };
         draws += 1;
         per_source_draws[s] += 1;
         total_cost += sources[s].cost();

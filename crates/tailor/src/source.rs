@@ -247,16 +247,11 @@ impl Source for TableSource {
         TableSource::frequencies(self)
     }
 
-    /// Never fails: the backing table is in memory.
+    /// Never fails: the backing table is in memory, so the deprecated
+    /// `Source::draw` default shim is also exactly one `try_draw` call
+    /// here — bitwise identical to the inherent [`TableSource::draw`].
     fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<Draw, SourceError> {
         Ok(TableSource::draw(self, rng))
-    }
-
-    /// Bitwise identical to the inherent [`TableSource::draw`] (one
-    /// `gen_range` on `rng`, nothing else).
-    #[allow(deprecated)]
-    fn draw(&mut self, rng: &mut dyn RngCore) -> Draw {
-        TableSource::draw(self, rng)
     }
 }
 
