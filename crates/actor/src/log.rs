@@ -1,0 +1,84 @@
+//! Append-only, replayable event log.
+//!
+//! The runtime records one [`EventRecord`] per *delivered* message, in
+//! delivery order: cohorts by ascending virtual time, target actors in
+//! id order within a cohort, messages in sequence order within a
+//! target. Because the scheduler is a pure function of `(seed,
+//! injection stream)`, re-running the same program produces a
+//! byte-identical [`EventLog::render`] — the log *is* the account of
+//! "what the system did and in what order" that the RAIDS agenda asks
+//! responsible infrastructure to keep.
+
+use std::fmt;
+
+use crate::runtime::ActorId;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Scheduler step (1-based) that delivered the message.
+    pub step: u64,
+    /// Virtual time of the delivery cohort.
+    pub vtime: u64,
+    /// Global message sequence number, assigned at enqueue.
+    pub seq: u64,
+    /// Sending actor; `None` for messages injected from outside the
+    /// runtime through an [`Addr`](crate::Addr) mailbox.
+    pub from: Option<ActorId>,
+    /// Receiving actor.
+    pub to: ActorId,
+    /// Receiver's spawn name.
+    pub actor: String,
+    /// Truncated `Debug` rendering of the message; delivery failures
+    /// (type mismatches) append an ` !error: ...` suffix.
+    pub summary: String,
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step={} t={} seq={} ", self.step, self.vtime, self.seq)?;
+        match self.from {
+            Some(from) => write!(f, "{from}")?,
+            None => f.write_str("ext")?,
+        }
+        write!(f, " -> {}{} {}", self.actor, self.to, self.summary)
+    }
+}
+
+/// The append-only delivery log of one [`Runtime`](crate::Runtime).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EventLog {
+    records: Vec<EventRecord>,
+}
+
+impl EventLog {
+    /// All records, in delivery order.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Number of recorded deliveries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been delivered yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// One line per record, in delivery order, each terminated by
+    /// `\n` — the byte-comparable replay artifact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    pub(crate) fn push(&mut self, record: EventRecord) {
+        self.records.push(record);
+    }
+}

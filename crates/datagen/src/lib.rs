@@ -17,7 +17,10 @@
 //! * [`lake`] — synthetic data lakes with planted joinable/unionable
 //!   tables and planted join-correlations (§3.1);
 //! * [`churn`] — seeded register/append/delete/drop streams for
-//!   lake-churn experiments (E20).
+//!   lake-churn experiments (E20);
+//! * [`sessions`] — concurrent-session serving workloads with
+//!   per-session request streams independent of the session count
+//!   (E21).
 
 //!
 //! ```
@@ -40,6 +43,7 @@ pub mod lake;
 pub mod missing;
 pub mod population;
 pub mod rng;
+pub mod sessions;
 pub mod sources;
 
 pub use churn::{churn_workload, ChurnConfig, ChurnEvent, ChurnWorkload};
@@ -50,4 +54,7 @@ pub use lake::{LakeConfig, SyntheticLake};
 pub use missing::{inject_missing, Mechanism, MissingSpec};
 pub use population::{AttributeSpec, PopulationSpec};
 pub use rng::{dirichlet, gamma, normal, zipf_weights};
+pub use sessions::{
+    session_workload, SessionOp, SessionScript, SessionWorkload, SessionWorkloadConfig,
+};
 pub use sources::{skewed_sources, SourceConfig};

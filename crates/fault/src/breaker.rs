@@ -1,4 +1,5 @@
-//! Per-source circuit breaker.
+//! Per-source circuit breakers: permanent ([`CircuitBreaker`]) and
+//! half-open recovering ([`RecoveringBreaker`]).
 
 /// Whether a breaker still admits requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,8 @@ pub enum BreakerState {
 /// bounded experiment has no "later" in which the source might recover,
 /// and a permanent verdict keeps run results a pure function of the
 /// seed. A success while closed resets the consecutive-failure count.
+/// Long-lived serving paths need recovery — they use
+/// [`RecoveringBreaker`] instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CircuitBreaker {
     threshold: u32,
@@ -25,17 +28,19 @@ pub struct CircuitBreaker {
 
 impl CircuitBreaker {
     /// A closed breaker that opens after `threshold` consecutive
-    /// failures. `threshold` must be at least 1.
+    /// failures. A `threshold` of 0 is clamped to 1: a zero threshold
+    /// constructed outside `ResilienceConfig::validate` (e.g. straight
+    /// from an unvalidated serving config) would otherwise trip on the
+    /// very first `record_failure` and shed all traffic forever.
     pub fn new(threshold: u32) -> Self {
-        assert!(threshold >= 1, "breaker threshold must be >= 1");
         CircuitBreaker {
-            threshold,
+            threshold: threshold.max(1),
             consecutive: 0,
             state: BreakerState::Closed,
         }
     }
 
-    /// The configured consecutive-failure threshold.
+    /// The configured consecutive-failure threshold (always ≥ 1).
     pub fn threshold(&self) -> u32 {
         self.threshold
     }
@@ -79,6 +84,148 @@ impl CircuitBreaker {
     }
 }
 
+/// State of a [`RecoveringBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryState {
+    /// Requests flow normally.
+    Closed,
+    /// Shedding; recovery is possible once the cooldown elapses.
+    Open,
+    /// One probe request is in flight; everything else is shed until
+    /// its outcome is recorded.
+    HalfOpen,
+}
+
+/// Admission verdict from [`RecoveringBreaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The breaker is closed: admit normally.
+    Admit,
+    /// Cooldown elapsed: admit this one request as the recovery probe.
+    Probe,
+    /// Shed: open (cooling down) or waiting on an in-flight probe.
+    Shed,
+}
+
+/// A circuit breaker with deterministic half-open recovery.
+///
+/// Like [`CircuitBreaker`], it opens after `threshold` consecutive
+/// failures — but instead of staying open forever, once `cooldown`
+/// virtual ticks have elapsed (ticks are supplied by the caller, e.g.
+/// one per served batch — never wall clock) the next
+/// [`admit`](RecoveringBreaker::admit) returns [`Admission::Probe`]:
+/// exactly one request goes through. A recorded success closes the
+/// breaker; a recorded failure re-opens it and restarts the cooldown.
+/// All transitions are pure functions of the `(outcome, tick)` stream,
+/// so a replay at any `RDI_THREADS` is bitwise identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveringBreaker {
+    threshold: u32,
+    cooldown: u64,
+    consecutive: u32,
+    state: RecoveryState,
+    opened_at: u64,
+}
+
+impl RecoveringBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures (clamped to ≥ 1, like [`CircuitBreaker::new`]) and
+    /// probes one request after `cooldown` ticks (clamped to ≥ 1 so an
+    /// open breaker always sheds at least its own tick).
+    pub fn new(threshold: u32, cooldown: u64) -> Self {
+        RecoveringBreaker {
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+            consecutive: 0,
+            state: RecoveryState::Closed,
+            opened_at: 0,
+        }
+    }
+
+    /// The configured consecutive-failure threshold (always ≥ 1).
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The configured cooldown in ticks (always ≥ 1).
+    pub fn cooldown(&self) -> u64 {
+        self.cooldown
+    }
+
+    /// Current consecutive-failure count.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RecoveryState {
+        self.state
+    }
+
+    /// True while the breaker sheds ordinary traffic (open or waiting
+    /// on a probe).
+    pub fn is_open(&self) -> bool {
+        self.state != RecoveryState::Closed
+    }
+
+    /// Admission verdict for one request arriving at virtual tick
+    /// `now`. At most one [`Admission::Probe`] is handed out per
+    /// half-open episode; its outcome must be fed back through
+    /// [`record_success`](RecoveringBreaker::record_success) or
+    /// [`record_failure`](RecoveringBreaker::record_failure).
+    pub fn admit(&mut self, now: u64) -> Admission {
+        match self.state {
+            RecoveryState::Closed => Admission::Admit,
+            RecoveryState::Open => {
+                if now >= self.opened_at.saturating_add(self.cooldown) {
+                    self.state = RecoveryState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Shed
+                }
+            }
+            RecoveryState::HalfOpen => Admission::Shed,
+        }
+    }
+
+    /// Record one failed attempt at virtual tick `now`. Returns `true`
+    /// exactly when this failure tripped (or re-tripped) the breaker.
+    pub fn record_failure(&mut self, now: u64) -> bool {
+        match self.state {
+            RecoveryState::Closed => {
+                self.consecutive += 1;
+                if self.consecutive >= self.threshold {
+                    self.state = RecoveryState::Open;
+                    self.opened_at = now;
+                    return true;
+                }
+                false
+            }
+            RecoveryState::HalfOpen => {
+                // the probe failed: re-open and restart the cooldown
+                self.state = RecoveryState::Open;
+                self.opened_at = now;
+                true
+            }
+            RecoveryState::Open => false,
+        }
+    }
+
+    /// Record one successful attempt. While closed this resets the
+    /// consecutive count; in half-open it means the probe succeeded and
+    /// the breaker closes.
+    pub fn record_success(&mut self) {
+        match self.state {
+            RecoveryState::Closed => self.consecutive = 0,
+            RecoveryState::HalfOpen => {
+                self.state = RecoveryState::Closed;
+                self.consecutive = 0;
+            }
+            RecoveryState::Open => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,8 +261,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "threshold must be >= 1")]
-    fn zero_threshold_rejected() {
-        CircuitBreaker::new(0);
+    fn zero_threshold_is_clamped_not_always_open() {
+        // Regression: `new(0)` used to be constructible only through a
+        // panic guard; direct construction (e.g. from an unvalidated
+        // serving config) must behave like threshold 1 — closed until a
+        // failure — never open-from-birth.
+        let mut b = CircuitBreaker::new(0);
+        assert_eq!(b.threshold(), 1);
+        assert!(!b.is_open(), "fresh breaker must admit");
+        b.record_success();
+        assert!(!b.is_open());
+        assert!(b.record_failure(), "clamped threshold 1 trips on first");
+
+        let mut r = RecoveringBreaker::new(0, 0);
+        assert_eq!((r.threshold(), r.cooldown()), (1, 1));
+        assert_eq!(r.admit(0), Admission::Admit);
+    }
+
+    #[test]
+    fn recovering_breaker_probes_after_cooldown() {
+        let mut b = RecoveringBreaker::new(2, 3);
+        assert!(!b.record_failure(0));
+        assert!(b.record_failure(1), "second consecutive failure trips");
+        assert_eq!(b.state(), RecoveryState::Open);
+        // cooling: ticks 2..4 shed (opened at 1, cooldown 3)
+        assert_eq!(b.admit(2), Admission::Shed);
+        assert_eq!(b.admit(3), Admission::Shed);
+        // tick 4 = opened_at + cooldown: one probe, then shed again
+        assert_eq!(b.admit(4), Admission::Probe);
+        assert_eq!(b.state(), RecoveryState::HalfOpen);
+        assert_eq!(b.admit(4), Admission::Shed, "one probe per episode");
+        // probe succeeds: closed, counters reset
+        b.record_success();
+        assert_eq!(b.state(), RecoveryState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(b.admit(5), Admission::Admit);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let mut b = RecoveringBreaker::new(1, 2);
+        assert!(b.record_failure(0));
+        assert_eq!(b.admit(2), Admission::Probe);
+        assert!(b.record_failure(2), "probe failure re-trips");
+        assert_eq!(b.state(), RecoveryState::Open);
+        assert_eq!(b.admit(3), Admission::Shed, "cooldown restarted at 2");
+        assert_eq!(b.admit(4), Admission::Probe);
+        b.record_success();
+        assert!(!b.is_open());
     }
 }

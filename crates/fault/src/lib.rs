@@ -24,7 +24,9 @@
 //! * [`backoff`] — [`Backoff`]: capped exponential retry delays
 //!   measured in deterministic clock *ticks*, never wall time;
 //! * [`breaker`] — [`CircuitBreaker`]: quarantine a source after K
-//!   consecutive failures;
+//!   consecutive failures; [`RecoveringBreaker`]: the same trip rule
+//!   with deterministic half-open recovery after a tick-measured
+//!   cooldown, for long-lived serving paths;
 //! * [`clock`] — [`TickClock`]: the virtual time the backoff delays
 //!   accrue on, aligned with the `RDI_FAKE_CLOCK` span-timing
 //!   discipline from `rdi-obs` so resilience runs snapshot
@@ -74,7 +76,7 @@ pub mod inject;
 pub mod spec;
 
 pub use backoff::Backoff;
-pub use breaker::{BreakerState, CircuitBreaker};
+pub use breaker::{Admission, BreakerState, CircuitBreaker, RecoveringBreaker, RecoveryState};
 pub use clock::TickClock;
 pub use config::ResilienceConfig;
 pub use inject::FaultySource;

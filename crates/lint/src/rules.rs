@@ -68,6 +68,7 @@ const ALGO_CRATES: &[&str] = &[
     "tailor",
     "fairness",
     "cleaning",
+    "actor",
 ];
 
 /// What the analyzer decided about one file.

@@ -65,6 +65,7 @@ fn hash_collections_flagged_only_in_algorithm_crates() {
         "tailor",
         "fairness",
         "cleaning",
+        "actor",
     ] {
         let rel = format!("crates/{algo}/src/lib.rs");
         let r = analyze_source(&rel, src);
@@ -78,6 +79,27 @@ fn hash_collections_flagged_only_in_algorithm_crates() {
     ] {
         assert!(analyze_source(other, src).findings.is_empty(), "{other}");
     }
+}
+
+#[test]
+fn actor_runtime_is_held_to_determinism_rules() {
+    // The scheduler's replay guarantee depends on virtual time and
+    // ordered collections; wall clocks and hash iteration are banned.
+    let clock = "use std::time::Instant;\nfn t() { let _t = Instant::now(); }\n";
+    let r = analyze_source("crates/actor/src/runtime.rs", clock);
+    assert_eq!(r.findings.len(), 2);
+    assert!(r.findings.iter().all(|f| f.rule == "R3"));
+}
+
+#[test]
+fn actor_serving_harness_must_emit_snapshot() {
+    // E21 sits in the golden byte-replay matrix; a harness that stops
+    // emitting METRICS_SNAPSHOT would silently drop out of
+    // validate_metrics coverage.
+    let silent = "fn main() { println!(\"ok\"); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_actor_serving.rs", silent);
+    assert_eq!(r.findings.len(), 1);
+    assert_eq!(r.findings[0].rule, "R6");
 }
 
 #[test]

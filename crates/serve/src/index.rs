@@ -51,6 +51,14 @@ use crate::request::{CoverageReport, ServeRequest, ServeResponse, TailorReport};
 /// Seed domain for shard assignment (distinct from every sketch seed).
 const SHARD_SEED: u64 = 0x5348_4152_4421;
 
+/// Deterministic shard assignment: a pure function of the id bytes and
+/// the shard count, identical across processes and thread counts. Used
+/// both by [`LakeIndex::shard_of`] and by the actor hosting layer
+/// (`crate::actors`), which routes messages without owning an index.
+pub(crate) fn shard_route(id: &str, shard_count: usize) -> usize {
+    (hash_bytes(id.as_bytes(), SHARD_SEED) % shard_count.max(1) as u64) as usize
+}
+
 /// Sizing knobs for a [`LakeIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LakeIndexConfig {
@@ -77,125 +85,68 @@ impl Default for LakeIndexConfig {
     }
 }
 
+/// One registered table plus its maintained sketch state.
 #[derive(Debug)]
-struct Registered {
-    table: Arc<Table>,
+pub(crate) struct Registered {
+    pub(crate) table: Arc<Table>,
     /// Incrementally maintained content fingerprint.
-    fp: FpState,
-    cost: f64,
+    pub(crate) fp: FpState,
+    pub(crate) cost: f64,
     /// Lazily-populated maintained sketch state (see `maint`).
-    maint: Maintained,
+    pub(crate) maint: Maintained,
 }
 
 /// One shard: its slice of the table map and its slice of the cache
 /// byte budget.
+///
+/// All per-shard operations live here so a shard can serve either
+/// inline inside a [`LakeIndex`] (the serial path) or hosted by its own
+/// `ShardActor` (`crate::actors`) — both paths run the *same* code, so
+/// answers are bitwise identical. Sizing knobs (`minhash_k`,
+/// `deletion_debt_threshold`) are passed per call: the shard itself
+/// stays config-free so it can move between hosts.
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     tables: BTreeMap<String, Registered>,
     cache: SketchCache,
 }
 
-/// A persistent, in-process index over a lake of registered tables.
-#[derive(Debug)]
-pub struct LakeIndex {
-    config: LakeIndexConfig,
-    shards: Vec<Shard>,
-}
-
-impl Default for LakeIndex {
-    fn default() -> Self {
-        LakeIndex::new(LakeIndexConfig::default())
-    }
-}
-
-impl LakeIndex {
-    /// An empty index with the given sizing. A `shard_count` of 0 is
-    /// treated as 1.
-    pub fn new(config: LakeIndexConfig) -> Self {
-        let n = config.shard_count.max(1);
-        let total = config.cache_capacity_bytes;
-        let shards = (0..n)
-            .map(|i| Shard {
-                tables: BTreeMap::new(),
-                cache: SketchCache::new(total / n + usize::from(i < total % n)),
-            })
-            .collect();
-        LakeIndex { config, shards }
-    }
-
-    /// The index configuration.
-    pub fn config(&self) -> &LakeIndexConfig {
-        &self.config
-    }
-
-    /// Number of shards (≥ 1).
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Deterministic shard assignment for a table id: a pure function
-    /// of the id bytes and the shard count.
-    pub fn shard_of(&self, id: &str) -> usize {
-        (hash_bytes(id.as_bytes(), SHARD_SEED) % self.shards.len() as u64) as usize
-    }
-
-    /// Registered-table count per shard, in shard order.
-    pub fn shard_table_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.tables.len()).collect()
-    }
-
-    /// Per-shard cache capacities, in shard order; they sum to the
-    /// configured global budget.
-    pub fn shard_cache_capacities(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.cache.capacity()).collect()
-    }
-
-    fn registered(&self, id: &str) -> Option<&Registered> {
-        self.shards[self.shard_of(id)].tables.get(id)
-    }
-
-    /// Register a table under a unique id with a per-draw cost (used by
-    /// [`ServeRequest::TailorRun`]). The content fingerprint is
-    /// computed once here; re-registering the same id is an error
-    /// ([`ServeError::DuplicateTable`]) — use [`LakeIndex::upsert`] to
-    /// replace — as are empty tables and non-positive costs.
-    pub fn register(
-        &mut self,
-        id: impl Into<String>,
-        table: Table,
-        cost: f64,
-    ) -> Result<(), ServeError> {
-        let id = id.into();
-        if self.contains(&id) {
-            return Err(ServeError::DuplicateTable(id));
+impl Shard {
+    fn new(cache_capacity: usize) -> Self {
+        Shard {
+            tables: BTreeMap::new(),
+            cache: SketchCache::new(cache_capacity),
         }
-        self.upsert(id, table, cost)
     }
 
-    /// Register or replace a table. Replacing an id whose content
-    /// changed eagerly evicts the old-fingerprint cache entries — they
-    /// are unreachable (nothing holds the old fingerprint any more)
-    /// and must not squat in the byte budget. Replacing with identical
-    /// content keeps the warm entries.
-    pub fn upsert(
-        &mut self,
-        id: impl Into<String>,
-        table: Table,
-        cost: f64,
-    ) -> Result<(), ServeError> {
-        let id = id.into();
+    /// Registered-table count in this shard.
+    pub(crate) fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Registered ids in this shard, in sorted order.
+    pub(crate) fn ids(&self) -> impl Iterator<Item = &String> {
+        self.tables.keys()
+    }
+
+    /// A registered table's full record.
+    pub(crate) fn registered(&self, id: &str) -> Option<&Registered> {
+        self.tables.get(id)
+    }
+
+    /// Register or replace a table (validation included); evicts
+    /// stale-fingerprint cache entries for the id.
+    pub(crate) fn upsert(&mut self, id: String, table: Table, cost: f64) -> Result<(), ServeError> {
         if table.is_empty() {
             return Err(ServeError::EmptyTable(id));
         }
         if cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ServeError::InvalidCost(cost));
         }
-        let si = self.shard_of(&id);
         rdi_obs::counter("serve.shard.routed").inc();
         let fp = FpState::from_table(&table);
         let keep = fp.fingerprint();
-        let shard = &mut self.shards[si];
-        shard.tables.insert(
+        self.tables.insert(
             id.clone(),
             Registered {
                 table: Arc::new(table),
@@ -206,37 +157,31 @@ impl LakeIndex {
         );
         // Defensive even on fresh registration: a previous life of this
         // id (dropped, re-registered) must leave no stale entries.
-        shard.cache.evict_stale(&id, keep);
-        self.publish_stats();
+        self.cache.evict_stale(&id, keep);
         Ok(())
     }
 
-    /// Apply a delta to a registered table, maintaining its fingerprint
-    /// and any materialized sketches with work proportional to the
-    /// delta. Counts `serve.delta.rows_applied`; sketch maintenance
-    /// counts `sketch.incremental_updates` per absorbed value and
-    /// `sketch.rebuilds` when deletion debt crosses the threshold.
-    /// Returns the number of rows touched.
-    ///
-    /// `Drop` deregisters the table and evicts everything it cached;
-    /// the id can be registered again later.
-    pub fn apply_delta(&mut self, id: &str, delta: &TableDelta) -> Result<usize, ServeError> {
-        let k = self.config.minhash_k;
-        let debt_threshold = self.config.deletion_debt_threshold;
-        let si = self.shard_of(id);
+    /// Apply a delta to a table registered in this shard (see
+    /// [`LakeIndex::apply_delta`] for the maintenance contract).
+    pub(crate) fn apply_delta(
+        &mut self,
+        id: &str,
+        delta: &TableDelta,
+        k: usize,
+        debt_threshold: u64,
+    ) -> Result<usize, ServeError> {
         rdi_obs::counter("serve.shard.routed").inc();
-        let Shard { tables, cache } = &mut self.shards[si];
 
         if matches!(delta, TableDelta::Drop) {
-            if tables.remove(id).is_none() {
+            if self.tables.remove(id).is_none() {
                 return Err(ServeError::UnknownTable(id.to_string()));
             }
-            cache.evict_owner(id);
-            self.publish_stats();
+            self.cache.evict_owner(id);
             return Ok(0);
         }
 
-        let r = tables
+        let r = self
+            .tables
             .get_mut(id)
             .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
         let rows_touched = match delta {
@@ -290,7 +235,7 @@ impl LakeIndex {
         // the now-unreachable old-fingerprint entries.
         let new_fp = r.fp.fingerprint();
         if let Some(u) = &r.maint.union {
-            cache.insert(
+            self.cache.insert(
                 CacheKey {
                     owner: id.to_string(),
                     fingerprint: new_fp,
@@ -300,7 +245,7 @@ impl LakeIndex {
             );
         }
         for (col, p) in &r.maint.joins {
-            cache.insert(
+            self.cache.insert(
                 CacheKey {
                     owner: id.to_string(),
                     fingerprint: new_fp,
@@ -312,8 +257,252 @@ impl LakeIndex {
                 Sketch::Join(Arc::new(p.profile())),
             );
         }
-        cache.evict_stale(id, new_fp);
+        self.cache.evict_stale(id, new_fp);
         rdi_obs::counter("serve.delta.rows_applied").add(rows_touched as u64);
+        Ok(rows_touched)
+    }
+
+    /// Union signature for a registered table: cache hit, or derive
+    /// from maintained state, or cold-build (which starts maintenance).
+    pub(crate) fn union_signature(
+        &mut self,
+        id: &str,
+        k: usize,
+    ) -> Result<Arc<TableSignature>, ServeError> {
+        let r = self
+            .tables
+            .get_mut(id)
+            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
+        let key = CacheKey {
+            owner: id.to_string(),
+            fingerprint: r.fp.fingerprint(),
+            kind: SketchKind::Union { k },
+        };
+        if let Some(Sketch::Union(sig)) = self.cache.get(&key) {
+            return Ok(sig);
+        }
+        let table = r.table.clone();
+        let u = r
+            .maint
+            .union
+            .get_or_insert_with(|| UpdatableSignature::build(id, &table, k));
+        let sig = Arc::new(u.signature());
+        self.cache.insert(key, Sketch::Union(sig.clone()));
+        Ok(sig)
+    }
+
+    /// Join profile for one column of a registered table: cache hit,
+    /// or derive from maintained state, or cold-build (which starts
+    /// maintenance). The column must exist — callers check first.
+    pub(crate) fn key_profile(
+        &mut self,
+        id: &str,
+        column: &str,
+        k: usize,
+    ) -> Result<Arc<KeyProfile>, ServeError> {
+        let r = self
+            .tables
+            .get_mut(id)
+            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
+        let key = CacheKey {
+            owner: id.to_string(),
+            fingerprint: r.fp.fingerprint(),
+            kind: SketchKind::Join {
+                column: column.to_string(),
+                k,
+            },
+        };
+        if let Some(Sketch::Join(p)) = self.cache.get(&key) {
+            return Ok(p);
+        }
+        let table = r.table.clone();
+        let profile = match r.maint.joins.entry(column.to_string()) {
+            Entry::Occupied(e) => Arc::new(e.get().profile()),
+            Entry::Vacant(v) => Arc::new(
+                v.insert(UpdatableKeyProfile::build(&table, column, k)?)
+                    .profile(),
+            ),
+        };
+        self.cache.insert(key, Sketch::Join(profile.clone()));
+        Ok(profile)
+    }
+
+    /// Union signature for an ad-hoc query table, cached (without
+    /// maintenance). Only the query-owner shard is asked.
+    pub(crate) fn query_union_signature(
+        &mut self,
+        fingerprint: u64,
+        query: &Table,
+        k: usize,
+    ) -> Result<Arc<TableSignature>, ServeError> {
+        let key = CacheKey {
+            owner: CacheKey::QUERY_OWNER.to_string(),
+            fingerprint,
+            kind: SketchKind::Union { k },
+        };
+        if let Some(Sketch::Union(sig)) = self.cache.get(&key) {
+            return Ok(sig);
+        }
+        let sig = Arc::new(TableSignature::build(CacheKey::QUERY_OWNER, query, k)?);
+        self.cache.insert(key, Sketch::Union(sig.clone()));
+        Ok(sig)
+    }
+
+    /// Join profile for one column of an ad-hoc query table, cached
+    /// (without maintenance). Only the query-owner shard is asked.
+    pub(crate) fn query_key_profile(
+        &mut self,
+        fingerprint: u64,
+        query: &Table,
+        column: &str,
+        k: usize,
+    ) -> Result<Arc<KeyProfile>, ServeError> {
+        let key = CacheKey {
+            owner: CacheKey::QUERY_OWNER.to_string(),
+            fingerprint,
+            kind: SketchKind::Join {
+                column: column.to_string(),
+                k,
+            },
+        };
+        if let Some(Sketch::Join(p)) = self.cache.get(&key) {
+            return Ok(p);
+        }
+        let distinct = query
+            .distinct(column)?
+            .iter()
+            .filter(|v| !v.is_null())
+            .count();
+        let profile = Arc::new(KeyProfile {
+            column: column.to_string(),
+            minhash: MinHash::from_column(query, column, k)?,
+            distinct,
+        });
+        self.cache.insert(key, Sketch::Join(profile.clone()));
+        Ok(profile)
+    }
+}
+
+/// A persistent, in-process index over a lake of registered tables.
+#[derive(Debug)]
+pub struct LakeIndex {
+    config: LakeIndexConfig,
+    shards: Vec<Shard>,
+}
+
+impl Default for LakeIndex {
+    fn default() -> Self {
+        LakeIndex::new(LakeIndexConfig::default())
+    }
+}
+
+impl LakeIndex {
+    /// An empty index with the given sizing. A `shard_count` of 0 is
+    /// treated as 1.
+    pub fn new(config: LakeIndexConfig) -> Self {
+        let n = config.shard_count.max(1);
+        let total = config.cache_capacity_bytes;
+        let shards = (0..n)
+            .map(|i| Shard::new(total / n + usize::from(i < total % n)))
+            .collect();
+        LakeIndex { config, shards }
+    }
+
+    /// Disassemble into the configuration and the owned shards, in
+    /// shard order — the actor hosting layer (`crate::actors`) moves
+    /// each shard into its own `ShardActor`.
+    pub(crate) fn into_shards(self) -> (LakeIndexConfig, Vec<Shard>) {
+        (self.config, self.shards)
+    }
+
+    /// Reassemble an index from shards previously produced by
+    /// [`LakeIndex::into_shards`] (shard order must be preserved —
+    /// routing is positional).
+    pub(crate) fn from_shards(config: LakeIndexConfig, shards: Vec<Shard>) -> Self {
+        LakeIndex { config, shards }
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &LakeIndexConfig {
+        &self.config
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard assignment for a table id: a pure function
+    /// of the id bytes and the shard count.
+    pub fn shard_of(&self, id: &str) -> usize {
+        shard_route(id, self.shards.len())
+    }
+
+    /// Registered-table count per shard, in shard order.
+    pub fn shard_table_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.tables.len()).collect()
+    }
+
+    /// Per-shard cache capacities, in shard order; they sum to the
+    /// configured global budget.
+    pub fn shard_cache_capacities(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.cache.capacity()).collect()
+    }
+
+    fn registered(&self, id: &str) -> Option<&Registered> {
+        self.shards[self.shard_of(id)].tables.get(id)
+    }
+
+    /// Register a table under a unique id with a per-draw cost (used by
+    /// [`ServeRequest::TailorRun`]). The content fingerprint is
+    /// computed once here; re-registering the same id is an error
+    /// ([`ServeError::DuplicateTable`]) — use [`LakeIndex::upsert`] to
+    /// replace — as are empty tables and non-positive costs.
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        table: Table,
+        cost: f64,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        if self.contains(&id) {
+            return Err(ServeError::DuplicateTable(id));
+        }
+        self.upsert(id, table, cost)
+    }
+
+    /// Register or replace a table. Replacing an id whose content
+    /// changed eagerly evicts the old-fingerprint cache entries — they
+    /// are unreachable (nothing holds the old fingerprint any more)
+    /// and must not squat in the byte budget. Replacing with identical
+    /// content keeps the warm entries.
+    pub fn upsert(
+        &mut self,
+        id: impl Into<String>,
+        table: Table,
+        cost: f64,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        let si = self.shard_of(&id);
+        self.shards[si].upsert(id, table, cost)?;
+        self.publish_stats();
+        Ok(())
+    }
+
+    /// Apply a delta to a registered table, maintaining its fingerprint
+    /// and any materialized sketches with work proportional to the
+    /// delta. Counts `serve.delta.rows_applied`; sketch maintenance
+    /// counts `sketch.incremental_updates` per absorbed value and
+    /// `sketch.rebuilds` when deletion debt crosses the threshold.
+    /// Returns the number of rows touched.
+    ///
+    /// `Drop` deregisters the table and evicts everything it cached;
+    /// the id can be registered again later.
+    pub fn apply_delta(&mut self, id: &str, delta: &TableDelta) -> Result<usize, ServeError> {
+        let k = self.config.minhash_k;
+        let debt_threshold = self.config.deletion_debt_threshold;
+        let si = self.shard_of(id);
+        let rows_touched = self.shards[si].apply_delta(id, delta, k, debt_threshold)?;
         self.publish_stats();
         Ok(rows_touched)
     }
@@ -381,18 +570,7 @@ impl LakeIndex {
     ) -> Result<Arc<TableSignature>, ServeError> {
         let k = self.config.minhash_k;
         let si = self.shard_of(CacheKey::QUERY_OWNER);
-        let cache = &mut self.shards[si].cache;
-        let key = CacheKey {
-            owner: CacheKey::QUERY_OWNER.to_string(),
-            fingerprint,
-            kind: SketchKind::Union { k },
-        };
-        if let Some(Sketch::Union(sig)) = cache.get(&key) {
-            return Ok(sig);
-        }
-        let sig = Arc::new(TableSignature::build(CacheKey::QUERY_OWNER, query, k)?);
-        cache.insert(key, Sketch::Union(sig.clone()));
-        Ok(sig)
+        self.shards[si].query_union_signature(fingerprint, query, k)
     }
 
     /// Join profile for one column of an ad-hoc query table, cached
@@ -405,30 +583,7 @@ impl LakeIndex {
     ) -> Result<Arc<KeyProfile>, ServeError> {
         let k = self.config.minhash_k;
         let si = self.shard_of(CacheKey::QUERY_OWNER);
-        let cache = &mut self.shards[si].cache;
-        let key = CacheKey {
-            owner: CacheKey::QUERY_OWNER.to_string(),
-            fingerprint,
-            kind: SketchKind::Join {
-                column: column.to_string(),
-                k,
-            },
-        };
-        if let Some(Sketch::Join(p)) = cache.get(&key) {
-            return Ok(p);
-        }
-        let distinct = query
-            .distinct(column)?
-            .iter()
-            .filter(|v| !v.is_null())
-            .count();
-        let profile = Arc::new(KeyProfile {
-            column: column.to_string(),
-            minhash: MinHash::from_column(query, column, k)?,
-            distinct,
-        });
-        cache.insert(key, Sketch::Join(profile.clone()));
-        Ok(profile)
+        self.shards[si].query_key_profile(fingerprint, query, column, k)
     }
 
     /// Union signature for a registered table: cache hit, or derive
@@ -436,26 +591,7 @@ impl LakeIndex {
     fn registered_union_signature(&mut self, id: &str) -> Result<Arc<TableSignature>, ServeError> {
         let k = self.config.minhash_k;
         let si = self.shard_of(id);
-        let Shard { tables, cache } = &mut self.shards[si];
-        let r = tables
-            .get_mut(id)
-            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
-        let key = CacheKey {
-            owner: id.to_string(),
-            fingerprint: r.fp.fingerprint(),
-            kind: SketchKind::Union { k },
-        };
-        if let Some(Sketch::Union(sig)) = cache.get(&key) {
-            return Ok(sig);
-        }
-        let table = r.table.clone();
-        let u = r
-            .maint
-            .union
-            .get_or_insert_with(|| UpdatableSignature::build(id, &table, k));
-        let sig = Arc::new(u.signature());
-        cache.insert(key, Sketch::Union(sig.clone()));
-        Ok(sig)
+        self.shards[si].union_signature(id, k)
     }
 
     /// Join profile for one column of a registered table: cache hit,
@@ -468,31 +604,7 @@ impl LakeIndex {
     ) -> Result<Arc<KeyProfile>, ServeError> {
         let k = self.config.minhash_k;
         let si = self.shard_of(id);
-        let Shard { tables, cache } = &mut self.shards[si];
-        let r = tables
-            .get_mut(id)
-            .ok_or_else(|| ServeError::UnknownTable(id.to_string()))?;
-        let key = CacheKey {
-            owner: id.to_string(),
-            fingerprint: r.fp.fingerprint(),
-            kind: SketchKind::Join {
-                column: column.to_string(),
-                k,
-            },
-        };
-        if let Some(Sketch::Join(p)) = cache.get(&key) {
-            return Ok(p);
-        }
-        let table = r.table.clone();
-        let profile = match r.maint.joins.entry(column.to_string()) {
-            Entry::Occupied(e) => Arc::new(e.get().profile()),
-            Entry::Vacant(v) => Arc::new(
-                v.insert(UpdatableKeyProfile::build(&table, column, k)?)
-                    .profile(),
-            ),
-        };
-        cache.insert(key, Sketch::Join(profile.clone()));
-        Ok(profile)
+        self.shards[si].key_profile(id, column, k)
     }
 
     /// Validate a request and warm every sketch it needs, returning an
@@ -648,8 +760,10 @@ impl LakeIndex {
     }
 }
 
-/// Reject query tables whose signature would be empty.
-fn check_query_shape(query: &Table) -> Result<(), ServeError> {
+/// Reject query tables whose signature would be empty. Shared with the
+/// actor hosting layer (`crate::actors`), which runs the same check
+/// session-side before fanning a query out.
+pub(crate) fn check_query_shape(query: &Table) -> Result<(), ServeError> {
     if query.num_columns() == 0 {
         return Err(ServeError::EmptyQuery("query table has no columns".into()));
     }

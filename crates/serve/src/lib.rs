@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod actors;
 pub mod cache;
 pub mod error;
 pub mod fingerprint;
@@ -62,6 +63,7 @@ mod maint;
 pub mod request;
 pub mod session;
 
+pub use actors::{LakeActorGroup, MaintActor, MaintMsg, SessionActor, SessionMsg, ShardActor};
 pub use cache::{CacheKey, KeyProfile, Sketch, SketchCache, SketchKind};
 pub use error::ServeError;
 pub use fingerprint::{table_fingerprint, FpState};

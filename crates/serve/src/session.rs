@@ -23,11 +23,18 @@
 //! After execution the session breaker consumes per-request outcomes in
 //! arrival order: a request *failure* counts against it, a success
 //! resets it, and once `breaker_threshold` consecutive failures accrue
-//! the session stops admitting work for its remaining lifetime
-//! (`rdi-fault` semantics: a permanently-open breaker keeps outcomes a
-//! pure function of the request stream).
+//! the session stops admitting ordinary work. Recovery is deterministic
+//! and half-open (`rdi-fault` [`RecoveringBreaker`]): the session clock
+//! ticks once per submitted batch, and once
+//! `breaker_cooldown_ticks` ticks have elapsed since the trip the next
+//! batch admits exactly **one probe request** — a probe success closes
+//! the breaker, a probe failure re-opens it and restarts the cooldown.
+//! Ticks are batch counts, never wall clock, so outcomes stay a pure
+//! function of the request stream. (The breaker used to be permanently
+//! open, which let one transient poison batch shed all future traffic
+//! forever.)
 
-use rdi_fault::CircuitBreaker;
+use rdi_fault::{Admission, RecoveringBreaker, RecoveryState};
 use rdi_par::{par_map, stream_seed, Threads};
 
 use crate::error::ServeError;
@@ -44,8 +51,12 @@ pub struct SessionConfig {
     /// [`ServeError::QueueFull`].
     pub queue_capacity: usize,
     /// Consecutive request failures after which the session breaker
-    /// opens (and stays open).
+    /// opens (clamped to ≥ 1).
     pub breaker_threshold: u32,
+    /// Ticks (one per submitted batch) an open breaker cools down
+    /// before admitting a single half-open probe request (clamped to
+    /// ≥ 1).
+    pub breaker_cooldown_ticks: u64,
     /// Thread configuration for the execute phase.
     pub threads: Threads,
     /// Master seed; request `i` (by arrival, across batches) executes
@@ -58,6 +69,7 @@ impl Default for SessionConfig {
         SessionConfig {
             queue_capacity: 64,
             breaker_threshold: 5,
+            breaker_cooldown_ticks: 4,
             threads: Threads::auto(),
             seed: 0,
         }
@@ -84,8 +96,9 @@ pub struct BatchReport {
 pub struct ServeSession {
     index: LakeIndex,
     config: SessionConfig,
-    breaker: CircuitBreaker,
+    breaker: RecoveringBreaker,
     arrivals: u64,
+    ticks: u64,
 }
 
 impl ServeSession {
@@ -93,9 +106,13 @@ impl ServeSession {
     pub fn new(index: LakeIndex, config: SessionConfig) -> Self {
         ServeSession {
             index,
-            breaker: CircuitBreaker::new(config.breaker_threshold),
+            breaker: RecoveringBreaker::new(
+                config.breaker_threshold,
+                config.breaker_cooldown_ticks,
+            ),
             config,
             arrivals: 0,
+            ticks: 0,
         }
     }
 
@@ -123,10 +140,15 @@ impl ServeSession {
         &self.config
     }
 
-    /// True once the session breaker has opened (all further requests
-    /// are shed).
+    /// True while the session breaker sheds ordinary traffic (open and
+    /// cooling down, or waiting on a half-open probe).
     pub fn breaker_open(&self) -> bool {
         self.breaker.is_open()
+    }
+
+    /// Current breaker state (closed / open / half-open).
+    pub fn breaker_state(&self) -> RecoveryState {
+        self.breaker.state()
     }
 
     /// Requests seen so far (admitted or shed), across all batches.
@@ -134,16 +156,27 @@ impl ServeSession {
         self.arrivals
     }
 
+    /// Session clock: batches submitted so far (breaker cooldowns are
+    /// measured on this clock).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
     /// Answer a batch. Never panics on bad requests: each slot in the
     /// report is its own `Result`, and shed or failing requests leave
     /// their neighbours untouched.
     pub fn submit_batch(&mut self, requests: &[ServeRequest]) -> BatchReport {
         let _span = rdi_obs::span("serve.batch");
+        // The session clock: one tick per batch, so breaker cooldowns
+        // are a pure function of the request stream.
+        self.ticks += 1;
         rdi_obs::counter("serve.batches").inc();
         rdi_obs::counter("serve.requests").add(requests.len() as u64);
         rdi_obs::histogram("serve.batch_size", &SIZE_BOUNDS).record(requests.len() as f64);
 
-        // Phase 1: admission, serial in arrival order.
+        // Phase 1: admission, serial in arrival order. The capacity
+        // check runs before the breaker is consulted so a granted
+        // half-open probe always has queue room.
         let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
             (0..requests.len()).map(|_| None).collect();
         let mut admitted: Vec<(usize, u64)> = Vec::new(); // (position, arrival)
@@ -151,18 +184,25 @@ impl ServeSession {
         for (pos, _req) in requests.iter().enumerate() {
             let arrival = self.arrivals;
             self.arrivals += 1;
-            if self.breaker.is_open() {
-                responses[pos] = Some(Err(ServeError::CircuitOpen {
-                    consecutive_failures: self.breaker.consecutive_failures(),
-                }));
-                shed += 1;
-            } else if admitted.len() >= self.config.queue_capacity {
+            if admitted.len() >= self.config.queue_capacity {
                 responses[pos] = Some(Err(ServeError::QueueFull {
                     capacity: self.config.queue_capacity,
                 }));
                 shed += 1;
-            } else {
-                admitted.push((pos, arrival));
+                continue;
+            }
+            match self.breaker.admit(self.ticks) {
+                Admission::Admit => admitted.push((pos, arrival)),
+                Admission::Probe => {
+                    rdi_obs::counter("serve.breaker_probes").inc();
+                    admitted.push((pos, arrival));
+                }
+                Admission::Shed => {
+                    responses[pos] = Some(Err(ServeError::CircuitOpen {
+                        consecutive_failures: self.breaker.consecutive_failures(),
+                    }));
+                    shed += 1;
+                }
             }
         }
         rdi_obs::counter("serve.shed").add(shed as u64);
@@ -190,17 +230,25 @@ impl ServeSession {
             responses[pos] = Some(result);
         }
 
-        // Post phase: feed the breaker in arrival order, count failures.
+        // Post phase: feed the breaker in arrival order, count
+        // failures. A half-open probe's outcome lands here too: its
+        // success closes the breaker, its failure re-opens it.
         let mut failed = 0usize;
         for r in responses.iter().flatten() {
             match r {
-                Ok(_) => self.breaker.record_success(),
+                Ok(_) => {
+                    let was_half_open = self.breaker.state() == RecoveryState::HalfOpen;
+                    self.breaker.record_success();
+                    if was_half_open {
+                        rdi_obs::counter("serve.breaker_recoveries").inc();
+                    }
+                }
                 Err(ServeError::CircuitOpen { .. }) | Err(ServeError::QueueFull { .. }) => {
                     // shed, not failed: sheds never trip the breaker
                 }
                 Err(_) => {
                     failed += 1;
-                    if self.breaker.record_failure() {
+                    if self.breaker.record_failure(self.ticks) {
                         rdi_obs::counter("serve.breaker_trips").inc();
                     }
                 }
@@ -413,6 +461,107 @@ mod tests {
             assert!(r.degraded);
         }
         assert!(!s.breaker_open(), "successes keep resetting the breaker");
+    }
+
+    #[test]
+    fn breaker_recovers_after_cooldown_via_half_open_probe() {
+        // Regression: the session breaker used to stay open forever —
+        // one poison batch shed all future traffic. Now the cooldown
+        // (measured in batch ticks) ends in a single probe request,
+        // and a successful probe closes the breaker.
+        let mut s = session();
+        let poison = ServeRequest::CoverageProbe {
+            table: "missing".into(),
+            attributes: vec!["group".into()],
+            threshold: 1,
+        };
+        let threshold = s.config().breaker_threshold as usize;
+        let cooldown = s.config().breaker_cooldown_ticks;
+        s.submit_batch(&vec![poison; threshold]);
+        assert_eq!(s.breaker_state(), RecoveryState::Open);
+        let opened_at = s.ticks();
+        // Batches during the cooldown are fully shed.
+        for _ in 0..cooldown - 1 {
+            let r = s.submit_batch(&mixed_batch());
+            assert_eq!(r.admitted, 0, "cooling-down batch must shed");
+            assert_eq!(s.breaker_state(), RecoveryState::Open);
+        }
+        // The first batch at `opened_at + cooldown` admits exactly one
+        // probe; its success closes the breaker mid-batch, so the rest
+        // of the batch is admitted too.
+        let probe_batch = s.submit_batch(&mixed_batch());
+        assert_eq!(s.ticks(), opened_at + cooldown);
+        assert!(probe_batch.admitted >= 1, "probe must be admitted");
+        assert!(probe_batch.responses[0].is_ok(), "probe succeeds");
+        assert_eq!(s.breaker_state(), RecoveryState::Closed);
+        // The session serves healthy batches again.
+        let healthy = s.submit_batch(&mixed_batch());
+        assert_eq!(healthy.admitted, 4);
+        assert_eq!(healthy.shed, 0);
+        assert!(!healthy.degraded, "{:?}", healthy.responses);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_session_breaker() {
+        let mut s = session();
+        let poison = ServeRequest::CoverageProbe {
+            table: "missing".into(),
+            attributes: vec!["group".into()],
+            threshold: 1,
+        };
+        let threshold = s.config().breaker_threshold as usize;
+        let cooldown = s.config().breaker_cooldown_ticks;
+        s.submit_batch(&vec![poison.clone(); threshold]);
+        for _ in 0..cooldown - 1 {
+            s.submit_batch(std::slice::from_ref(&poison));
+        }
+        // Probe batch is itself poison: the probe fails and re-opens.
+        let r = s.submit_batch(std::slice::from_ref(&poison));
+        assert_eq!(r.admitted, 1);
+        assert_eq!(s.breaker_state(), RecoveryState::Open);
+        // Cooldown restarted: next batch sheds again.
+        let r = s.submit_batch(&mixed_batch());
+        assert_eq!(r.admitted, 0);
+    }
+
+    #[test]
+    fn breaker_recovery_replays_bitwise_across_thread_counts() {
+        // The whole trip → cooldown → probe → recovery arc is a pure
+        // function of the request stream, so replays with different
+        // execute-phase thread counts are bitwise identical.
+        let run = |threads: Threads| {
+            let mut idx = LakeIndex::new(LakeIndexConfig::default());
+            idx.register("abc", keyed(&["a", "b", "c"]), 1.0).unwrap();
+            idx.register("abx", keyed(&["a", "b", "x"]), 1.0).unwrap();
+            let rows: Vec<(&str, f64)> = (0..60)
+                .map(|i| (if i % 3 == 0 { "min" } else { "maj" }, i as f64))
+                .collect();
+            idx.register("pop", grouped(&rows), 1.0).unwrap();
+            let mut s = ServeSession::new(
+                idx,
+                SessionConfig {
+                    threads,
+                    ..SessionConfig::default()
+                },
+            );
+            let poison = ServeRequest::CoverageProbe {
+                table: "missing".into(),
+                attributes: vec!["group".into()],
+                threshold: 1,
+            };
+            let mut log = String::new();
+            let threshold = s.config().breaker_threshold as usize;
+            let cooldown = s.config().breaker_cooldown_ticks;
+            log.push_str(&format!("{:?}\n", s.submit_batch(&vec![poison; threshold])));
+            for _ in 0..cooldown {
+                log.push_str(&format!("{:?}\n", s.submit_batch(&mixed_batch())));
+            }
+            log.push_str(&format!("{:?} {:?}\n", s.breaker_state(), s.ticks()));
+            log
+        };
+        let serial = run(Threads::fixed(1));
+        assert_eq!(serial, run(Threads::fixed(2)));
+        assert_eq!(serial, run(Threads::fixed(8)));
     }
 
     #[test]
