@@ -2,10 +2,14 @@
 //! schema.
 //!
 //! Reads the lint JSON document on **stdin** and checks the schema
-//! contract the CI gate relies on: `version` is the supported one,
-//! the summary fields are present, the rule catalog lists every rule
-//! exactly once, and each finding is a well-formed object. Exits
-//! non-zero (with a message on stderr) on any violation — so a
+//! contract the CI gate relies on: `version` is the supported one
+//! (v1 reports are rejected with a pointed message — the v1 schema
+//! died when the analyzer grew the symbol graph), the summary fields
+//! are present, the rule catalog lists all twelve rules exactly once,
+//! `rule_counts` covers the same catalog, the `symbols` block carries
+//! the graph statistics, `classification` lists the workspace crates,
+//! and each finding is a well-formed object with a stable fingerprint.
+//! Exits non-zero (with a message on stderr) on any violation — so a
 //! pipeline like
 //!
 //! ```text
@@ -21,10 +25,21 @@ use std::process::exit;
 
 /// Schema version this validator understands (see
 /// `crates/lint/src/report.rs`).
-const SUPPORTED_VERSION: u64 = 1;
+const SUPPORTED_VERSION: u64 = 2;
 
 /// Every rule the catalog must list, in order.
-const RULE_IDS: [&str; 8] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
+const RULE_IDS: [&str; 12] = [
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
+];
+
+/// Statistics the `symbols` block must carry.
+const SYMBOL_FIELDS: [&str; 5] = [
+    "files_parsed",
+    "items",
+    "functions",
+    "call_edges",
+    "emitting_functions",
+];
 
 fn main() {
     let mut input = String::new();
@@ -41,11 +56,21 @@ fn main() {
     };
 
     let version = doc.get("version").and_then(|v| v.as_u64());
-    if version != Some(SUPPORTED_VERSION) {
-        eprintln!(
-            "validate_lint: unsupported report version {version:?} (want {SUPPORTED_VERSION})"
-        );
-        exit(2);
+    match version {
+        Some(v) if v == SUPPORTED_VERSION => {}
+        Some(1) => {
+            eprintln!(
+                "validate_lint: report is schema v1 — the pre-symbol-graph format. \
+                 Rebuild rdi-lint from this workspace; v1 reports are no longer accepted"
+            );
+            exit(2);
+        }
+        other => {
+            eprintln!(
+                "validate_lint: unsupported report version {other:?} (want {SUPPORTED_VERSION})"
+            );
+            exit(2);
+        }
     }
     for field in ["root", "files_scanned", "suppressed"] {
         if doc.get(field).is_none() {
@@ -77,6 +102,46 @@ fn main() {
         }
     }
 
+    // Per-rule counts: one entry per catalog rule, even when zero.
+    let Some(counts) = doc.get("rule_counts") else {
+        eprintln!("validate_lint: report missing `rule_counts` object");
+        exit(2);
+    };
+    for id in RULE_IDS {
+        if counts.get(id).and_then(|v| v.as_u64()).is_none() {
+            eprintln!("validate_lint: rule_counts missing numeric `{id}`");
+            exit(2);
+        }
+    }
+
+    // Symbol-graph statistics.
+    let Some(symbols) = doc.get("symbols") else {
+        eprintln!("validate_lint: report missing `symbols` block");
+        exit(2);
+    };
+    for field in SYMBOL_FIELDS {
+        if symbols.get(field).and_then(|v| v.as_u64()).is_none() {
+            eprintln!("validate_lint: symbols block missing numeric `{field}`");
+            exit(2);
+        }
+    }
+
+    // Crate classification table (may be empty for fixture trees, but
+    // must be present and well-formed).
+    let Some(classes) = doc.get("classification").and_then(|v| v.as_array()) else {
+        eprintln!("validate_lint: report missing `classification` array");
+        exit(2);
+    };
+    for c in classes {
+        if c.get("name").and_then(|v| v.as_str()).is_none()
+            || c.get("algo").and_then(|v| v.as_bool()).is_none()
+            || c.get("explicit").and_then(|v| v.as_bool()).is_none()
+        {
+            eprintln!("validate_lint: malformed classification entry: {c:?}");
+            exit(2);
+        }
+    }
+
     let Some(findings) = doc.get("findings").and_then(|v| v.as_array()) else {
         eprintln!("validate_lint: report missing `findings` array");
         exit(2);
@@ -92,10 +157,18 @@ fn main() {
         }
         if f.get("file").and_then(|v| v.as_str()).is_none()
             || f.get("line").and_then(|v| v.as_u64()).is_none()
+            || f.get("item").and_then(|v| v.as_str()).is_none()
             || f.get("message").and_then(|v| v.as_str()).is_none()
         {
             eprintln!("validate_lint: malformed finding entry: {f:?}");
             exit(2);
+        }
+        match f.get("fingerprint").and_then(|v| v.as_str()) {
+            Some(fp) if fp.len() == 16 && fp.chars().all(|c| c.is_ascii_hexdigit()) => {}
+            other => {
+                eprintln!("validate_lint: finding fingerprint must be 16 hex chars, got {other:?}");
+                exit(2);
+            }
         }
     }
 
@@ -107,8 +180,17 @@ fn main() {
         eprintln!("validate_lint: report claims zero files scanned — wrong root?");
         exit(2);
     }
+    let parsed = symbols
+        .get("files_parsed")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if parsed == 0 {
+        eprintln!("validate_lint: symbol graph parsed zero files — parser wired up wrong?");
+        exit(2);
+    }
     println!(
-        "validate_lint: OK — version {SUPPORTED_VERSION}, {files} file(s) scanned, {} finding(s), {} rule(s)",
+        "validate_lint: OK — version {SUPPORTED_VERSION}, {files} file(s) scanned, \
+         {parsed} parsed into the symbol graph, {} finding(s), {} rule(s)",
         findings.len(),
         rules.len()
     );

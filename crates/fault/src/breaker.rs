@@ -62,14 +62,19 @@ impl CircuitBreaker {
 
     /// Record one failed attempt. Returns `true` exactly when this
     /// failure *newly* tripped the breaker (so callers can emit a single
-    /// quarantine event).
+    /// quarantine event). Every call counts toward
+    /// `fault.breaker.failures`; a trip additionally counts toward
+    /// `fault.breaker.opened`, so breaker transitions are auditable
+    /// even when the caller drops the boolean.
     pub fn record_failure(&mut self) -> bool {
+        rdi_obs::counter("fault.breaker.failures").inc();
         if self.is_open() {
             return false;
         }
         self.consecutive += 1;
         if self.consecutive >= self.threshold {
             self.state = BreakerState::Open;
+            rdi_obs::counter("fault.breaker.opened").inc();
             return true;
         }
         false
@@ -190,13 +195,18 @@ impl RecoveringBreaker {
 
     /// Record one failed attempt at virtual tick `now`. Returns `true`
     /// exactly when this failure tripped (or re-tripped) the breaker.
+    /// Counts toward `fault.breaker.failures`; trips additionally count
+    /// toward `fault.breaker.opened` (see
+    /// [`CircuitBreaker::record_failure`]).
     pub fn record_failure(&mut self, now: u64) -> bool {
+        rdi_obs::counter("fault.breaker.failures").inc();
         match self.state {
             RecoveryState::Closed => {
                 self.consecutive += 1;
                 if self.consecutive >= self.threshold {
                     self.state = RecoveryState::Open;
                     self.opened_at = now;
+                    rdi_obs::counter("fault.breaker.opened").inc();
                     return true;
                 }
                 false
@@ -205,6 +215,7 @@ impl RecoveringBreaker {
                 // the probe failed: re-open and restart the cooldown
                 self.state = RecoveryState::Open;
                 self.opened_at = now;
+                rdi_obs::counter("fault.breaker.opened").inc();
                 true
             }
             RecoveryState::Open => false,
@@ -213,13 +224,14 @@ impl RecoveringBreaker {
 
     /// Record one successful attempt. While closed this resets the
     /// consecutive count; in half-open it means the probe succeeded and
-    /// the breaker closes.
+    /// the breaker closes (counted by `fault.breaker.closed`).
     pub fn record_success(&mut self) {
         match self.state {
             RecoveryState::Closed => self.consecutive = 0,
             RecoveryState::HalfOpen => {
                 self.state = RecoveryState::Closed;
                 self.consecutive = 0;
+                rdi_obs::counter("fault.breaker.closed").inc();
             }
             RecoveryState::Open => {}
         }

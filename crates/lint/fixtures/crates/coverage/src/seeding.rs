@@ -1,0 +1,47 @@
+//! Planted R9 fixture: RNG seeding in an algorithm crate. Never
+//! compiled — see `planted.rs` for the convention.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed flows straight from a parameter: pure, no finding.
+pub fn resample(xs: &[u64], seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _used = rng;
+    xs.len() as u64
+}
+
+/// Seed derived from `stream_seed(..)` through a local: pure.
+pub fn per_stream(xs: &[u64]) -> u64 {
+    let s = rdi_par::stream_seed(3);
+    let mut rng = StdRng::seed_from_u64(s);
+    let _used = rng;
+    xs.len() as u64
+}
+
+/// A literal seed baked into an algorithm crate: the run is no longer a
+/// function of the experiment seed. Planted R9.
+pub fn hidden_seed(xs: &[u64]) -> u64 {
+    let mut rng = StdRng::seed_from_u64(0xDEAD_BEEF); // planted R9
+    let _used = rng;
+    xs.len() as u64
+}
+
+/// Metric uses for the planted R12 cases: `serve.dup` is declared in
+/// mylib's METRIC_NAMES (clean); `serve.unregistered` is not (planted
+/// R12 at its line); `fixture.free` is outside the registry prefixes.
+pub fn instrumented() {
+    rdi_obs::counter("serve.dup").inc();
+    rdi_obs::counter("serve.unregistered").inc(); // planted R12
+    rdi_obs::counter("fixture.free").inc();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_seed_fine_in_tests() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let _rng = StdRng::seed_from_u64(7); // exempt: cfg(test)
+    }
+}

@@ -1,0 +1,8 @@
+//! Planted R12 fixture: a METRIC_NAMES registry with a dead entry and a
+//! duplicate. Never compiled.
+
+pub const METRIC_NAMES: &[&str] = &[
+    "serve.dead_entry", // planted R12: declared but never updated
+    "serve.dup",
+    "serve.dup", // planted R12: declared more than once
+];

@@ -1,4 +1,4 @@
-//! A small token-level Rust lexer.
+//! A small token-level Rust lexer with byte-accurate spans.
 //!
 //! The rule engine does not need full parsing — only a token stream that
 //! is *reliable about what is code and what is not*. The tricky part of
@@ -12,6 +12,15 @@
 //!
 //! Comments are kept as tokens (rather than dropped) because suppression
 //! directives live in line comments.
+//!
+//! Every token carries its `[start, end)` **byte** span in the source.
+//! The item parser ([`crate::parser`]) and the symbol graph lean on
+//! these spans; the invariants they may assume are pinned by tests:
+//! spans are in-bounds, strictly increasing, non-overlapping, aligned to
+//! UTF-8 boundaries, the text between consecutive spans is pure
+//! whitespace, and for identifier/number/punct/comment tokens the span
+//! slices back to exactly the token text (raw identifiers `r#name` span
+//! the full `r#`-prefixed source while `text` holds the bare name).
 
 /// Kind of a lexed token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,17 +43,22 @@ pub enum TokenKind {
     BlockComment,
 }
 
-/// One lexed token with its 1-based starting line.
+/// One lexed token with its 1-based starting line and byte span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// What kind of token this is.
     pub kind: TokenKind,
     /// The token text. For [`TokenKind::StrLit`] this is the literal's
     /// *contents* (delimiters and prefixes stripped); for comments the
-    /// full comment text including markers; otherwise the raw slice.
+    /// full comment text including markers; otherwise the raw slice
+    /// (raw identifiers drop their `r#` prefix).
     pub text: String,
     /// 1-based line on which the token starts.
     pub line: u32,
+    /// Byte offset of the token's first character in the source.
+    pub start: u32,
+    /// Byte offset one past the token's last character.
+    pub end: u32,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -57,6 +71,10 @@ fn is_ident_continue(c: char) -> bool {
 
 struct Lexer {
     chars: Vec<char>,
+    /// `byte_of[i]` is the byte offset of `chars[i]`; one extra entry
+    /// holds the total byte length, so `byte_of[pos]` is always the
+    /// "current byte offset" even at end of input.
+    byte_of: Vec<u32>,
     pos: usize,
     line: u32,
     tokens: Vec<Token>,
@@ -65,6 +83,11 @@ struct Lexer {
 impl Lexer {
     fn peek(&self, ahead: usize) -> Option<char> {
         self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Byte offset of the current (next unconsumed) character.
+    fn byte(&self) -> u32 {
+        self.byte_of[self.pos]
     }
 
     /// Advance one char, tracking line numbers.
@@ -79,12 +102,22 @@ impl Lexer {
         c
     }
 
-    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.tokens.push(Token { kind, text, line });
+    /// Push a token whose span started at byte `start` and ends at the
+    /// current position.
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, start: u32) {
+        let end = self.byte();
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            start,
+            end,
+        });
     }
 
     fn line_comment(&mut self) {
         let line = self.line;
+        let start = self.byte();
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -93,12 +126,18 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.push(TokenKind::LineComment, text, line);
+        // A CRLF line ending leaves the `\r` on the comment tail; strip
+        // it from the text (the span keeps the byte).
+        if text.ends_with('\r') {
+            text.pop();
+        }
+        self.push(TokenKind::LineComment, text, line, start);
     }
 
     /// Block comment with nesting: `/* a /* b */ c */` is one comment.
     fn block_comment(&mut self) {
         let line = self.line;
+        let start = self.byte();
         let mut text = String::new();
         let mut depth = 0usize;
         loop {
@@ -127,11 +166,13 @@ impl Lexer {
                 (None, _) => break, // unterminated; tolerate
             }
         }
-        self.push(TokenKind::BlockComment, text, line);
+        self.push(TokenKind::BlockComment, text, line, start);
     }
 
     /// Plain (non-raw) string body, opening `"` already consumed.
-    fn string_body(&mut self, line: u32) {
+    /// `start` is the byte offset of the literal's first character
+    /// (prefix or quote).
+    fn string_body(&mut self, line: u32, start: u32) {
         let mut text = String::new();
         loop {
             match self.bump() {
@@ -147,13 +188,13 @@ impl Lexer {
                 Some(c) => text.push(c),
             }
         }
-        self.push(TokenKind::StrLit, text, line);
+        self.push(TokenKind::StrLit, text, line, start);
     }
 
     /// Raw string starting at the `#`s or `"` (prefix `r`/`br`/`b` is
     /// already consumed): `r##"…"##` closes only on `"` followed by the
     /// same number of `#`.
-    fn raw_string_body(&mut self, line: u32) {
+    fn raw_string_body(&mut self, line: u32, start: u32) {
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
             hashes += 1;
@@ -181,12 +222,13 @@ impl Lexer {
                 Some(c) => text.push(c),
             }
         }
-        self.push(TokenKind::StrLit, text, line);
+        self.push(TokenKind::StrLit, text, line, start);
     }
 
     /// Char literal vs lifetime, at the `'` (not yet consumed).
     fn char_or_lifetime(&mut self) {
         let line = self.line;
+        let start = self.byte();
         self.bump(); // the `'`
         match self.peek(0) {
             Some('\\') => {
@@ -204,13 +246,13 @@ impl Lexer {
                     }
                     text.push(c);
                 }
-                self.push(TokenKind::CharLit, text, line);
+                self.push(TokenKind::CharLit, text, line, start);
             }
             Some(c) if self.peek(1) == Some('\'') && c != '\'' => {
                 // Single-char literal: `'a'`, `'0'`, `'"'`.
                 self.bump();
                 self.bump();
-                self.push(TokenKind::CharLit, c.to_string(), line);
+                self.push(TokenKind::CharLit, c.to_string(), line, start);
             }
             _ => {
                 // Lifetime or loop label: consume identifier chars.
@@ -223,13 +265,14 @@ impl Lexer {
                         break;
                     }
                 }
-                self.push(TokenKind::Lifetime, text, line);
+                self.push(TokenKind::Lifetime, text, line, start);
             }
         }
     }
 
     fn ident(&mut self) {
         let line = self.line;
+        let start = self.byte();
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if is_ident_continue(c) {
@@ -244,17 +287,18 @@ impl Lexer {
         match (text.as_str(), self.peek(0)) {
             ("r" | "b" | "br" | "rb", Some('"')) => {
                 if text.starts_with('r') || text == "rb" {
-                    self.raw_string_body(line);
+                    self.raw_string_body(line, start);
                 } else {
                     self.bump();
-                    self.string_body(line);
+                    self.string_body(line, start);
                 }
             }
             ("r" | "br", Some('#')) if self.raw_prefix_is_string() => {
-                self.raw_string_body(line);
+                self.raw_string_body(line, start);
             }
             ("r", Some('#')) => {
-                // Raw identifier `r#type`: emit as a plain ident.
+                // Raw identifier `r#type`: emit as a plain ident whose
+                // span covers the full `r#`-prefixed source.
                 self.bump();
                 let mut raw = String::new();
                 while let Some(c) = self.peek(0) {
@@ -265,16 +309,18 @@ impl Lexer {
                         break;
                     }
                 }
-                self.push(TokenKind::Ident, raw, line);
+                self.push(TokenKind::Ident, raw, line, start);
             }
             ("b", Some('\'')) => {
-                // Byte literal `b'x'`.
+                // Byte literal `b'x'`: `char_or_lifetime` pushes a token
+                // starting at the quote; widen it to cover the prefix.
                 self.char_or_lifetime();
                 if let Some(last) = self.tokens.last_mut() {
                     last.line = line;
+                    last.start = start;
                 }
             }
-            _ => self.push(TokenKind::Ident, text, line),
+            _ => self.push(TokenKind::Ident, text, line, start),
         }
     }
 
@@ -291,6 +337,7 @@ impl Lexer {
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.byte();
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_ascii_alphanumeric() || c == '_' {
@@ -314,7 +361,7 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokenKind::Num, text, line);
+        self.push(TokenKind::Num, text, line, start);
     }
 }
 
@@ -322,8 +369,11 @@ impl Lexer {
 /// to punctuation tokens rather than errors (the analyzer must not crash
 /// on a file rustc would reject — rustc will reject it louder).
 pub fn lex(src: &str) -> Vec<Token> {
+    let mut byte_of: Vec<u32> = src.char_indices().map(|(i, _)| i as u32).collect();
+    byte_of.push(src.len() as u32);
     let mut lx = Lexer {
         chars: src.chars().collect(),
+        byte_of,
         pos: 0,
         line: 1,
         tokens: Vec::new(),
@@ -337,16 +387,18 @@ pub fn lex(src: &str) -> Vec<Token> {
             '/' if lx.peek(1) == Some('*') => lx.block_comment(),
             '"' => {
                 let line = lx.line;
+                let start = lx.byte();
                 lx.bump();
-                lx.string_body(line);
+                lx.string_body(line, start);
             }
             '\'' => lx.char_or_lifetime(),
             c if is_ident_start(c) => lx.ident(),
             c if c.is_ascii_digit() => lx.number(),
             _ => {
                 let line = lx.line;
+                let start = lx.byte();
                 lx.bump();
-                lx.push(TokenKind::Punct, c.to_string(), line);
+                lx.push(TokenKind::Punct, c.to_string(), line, start);
             }
         }
     }

@@ -3,7 +3,8 @@
 use serde_json::Value;
 
 use crate::rules::RULES;
-use crate::Finding;
+use crate::symbols::SymbolStats;
+use crate::{ClassEntry, Finding};
 
 /// Aggregated analysis result for a tree.
 #[derive(Debug, Default)]
@@ -14,6 +15,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings silenced by valid suppression directives.
     pub suppressed: usize,
+    /// Symbol-graph statistics (zero when built per-file).
+    pub symbols: SymbolStats,
+    /// Crate classification table (empty when no workspace manifest).
+    pub classification: Vec<ClassEntry>,
 }
 
 impl Report {
@@ -21,20 +26,53 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// `(rule id, surviving findings)` for every rule with at least the
+    /// catalog order preserved.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        RULES
+            .iter()
+            .map(|(id, _, _)| (*id, self.findings.iter().filter(|f| f.rule == *id).count()))
+            .collect()
+    }
+}
+
+/// Stable finding fingerprint: FNV-1a 64 over
+/// `rule|file|item|message`. The line number is deliberately excluded
+/// so fingerprints survive unrelated edits above the finding; two
+/// identical violations in the same item collapse to one fingerprint,
+/// which is the desired diff granularity.
+pub fn fingerprint(f: &Finding) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in [f.rule, &f.file, &f.item, &f.message] {
+        for b in part.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= b'|' as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Render the report as the JSON document consumed by `validate_lint`
-/// in CI. Schema (stable; bump `version` on change):
+/// in CI. Schema v2 (stable; bump `version` on change):
 ///
 /// ```json
 /// {
-///   "version": 1,
+///   "version": 2,
 ///   "root": "...",
-///   "files_scanned": 154,
+///   "files_scanned": 160,
 ///   "suppressed": 12,
 ///   "rules": [{"id": "R1", "name": "hash-collection", "summary": "..."}],
+///   "rule_counts": {"R1": 0, "...": 0, "R12": 0},
+///   "symbols": {"files_parsed": 120, "items": 900, "functions": 400,
+///               "call_edges": 2100, "emitting_functions": 90},
+///   "classification": [{"name": "coverage", "algo": true,
+///                       "explicit": false, "reason": ""}],
 ///   "findings": [{"rule": "R1", "name": "...", "file": "...",
-///                 "line": 10, "message": "..."}]
+///                 "line": 10, "item": "Type::fn", "message": "...",
+///                 "fingerprint": "9f3a5c..."}]
 /// }
 /// ```
 pub fn report_json(report: &Report, root: &str) -> Value {
@@ -48,6 +86,42 @@ pub fn report_json(report: &Report, root: &str) -> Value {
             ])
         })
         .collect();
+    let rule_counts = report
+        .rule_counts()
+        .into_iter()
+        .map(|(id, n)| (id.to_string(), Value::U64(n as u64)))
+        .collect();
+    let symbols = Value::Obj(vec![
+        (
+            "files_parsed".into(),
+            Value::U64(report.symbols.files_parsed as u64),
+        ),
+        ("items".into(), Value::U64(report.symbols.items as u64)),
+        (
+            "functions".into(),
+            Value::U64(report.symbols.functions as u64),
+        ),
+        (
+            "call_edges".into(),
+            Value::U64(report.symbols.call_edges as u64),
+        ),
+        (
+            "emitting_functions".into(),
+            Value::U64(report.symbols.emitting_functions as u64),
+        ),
+    ]);
+    let classification = report
+        .classification
+        .iter()
+        .map(|c| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(c.name.clone())),
+                ("algo".into(), Value::Bool(c.algo)),
+                ("explicit".into(), Value::Bool(c.explicit)),
+                ("reason".into(), Value::Str(c.reason.clone())),
+            ])
+        })
+        .collect();
     let findings = report
         .findings
         .iter()
@@ -57,12 +131,14 @@ pub fn report_json(report: &Report, root: &str) -> Value {
                 ("name".into(), Value::Str(f.name.into())),
                 ("file".into(), Value::Str(f.file.clone())),
                 ("line".into(), Value::U64(f.line as u64)),
+                ("item".into(), Value::Str(f.item.clone())),
                 ("message".into(), Value::Str(f.message.clone())),
+                ("fingerprint".into(), Value::Str(fingerprint(f))),
             ])
         })
         .collect();
     Value::Obj(vec![
-        ("version".into(), Value::U64(1)),
+        ("version".into(), Value::U64(2)),
         ("root".into(), Value::Str(root.into())),
         (
             "files_scanned".into(),
@@ -70,6 +146,9 @@ pub fn report_json(report: &Report, root: &str) -> Value {
         ),
         ("suppressed".into(), Value::U64(report.suppressed as u64)),
         ("rules".into(), Value::Arr(rules)),
+        ("rule_counts".into(), Value::Obj(rule_counts)),
+        ("symbols".into(), symbols),
+        ("classification".into(), Value::Arr(classification)),
         ("findings".into(), Value::Arr(findings)),
     ])
 }

@@ -36,6 +36,13 @@ pub fn parse_suppressions(
         if tok.kind != TokenKind::LineComment {
             continue;
         }
+        // Doc comments (`///`, `//!`) are documentation: an example
+        // directive quoted in docs must neither suppress anything nor
+        // count as a (stale) directive. Only plain `//` comments carry
+        // directives.
+        if tok.text.starts_with("///") || tok.text.starts_with("//!") {
+            continue;
+        }
         let Some(rest) = tok.text.find("rdi-lint:").map(|i| &tok.text[i + 9..]) else {
             continue;
         };
@@ -60,6 +67,7 @@ pub fn parse_suppressions(
                 name: "bad-suppression",
                 file: file.to_string(),
                 line: tok.line,
+                item: String::new(),
                 message: format!("malformed rdi-lint directive: {why}"),
             }),
         }

@@ -1,0 +1,266 @@
+//! Workspace symbol graph: function definitions linked to the call and
+//! reference sites that mention them, across every scanned crate.
+//!
+//! Resolution is **name-level**: a call `top_k_with(..)` links to every
+//! function named `top_k_with` (and `Index::top_k_with(..)` additionally
+//! to the qualified definition). The workspace's naming conventions keep
+//! this precise enough for the rules that consume it; the approximation
+//! is documented in DESIGN.md. Resolution is deliberately *optimistic*
+//! for the emission fixpoint: a call that may reach an emitting function
+//! counts as emitting — R10 is a completeness check, and an optimistic
+//! edge can only under-report, never block a legitimate build on a
+//! phantom path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::parser::{ItemKind, ParsedFile};
+
+/// Identifiers that look like calls (`name(`) but are control-flow or
+/// binding keywords, never function references.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "in", "as", "fn", "move", "let", "else",
+    "impl", "dyn", "where", "unsafe", "async", "await", "break", "continue", "ref", "mut", "pub",
+];
+
+/// Identifiers whose presence in a body constitutes a *direct*
+/// provenance/metrics emission. `counter`/`gauge`/`histogram` must be
+/// call-shaped; the others count as references.
+const DIRECT_EMITTERS: &[&str] = &["counter", "gauge", "histogram"];
+const DIRECT_EMITTER_REFS: &[&str] = &["ProvenanceEvent", "emit_metrics_snapshot"];
+
+/// One function definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Crate the definition lives in (`""` for the root package).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// `Type::method` or bare free-function name.
+    pub qual_name: String,
+    /// Bare name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Aggregate statistics for the JSON report.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolStats {
+    /// Files successfully parsed into items.
+    pub files_parsed: usize,
+    /// Total items recovered.
+    pub items: usize,
+    /// Function definitions (with bodies).
+    pub functions: usize,
+    /// Name-level call edges recorded.
+    pub call_edges: usize,
+    /// Functions that (transitively) emit provenance or metrics.
+    pub emitting_functions: usize,
+}
+
+/// The workspace symbol graph.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// All function definitions; index is the function id.
+    pub fns: Vec<FnInfo>,
+    /// Bare and qualified name → defining function ids.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per function: the set of names it calls.
+    pub calls: Vec<BTreeSet<String>>,
+    /// Per function: does it (transitively) emit?
+    pub emitting: Vec<bool>,
+    /// Aggregate stats.
+    pub stats: SymbolStats,
+}
+
+impl SymbolGraph {
+    /// Build the graph from every parsed file: `(path, parse, test
+    /// boundary)` triples. Functions at or past a file's
+    /// `#[cfg(test)]` boundary are excluded — test helpers must not
+    /// resolve calls from library code.
+    pub fn build<'a>(
+        files: impl Iterator<Item = (&'a str, &'a ParsedFile, Option<u32>)>,
+    ) -> SymbolGraph {
+        let mut g = SymbolGraph::default();
+        let mut direct: Vec<bool> = Vec::new();
+        for (rel, parsed, boundary) in files {
+            g.stats.files_parsed += 1;
+            g.stats.items += parsed.items.len();
+            let crate_name = crate_of(rel).to_string();
+            for item in &parsed.items {
+                if item.kind != ItemKind::Fn || boundary.is_some_and(|b| item.line >= b) {
+                    continue;
+                }
+                let Some((blo, bhi)) = item.body else {
+                    continue;
+                };
+                let id = g.fns.len();
+                g.fns.push(FnInfo {
+                    crate_name: crate_name.clone(),
+                    file: rel.to_string(),
+                    qual_name: item.qual_name.clone(),
+                    name: item.name.clone(),
+                    line: item.line,
+                });
+                g.by_name.entry(item.name.clone()).or_default().push(id);
+                if item.qual_name != item.name {
+                    g.by_name
+                        .entry(item.qual_name.clone())
+                        .or_default()
+                        .push(id);
+                }
+                let (calls, emits) = scan_body(parsed, blo, bhi);
+                g.stats.call_edges += calls.len();
+                g.calls.push(calls);
+                direct.push(emits);
+            }
+        }
+        g.stats.functions = g.fns.len();
+        g.emitting = direct;
+        // Propagate "emitting" over call edges to a fixpoint: a function
+        // that calls an emitting function is emitting.
+        loop {
+            let mut changed = false;
+            for id in 0..g.fns.len() {
+                if g.emitting[id] {
+                    continue;
+                }
+                let reaches = g.calls[id].iter().any(|name| {
+                    g.by_name
+                        .get(name)
+                        .is_some_and(|ids| ids.iter().any(|&c| g.emitting[c]))
+                });
+                if reaches {
+                    g.emitting[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        g.stats.emitting_functions = g.emitting.iter().filter(|e| **e).count();
+        g
+    }
+
+    /// Does calling `name` (bare or qualified) possibly reach an
+    /// emission?
+    pub fn call_emits(&self, name: &str) -> bool {
+        self.by_name
+            .get(name)
+            .is_some_and(|ids| ids.iter().any(|&id| self.emitting[id]))
+    }
+
+    /// Function ids defined in `crate_name` whose qualified name is
+    /// exactly `qual_name` (a bare name here matches only free
+    /// functions, not same-named methods).
+    pub fn lookup_in_crate(&self, crate_name: &str, qual_name: &str) -> Vec<usize> {
+        self.by_name
+            .get(qual_name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        self.fns[id].crate_name == crate_name && self.fns[id].qual_name == qual_name
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Crate name from a workspace-relative path (`crates/serve/src/x.rs` →
+/// `serve`; anything else → `""`).
+pub fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("")
+    } else {
+        ""
+    }
+}
+
+/// Collect the called-name set and direct-emission flag from a body
+/// token range.
+fn scan_body(parsed: &ParsedFile, lo: usize, hi: usize) -> (BTreeSet<String>, bool) {
+    let code = &parsed.code;
+    let mut calls = BTreeSet::new();
+    let mut emits = false;
+    for i in lo..hi.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if DIRECT_EMITTER_REFS.contains(&t.text.as_str()) {
+            emits = true;
+            continue;
+        }
+        let is_call = code.get(i + 1).is_some_and(|n| n.text == "(");
+        if !is_call || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if DIRECT_EMITTERS.contains(&t.text.as_str()) {
+            emits = true;
+            continue;
+        }
+        calls.insert(t.text.clone());
+        // `Prefix::name(..)` also records the qualified form so
+        // registry entries like `SketchCache::insert` resolve.
+        if i >= 3
+            && code[i - 1].text == ":"
+            && code[i - 2].text == ":"
+            && code[i - 3].kind == TokenKind::Ident
+        {
+            calls.insert(format!("{}::{}", code[i - 3].text, t.text));
+        }
+    }
+    (calls, emits)
+}
+
+/// Direct-emission positions inside a body range: indices (into
+/// `parsed.code`) of tokens that either emit directly or call a
+/// function the graph knows to be emitting. Used by the R10 return-path
+/// check.
+pub fn emission_sites(
+    parsed: &ParsedFile,
+    lo: usize,
+    hi: usize,
+    graph: &SymbolGraph,
+) -> Vec<usize> {
+    let code = &parsed.code;
+    let mut out = Vec::new();
+    for i in lo..hi.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if DIRECT_EMITTER_REFS.contains(&t.text.as_str()) {
+            out.push(i);
+            continue;
+        }
+        if code.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if DIRECT_EMITTERS.contains(&t.text.as_str()) {
+            out.push(i);
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let qualified = if i >= 3
+            && code[i - 1].text == ":"
+            && code[i - 2].text == ":"
+            && code[i - 3].kind == TokenKind::Ident
+        {
+            Some(format!("{}::{}", code[i - 3].text, t.text))
+        } else {
+            None
+        };
+        if graph.call_emits(&t.text) || qualified.is_some_and(|q| graph.call_emits(&q)) {
+            out.push(i);
+        }
+    }
+    out
+}

@@ -11,17 +11,17 @@ fn fixture_root() -> &'static Path {
 }
 
 #[test]
-fn fixture_tree_reports_all_eight_rules() {
+fn fixture_tree_reports_all_twelve_rules() {
     let report = analyze_tree(fixture_root()).expect("fixture tree scans");
     let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
     assert_eq!(
         rules,
-        BTreeSet::from(["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]),
+        BTreeSet::from([
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
+        ]),
         "expected every rule to fire on the planted tree; findings: {:#?}",
         report.findings
     );
-    // ≥ 6 distinct rule ids is the acceptance floor; we plant all 8.
-    assert!(rules.len() >= 6);
 }
 
 #[test]
@@ -38,13 +38,54 @@ fn fixture_tree_counts_and_suppressions() {
     // planted.rs unwrap + mylib panic! + expect + unwrap-under-bad-directive
     assert_eq!(count("R5"), 4);
     assert_eq!(count("R6"), 1);
-    assert_eq!(count("R7"), 1);
+    // mylib reasonless directive + the bench manifest opt-out sans reason
+    assert_eq!(count("R7"), 2);
     // planted.rs `let _ = started;` + mylib statement-position `.ok();`
     assert_eq!(count("R8"), 2);
+    // seeding.rs literal seed (param / stream_seed cases stay clean)
+    assert_eq!(count("R9"), 1);
+    // breaker.rs early return without an emission
+    assert_eq!(count("R10"), 1);
+    // mylib allow(R3) covering nothing
+    assert_eq!(count("R11"), 1);
+    // ghost assert + dead decl + dup decl + unregistered use
+    assert_eq!(count("R12"), 4);
     // the valid allow(R5) and allow(R8) in planted.rs
     assert_eq!(report.suppressed, 2);
     // exp_ok.rs and the fixture integration test contribute no findings
-    assert!(report.files_scanned >= 5);
+    assert!(report.files_scanned >= 8);
+}
+
+#[test]
+fn fixture_classification_is_manifest_driven() {
+    let report = analyze_tree(fixture_root()).expect("fixture tree scans");
+    let class = |name: &str| {
+        report
+            .classification
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from classification"))
+    };
+    // coverage has no marker: algo by default, implicitly.
+    assert!(class("coverage").algo && !class("coverage").explicit);
+    // mylib opts out with a reason.
+    let mylib = class("mylib");
+    assert!(!mylib.algo && mylib.explicit && !mylib.reason.is_empty());
+    // bench opts out without one — classified as asked, but R7 fired
+    // (counted in fixture_tree_counts_and_suppressions).
+    assert!(!class("bench").algo && class("bench").explicit);
+}
+
+#[test]
+fn fixture_symbol_graph_is_populated() {
+    let report = analyze_tree(fixture_root()).expect("fixture tree scans");
+    // bins and tests/ files are exempt from the graph: 5 library files.
+    assert!(report.symbols.files_parsed >= 5);
+    assert!(report.symbols.functions > 5);
+    assert!(
+        report.symbols.emitting_functions >= 1,
+        "the fixture breaker's record_failure emits counters"
+    );
 }
 
 #[test]
@@ -194,23 +235,122 @@ fn suppression_covers_same_and_next_line_only() {
         .findings
         .is_empty());
 
+    // Out of range: the unwrap fires, and the directive — now covering
+    // nothing — is itself a stale-suppression finding (R11).
     let too_far = "// rdi-lint: allow(R5): audited\n\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-    assert_eq!(
-        analyze_source("crates/table/src/lib.rs", too_far)
-            .findings
-            .len(),
-        1
-    );
+    let r = analyze_source("crates/table/src/lib.rs", too_far);
+    let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["R11", "R5"], "{:#?}", r.findings);
 
-    // the directive must name the right rule
+    // the directive must name the right rule; naming the wrong one is
+    // both ineffective (R5 fires) and stale (R11).
     let wrong_rule =
         "// rdi-lint: allow(R1): wrong rule\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let r = analyze_source("crates/table/src/lib.rs", wrong_rule);
+    let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["R11", "R5"], "{:#?}", r.findings);
+}
+
+#[test]
+fn stale_suppressions_fire_and_live_ones_do_not() {
+    // A directive that covers a real finding is not stale.
+    let live = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // rdi-lint: allow(R5): infallible\n";
+    let r = analyze_source("crates/table/src/lib.rs", live);
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+
+    // One with no finding under it is R11 at the directive line.
+    let stale = "// rdi-lint: allow(R2): threads were here once\nfn f() -> u8 { 3 }\n";
+    let r = analyze_source("crates/table/src/lib.rs", stale);
+    assert_eq!(r.findings.len(), 1);
+    assert_eq!((r.findings[0].rule, r.findings[0].line), ("R11", 1));
+
+    // R11 is not itself suppressible: allow(R11) cannot launder a stale
+    // directive (and is stale on its own account).
+    let meta = "// rdi-lint: allow(R11): please ignore\nfn f() -> u8 { 3 }\n";
+    let r = analyze_source("crates/table/src/lib.rs", meta);
+    assert!(r.findings.iter().any(|f| f.rule == "R11"));
+
+    // Exempt files (tests, bins) carry no staleness obligation.
+    let in_test = "// rdi-lint: allow(R5): leftover\nfn f() -> u8 { 3 }\n";
+    assert!(analyze_source("crates/table/tests/t.rs", in_test)
+        .findings
+        .is_empty());
+}
+
+#[test]
+fn doc_comment_directive_examples_are_inert() {
+    // `///` and `//!` lines quoting a directive neither suppress nor
+    // count as stale directives.
+    let src = "//! // rdi-lint: allow(R5): doc example\n\
+               /// // rdi-lint: allow(R1): another example\n\
+               fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let r = analyze_source("crates/table/src/lib.rs", src);
+    let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
     assert_eq!(
-        analyze_source("crates/table/src/lib.rs", wrong_rule)
-            .findings
-            .len(),
-        1
+        rules,
+        vec!["R5"],
+        "doc examples must be inert: {:#?}",
+        r.findings
     );
+    assert_eq!(r.suppressed, 0);
+}
+
+#[test]
+fn seed_purity_traces_params_and_stream_seed() {
+    // Pure: the seed is a parameter.
+    let from_param = "fn go(seed: u64) { let mut r = StdRng::seed_from_u64(seed); let _r = r; }\n";
+    assert!(analyze_source("crates/coverage/src/x.rs", from_param)
+        .findings
+        .is_empty());
+
+    // Pure: derived from stream_seed through a local binding.
+    let via_local = "fn go() { let s = rdi_par::stream_seed(2); \
+                     let mut r = StdRng::seed_from_u64(s); let _r = r; }\n";
+    assert!(analyze_source("crates/coverage/src/x.rs", via_local)
+        .findings
+        .is_empty());
+
+    // Impure: a literal seed in an algorithm crate.
+    let literal = "fn go() { let mut r = StdRng::seed_from_u64(42); let _r = r; }\n";
+    let r = analyze_source("crates/coverage/src/x.rs", literal);
+    assert_eq!(r.findings.len(), 1, "{:#?}", r.findings);
+    assert_eq!(r.findings[0].rule, "R9");
+    assert_eq!(r.findings[0].item, "go");
+
+    // Impure: a local that bottoms out in a literal.
+    let laundered = "fn go() { let s = 7u64; let mut r = StdRng::seed_from_u64(s); let _r = r; }\n";
+    let r = analyze_source("crates/coverage/src/x.rs", laundered);
+    assert!(
+        r.findings.iter().any(|f| f.rule == "R9"),
+        "{:#?}",
+        r.findings
+    );
+
+    // Out of scope: non-algo crates and test regions.
+    assert!(analyze_source("crates/serve/src/x.rs", literal)
+        .findings
+        .is_empty());
+    let in_test =
+        "#[cfg(test)]\nmod tests {\n  fn go() { let _r = StdRng::seed_from_u64(42); }\n}\n";
+    assert!(analyze_source("crates/coverage/src/x.rs", in_test)
+        .findings
+        .is_empty());
+}
+
+#[test]
+fn findings_carry_enclosing_item_and_fingerprint() {
+    let src = "pub fn outer(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let r = analyze_source("crates/table/src/lib.rs", src);
+    assert_eq!(r.findings.len(), 1);
+    assert_eq!(r.findings[0].item, "outer");
+    let fp = rdi_lint::fingerprint(&r.findings[0]);
+    assert_eq!(fp.len(), 16);
+    assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    // Stable across line shifts: the same finding one line lower hashes
+    // the same (fingerprints exclude the line number).
+    let shifted = format!("\n{src}");
+    let r2 = analyze_source("crates/table/src/lib.rs", &shifted);
+    assert_eq!(fp, rdi_lint::fingerprint(&r2.findings[0]));
 }
 
 #[test]

@@ -34,10 +34,12 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod names;
 mod provenance;
 mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use names::METRIC_NAMES;
 pub use provenance::{ProvenanceEvent, ProvenanceLog};
 pub use span::{SpanGuard, SpanRecord};
 
