@@ -20,7 +20,10 @@
 //!   lake-churn experiments (E20);
 //! * [`sessions`] — concurrent-session serving workloads with
 //!   per-session request streams independent of the session count
-//!   (E21).
+//!   (E21);
+//! * [`tenants`] — adversarial multi-tenant serving workloads (honest
+//!   / flooding / poisoning tenants) with per-tenant request streams
+//!   independent of the roster (E22).
 
 //!
 //! ```
@@ -45,6 +48,7 @@ pub mod population;
 pub mod rng;
 pub mod sessions;
 pub mod sources;
+pub mod tenants;
 
 pub use churn::{churn_workload, ChurnConfig, ChurnEvent, ChurnWorkload};
 pub use corrupt::{corrupt_numeric, CorruptSpec};
@@ -58,3 +62,6 @@ pub use sessions::{
     session_workload, SessionOp, SessionScript, SessionWorkload, SessionWorkloadConfig,
 };
 pub use sources::{skewed_sources, SourceConfig};
+pub use tenants::{
+    tenant_workload, TenantBehavior, TenantSpec, TenantWorkload, TenantWorkloadConfig,
+};

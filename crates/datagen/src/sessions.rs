@@ -125,6 +125,12 @@ impl SessionOp {
 pub struct SessionScript {
     /// Session name (stable across seeds: `s0`, `s1`, ...).
     pub name: String,
+    /// Tenant tag for multi-tenant serving paths. Plain E21 workloads
+    /// are single-tenant, so [`session_workload`] stamps every script
+    /// with the serving layer's default tenant name and existing
+    /// consumers compose unchanged; the [`crate::tenants`] generator
+    /// produces the adversarial multi-tenant rosters.
+    pub tenant: String,
     /// Batches in submission order; each batch is a request list.
     pub batches: Vec<Vec<SessionOp>>,
 }
@@ -184,7 +190,7 @@ fn tailor_problem(per_group: usize) -> DtProblem {
 }
 
 /// Generate one request from a session's private stream.
-fn gen_op<R: Rng + ?Sized>(
+pub(crate) fn gen_op<R: Rng + ?Sized>(
     rng: &mut R,
     config: &SessionWorkloadConfig,
     table_ids: &[String],
@@ -237,23 +243,43 @@ fn gen_op<R: Rng + ?Sized>(
     }
 }
 
+/// Build the shared lake: table `i` draws from RNG stream `i + 1`,
+/// shared by both the session and multi-tenant generators so an E21
+/// workload and an E22 roster over the same `(dims, seed)` see the
+/// same lake bytes.
+pub(crate) fn lake_tables(
+    num_tables: usize,
+    rows_per_table: usize,
+    key_pool: usize,
+    seed: u64,
+) -> Vec<(String, Table)> {
+    let mut tables = Vec::with_capacity(num_tables);
+    for i in 0..num_tables {
+        let mut trng = StdRng::seed_from_u64(stream_seed(seed, i as u64 + 1));
+        tables.push((
+            format!("lake{i:02}"),
+            gen_rows(&mut trng, rows_per_table, key_pool),
+        ));
+    }
+    tables
+}
+
 /// Generate a concurrent-session workload. Lake table `i` draws from
 /// RNG stream `i + 1` and session `s` from stream `1000 + s` (both via
-/// [`stream_seed`]), so every table and every per-session script is a
-/// pure function of `(config, seed)` — and a session's script does not
-/// change when sessions are added or removed around it.
+/// [`stream_seed`]; streams `2000 + t` are reserved for the
+/// [`crate::tenants`] generator), so every table and every per-session
+/// script is a pure function of `(config, seed)` — and a session's
+/// script does not change when sessions are added or removed around
+/// it. Every script carries the serving layer's default tenant tag.
 pub fn session_workload(config: &SessionWorkloadConfig, seed: u64) -> SessionWorkload {
     assert!(config.num_tables > 0 && config.rows_per_table > 0);
     assert!(config.num_sessions > 0);
-    let mut tables = Vec::with_capacity(config.num_tables);
-    for i in 0..config.num_tables {
-        let mut trng = StdRng::seed_from_u64(stream_seed(seed, i as u64 + 1));
-        let id = format!("lake{i:02}");
-        tables.push((
-            id,
-            gen_rows(&mut trng, config.rows_per_table, config.key_pool),
-        ));
-    }
+    let tables = lake_tables(
+        config.num_tables,
+        config.rows_per_table,
+        config.key_pool,
+        seed,
+    );
     let table_ids: Vec<String> = tables.iter().map(|(id, _)| id.clone()).collect();
 
     let sessions = (0..config.num_sessions)
@@ -269,6 +295,7 @@ pub fn session_workload(config: &SessionWorkloadConfig, seed: u64) -> SessionWor
                 .collect();
             SessionScript {
                 name: format!("s{s}"),
+                tenant: "default".to_string(),
                 batches,
             }
         })

@@ -498,3 +498,67 @@ fn r6_covers_the_lake_churn_experiment() {
     let r = analyze_source("crates/bench/src/bin/exp_lake_churn.rs", ok);
     assert!(!r.findings.iter().any(|f| f.rule == "R6"));
 }
+
+#[test]
+fn r6_covers_the_multitenant_experiment() {
+    // E22 (exp_multitenant) proves fairness and blast-radius bounds by
+    // per-tenant counter arithmetic; a run without a METRICS_SNAPSHOT
+    // proves nothing, so the obligation is pinned to the harness name.
+    let missing = "fn main() { println!(\"admitted\"); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_multitenant.rs", missing);
+    assert!(
+        r.findings.iter().any(|f| f.rule == "R6"),
+        "exp_multitenant without a metrics snapshot must trip R6"
+    );
+    let ok = "fn main() { rdi_bench::emit_metrics_snapshot(); }\n";
+    let r = analyze_source("crates/bench/src/bin/exp_multitenant.rs", ok);
+    assert!(!r.findings.iter().any(|f| f.rule == "R6"));
+}
+
+#[test]
+fn r12_per_tenant_wildcard_covers_ci_asserted_names() {
+    // The per-tenant counter families are emitted through `format!`
+    // literals (`serve.tenant.{t}.admitted`), declared as the same
+    // pattern in METRIC_NAMES, and asserted concretely by CI
+    // (`serve.tenant.alice.admitted`). Pin all three legs of the R12
+    // matching so a rename in any one of them keeps being caught.
+    use rdi_lint::workspace::{check_metrics, pattern_matches, Asserted, MetricDecl, MetricUse};
+
+    assert!(pattern_matches(
+        "serve.tenant.{t}.admitted",
+        "serve.tenant.alice.admitted"
+    ));
+    assert!(!pattern_matches(
+        "serve.tenant.{t}.admitted",
+        "serve.tenant.alice.shed_quota"
+    ));
+
+    let uses = vec![MetricUse {
+        file: "crates/serve/src/admit.rs".into(),
+        line: 10,
+        name: "serve.tenant.{t}.admitted".into(),
+    }];
+    let decls = vec![MetricDecl {
+        file: "crates/obs/src/names.rs".into(),
+        line: 5,
+        name: "serve.tenant.{t}.admitted".into(),
+    }];
+    let asserted = vec![Asserted {
+        file: ".github/workflows/ci.yml".into(),
+        line: 40,
+        name: "serve.tenant.alice.admitted".into(),
+    }];
+    assert!(
+        check_metrics(&uses, &decls, &asserted).is_empty(),
+        "wildcard use + pattern decl must satisfy a concrete CI assert"
+    );
+
+    // A concrete asserted name no wildcard produces must still fire.
+    let orphan = vec![Asserted {
+        file: ".github/workflows/ci.yml".into(),
+        line: 41,
+        name: "serve.tenant.alice.evicted".into(),
+    }];
+    let findings = check_metrics(&uses, &decls, &orphan);
+    assert!(findings.iter().any(|f| f.rule == "R12"));
+}

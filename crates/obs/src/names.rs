@@ -49,4 +49,11 @@ pub const METRIC_NAMES: &[&str] = &[
     "serve.shard.{i}.tables",
     "serve.shed",
     "serve.tailor",
+    "serve.tenant.{t}.admitted",
+    "serve.tenant.{t}.failed",
+    "serve.tenant.{t}.requests",
+    "serve.tenant.{t}.shed_breaker",
+    "serve.tenant.{t}.shed_queue",
+    "serve.tenant.{t}.shed_quota",
+    "serve.tenants",
 ];

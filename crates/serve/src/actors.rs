@@ -10,17 +10,20 @@
 //! [`TableDelta`] streams and routes each to the owning shard (same
 //! `hash(id) % shard_count` assignment as the inline index). Sessions
 //! spawned with [`LakeActorGroup::spawn_session`] are [`SessionActor`]s
-//! holding the same admission queue and half-open
-//! [`RecoveringBreaker`] as the serial [`ServeSession`](crate::ServeSession).
+//! holding the same multi-tenant [`Admitter`]
+//! (token buckets, queue shares, per-tenant half-open breakers) as the
+//! serial [`ServeSession`](crate::ServeSession).
 //!
 //! ## The admit → warm → execute contract, per actor
 //!
 //! The serial session's three-phase batch protocol becomes a message
 //! protocol with the same invariants:
 //!
-//! 1. **Admit** (session actor, serial in arrival order): capacity
-//!    check, then breaker verdict — identical code path and identical
-//!    tick clock (one tick per batch) to [`ServeSession`](crate::ServeSession).
+//! 1. **Admit** (session actor, serial in arrival order): the *same*
+//!    shared [`Admitter`] entry point the
+//!    serial session calls — per-tenant quota, queue share, then
+//!    breaker verdict, on the identical tick clock (one tick per
+//!    batch).
 //! 2. **Warm** (shard actors, the only cache-mutating phase): the
 //!    session fans one [`ShardMsg::Warm`] batch out per shard; each
 //!    shard warms the sketches its tables need through the *same*
@@ -45,10 +48,10 @@ use std::sync::Arc;
 
 use rdi_actor::{Actor, ActorId, Addr, Ctx, Runtime};
 use rdi_discovery::TableSignature;
-use rdi_fault::{Admission, RecoveringBreaker, RecoveryState};
-use rdi_par::stream_seed;
+use rdi_fault::RecoveryState;
 use rdi_table::{Table, TableDelta};
 
+use crate::admit::{lay_out, AdmitConfig, Admitter, TaggedRequest, TenantId};
 use crate::cache::{CacheKey, KeyProfile};
 use crate::error::ServeError;
 use crate::fingerprint::table_fingerprint;
@@ -57,9 +60,6 @@ use crate::index::{
 };
 use crate::request::{ServeRequest, ServeResponse};
 use crate::session::{BatchReport, SessionConfig};
-
-/// Histogram bounds shared with the serial session.
-const SIZE_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
 /// What one request needs from one shard during the warm phase.
 #[derive(Debug)]
@@ -437,8 +437,11 @@ pub struct WarmReply {
 /// Messages a [`SessionActor`] consumes.
 #[derive(Debug)]
 pub enum SessionMsg {
-    /// Submit one batch of requests (external clients inject this).
+    /// Submit one batch of default-tenant requests (external clients
+    /// inject this).
     Submit(Vec<ServeRequest>),
+    /// Submit one batch of tenant-tagged requests.
+    SubmitTagged(Vec<TaggedRequest>),
     /// A shard's warm results (sent by shard actors).
     Warm(WarmReply),
 }
@@ -447,9 +450,10 @@ pub enum SessionMsg {
 #[derive(Debug)]
 struct Inflight {
     batch: u64,
-    requests: Vec<ServeRequest>,
+    requests: Vec<TaggedRequest>,
+    tenants: Vec<TenantId>,
     responses: Vec<Option<Result<ServeResponse, ServeError>>>,
-    admitted: Vec<(usize, u64)>, // (position, arrival)
+    admitted: Vec<(usize, u64)>, // (position, execute seed)
     shed: usize,
     /// Query-side errors decided locally, parked until shard counts
     /// arrive because `EmptyIndex` takes precedence.
@@ -464,9 +468,10 @@ struct Inflight {
 
 /// A serving session hosted as a client actor over a shard group.
 ///
-/// Holds the same [`SessionConfig`], arrival counter, tick clock, and
-/// half-open [`RecoveringBreaker`] as the serial
-/// [`ServeSession`](crate::ServeSession)(crate::ServeSession); batches complete one at a
+/// Holds the same [`SessionConfig`] and the same multi-tenant
+/// [`Admitter`] (per-tenant token buckets, aging credits, arrival
+/// counters, and half-open breakers) as the serial
+/// [`ServeSession`](crate::ServeSession); batches complete one at a
 /// time (later [`SessionMsg::Submit`]s are backlogged), so per-session
 /// state evolves exactly as it does serially and responses are bitwise
 /// identical to the serial session run on a private index.
@@ -475,27 +480,25 @@ pub struct SessionActor {
     config: SessionConfig,
     shard_count: usize,
     shards: Vec<ActorId>,
-    breaker: RecoveringBreaker,
-    arrivals: u64,
-    ticks: u64,
+    admitter: Admitter,
     batches: u64,
     inflight: Option<Inflight>,
-    backlog: VecDeque<Vec<ServeRequest>>,
+    backlog: VecDeque<Vec<TaggedRequest>>,
     completed: Vec<BatchReport>,
 }
 
 impl SessionActor {
-    fn new(config: SessionConfig, shard_count: usize, shards: Vec<ActorId>) -> Self {
+    fn new(
+        config: SessionConfig,
+        admit: AdmitConfig,
+        shard_count: usize,
+        shards: Vec<ActorId>,
+    ) -> Self {
         SessionActor {
-            breaker: RecoveringBreaker::new(
-                config.breaker_threshold,
-                config.breaker_cooldown_ticks,
-            ),
+            admitter: Admitter::new(admit, config.seed),
             config,
             shard_count,
             shards,
-            arrivals: 0,
-            ticks: 0,
             batches: 0,
             inflight: None,
             backlog: VecDeque::new(),
@@ -508,19 +511,25 @@ impl SessionActor {
         &self.completed
     }
 
-    /// Current breaker state.
+    /// The admission state machine (per-tenant buckets, aging credits,
+    /// and breakers).
+    pub fn admitter(&self) -> &Admitter {
+        &self.admitter
+    }
+
+    /// The default tenant's breaker state.
     pub fn breaker_state(&self) -> RecoveryState {
-        self.breaker.state()
+        self.admitter.breaker_state(&TenantId::default())
     }
 
     /// Session clock: batches started so far.
     pub fn ticks(&self) -> u64 {
-        self.ticks
+        self.admitter.ticks()
     }
 
-    /// Requests seen so far (admitted or shed).
+    /// Requests seen so far (admitted or shed), across all tenants.
     pub fn arrivals(&self) -> u64 {
-        self.arrivals
+        self.admitter.arrivals()
     }
 
     /// The session configuration.
@@ -532,45 +541,18 @@ impl SessionActor {
         shard_route(CacheKey::QUERY_OWNER, self.shard_count)
     }
 
-    /// Phase 1 + warm fan-out. Mirrors `ServeSession::submit_batch`
-    /// admission exactly (capacity before breaker, one tick per batch).
-    fn start_batch(&mut self, requests: Vec<ServeRequest>, ctx: &mut Ctx<'_>) {
-        self.ticks += 1;
+    /// Phase 1 + warm fan-out. Runs the same shared [`Admitter`] entry
+    /// point as `ServeSession::submit_batch` (one tick per batch,
+    /// quota > queue > breaker shed precedence), so both paths stay
+    /// bitwise identical by construction.
+    fn start_batch(&mut self, requests: Vec<TaggedRequest>, ctx: &mut Ctx<'_>) {
         self.batches += 1;
-        rdi_obs::counter("serve.batches").inc();
-        rdi_obs::counter("serve.requests").add(requests.len() as u64);
-        rdi_obs::histogram("serve.batch_size", &SIZE_BOUNDS).record(requests.len() as f64);
-
-        let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
-            (0..requests.len()).map(|_| None).collect();
-        let mut admitted: Vec<(usize, u64)> = Vec::new();
-        let mut shed = 0usize;
-        for (pos, _req) in requests.iter().enumerate() {
-            let arrival = self.arrivals;
-            self.arrivals += 1;
-            if admitted.len() >= self.config.queue_capacity {
-                responses[pos] = Some(Err(ServeError::QueueFull {
-                    capacity: self.config.queue_capacity,
-                }));
-                shed += 1;
-                continue;
-            }
-            match self.breaker.admit(self.ticks) {
-                Admission::Admit => admitted.push((pos, arrival)),
-                Admission::Probe => {
-                    rdi_obs::counter("serve.breaker_probes").inc();
-                    admitted.push((pos, arrival));
-                }
-                Admission::Shed => {
-                    responses[pos] = Some(Err(ServeError::CircuitOpen {
-                        consecutive_failures: self.breaker.consecutive_failures(),
-                    }));
-                    shed += 1;
-                }
-            }
-        }
-        rdi_obs::counter("serve.shed").add(shed as u64);
-        rdi_obs::histogram("serve.queue_depth", &SIZE_BOUNDS).record(admitted.len() as f64);
+        let tenants: Vec<TenantId> = requests.iter().map(|r| r.tenant.clone()).collect();
+        let verdicts = self.admitter.admit_batch(&tenants);
+        let layout = lay_out(verdicts);
+        let mut responses = layout.responses;
+        let admitted = layout.admitted;
+        let shed = layout.shed;
 
         // Warm fan-out: translate each admitted request into per-shard
         // needs, resolving what can be decided locally. Error
@@ -581,7 +563,7 @@ impl SessionActor {
             (0..self.shard_count).map(|_| Vec::new()).collect();
         let mut local_errors: BTreeMap<usize, ServeError> = BTreeMap::new();
         for &(pos, _) in &admitted {
-            match &requests[pos] {
+            match &requests[pos].request {
                 ServeRequest::UnionTopK { query, k } => {
                     if *k == 0 {
                         responses[pos] = Some(Err(ServeError::ZeroK));
@@ -700,6 +682,7 @@ impl SessionActor {
         self.inflight = Some(Inflight {
             batch,
             requests,
+            tenants,
             responses,
             admitted,
             shed,
@@ -719,47 +702,28 @@ impl SessionActor {
             return;
         };
         let total_tables: usize = fl.counts.values().sum();
-        for &(pos, arrival) in &fl.admitted {
+        for &(pos, seed) in &fl.admitted {
             if fl.responses[pos].is_some() {
                 continue;
             }
             let parts = fl.parts.remove(&pos).unwrap_or_default();
             let plan = assemble(
-                &fl.requests[pos],
+                &fl.requests[pos].request,
                 parts,
                 total_tables,
                 fl.local_errors.remove(&pos),
             );
             let result = match plan {
-                Ok(plan) => execute(&plan, stream_seed(self.config.seed, arrival)),
+                Ok(plan) => execute(&plan, seed),
                 Err(e) => Err(e),
             };
             fl.responses[pos] = Some(result);
         }
 
-        // Post phase: identical to the serial session — feed the
-        // breaker in arrival order, count failures, emit counters.
-        let mut failed = 0usize;
-        for r in fl.responses.iter().flatten() {
-            match r {
-                Ok(_) => {
-                    let was_half_open = self.breaker.state() == RecoveryState::HalfOpen;
-                    self.breaker.record_success();
-                    if was_half_open {
-                        rdi_obs::counter("serve.breaker_recoveries").inc();
-                    }
-                }
-                Err(ServeError::CircuitOpen { .. }) | Err(ServeError::QueueFull { .. }) => {}
-                Err(_) => {
-                    failed += 1;
-                    if self.breaker.record_failure(self.ticks) {
-                        rdi_obs::counter("serve.breaker_trips").inc();
-                    }
-                }
-            }
-        }
-        rdi_obs::counter("serve.requests_failed").add(failed as u64);
-        rdi_obs::counter("serve.requests_degraded").add((fl.shed + failed) as u64);
+        // Post phase: the same shared admitter entry point the serial
+        // session uses — each tenant's breaker consumes its own
+        // outcomes in arrival order, sheds never count.
+        let failed = self.admitter.note_outcomes(&fl.tenants, &fl.responses);
 
         let responses: Vec<Result<ServeResponse, ServeError>> = fl
             .responses
@@ -789,6 +753,11 @@ impl Actor for SessionActor {
     fn handle(&mut self, msg: SessionMsg, ctx: &mut Ctx<'_>) {
         match msg {
             SessionMsg::Submit(requests) => {
+                let tagged: Vec<TaggedRequest> =
+                    requests.into_iter().map(TaggedRequest::from).collect();
+                self.handle(SessionMsg::SubmitTagged(tagged), ctx);
+            }
+            SessionMsg::SubmitTagged(requests) => {
                 if self.inflight.is_some() {
                     // one batch at a time: serial per-session semantics
                     self.backlog.push_back(requests);
@@ -1009,16 +978,36 @@ impl LakeActorGroup {
         &self.maint
     }
 
-    /// Spawn a client session over this shard group.
+    /// Spawn a client session over this shard group with single-tenant
+    /// admission knobs derived from `config`.
     pub fn spawn_session(
         &self,
         rt: &mut Runtime,
         name: &str,
         config: SessionConfig,
     ) -> Addr<SessionMsg> {
+        let admit = AdmitConfig::from_session(&config);
+        self.spawn_session_with_admission(rt, name, config, admit)
+    }
+
+    /// Spawn a client session with explicit multi-tenant admission
+    /// knobs (quotas, weights, aging); `config` still supplies the
+    /// session seed.
+    pub fn spawn_session_with_admission(
+        &self,
+        rt: &mut Runtime,
+        name: &str,
+        config: SessionConfig,
+        admit: AdmitConfig,
+    ) -> Addr<SessionMsg> {
         rt.spawn(
             name,
-            SessionActor::new(config, self.shard_actors.len(), self.shard_actors.clone()),
+            SessionActor::new(
+                config,
+                admit,
+                self.shard_actors.len(),
+                self.shard_actors.clone(),
+            ),
         )
     }
 
@@ -1185,6 +1174,177 @@ mod tests {
             batches.push(mixed_batch());
         }
         assert_matches_serial(&batches);
+    }
+
+    /// Multi-tenant admission dedup regression: a tagged stream that
+    /// exercises every shed kind (quota, queue, breaker) must produce
+    /// bitwise-identical reports and identical per-tenant admission
+    /// state on the serial and actor paths — both call the same
+    /// `Admitter`, so any drift means the logic forked.
+    #[test]
+    fn tagged_multitenant_stream_matches_serial_bitwise() {
+        use crate::admit::TenantPolicy;
+        let config = SessionConfig::default();
+        let mut admit = AdmitConfig::from_session(&config);
+        admit.queue_capacity = 4;
+        admit.breaker_threshold = 2;
+        admit.breaker_cooldown_ticks = 2;
+        let admit = admit.with_tenants(vec![
+            (TenantId::new("metered"), TenantPolicy::limited(1, 1, 2)),
+            (TenantId::new("greedy"), TenantPolicy::default()),
+            (TenantId::new("pois"), TenantPolicy::default()),
+        ]);
+        let tenants = [
+            TenantId::new("metered"),
+            TenantId::new("greedy"),
+            TenantId::new("pois"),
+        ];
+        let poison = ServeRequest::CoverageProbe {
+            table: "missing".into(),
+            attributes: vec!["group".into()],
+            threshold: 1,
+        };
+        let window = |n: usize| -> Vec<TaggedRequest> {
+            let mut w: Vec<TaggedRequest> = mixed_batch()
+                .into_iter()
+                .chain(mixed_batch())
+                .map(|r| r.tagged(TenantId::new("greedy")))
+                .collect();
+            w.push(mixed_batch().remove(2).tagged(TenantId::new("metered")));
+            w.push(mixed_batch().remove(0).tagged(TenantId::new("metered")));
+            if n > 0 {
+                w.push(poison.clone().tagged(TenantId::new("pois")));
+            }
+            w
+        };
+        let batches: Vec<Vec<TaggedRequest>> = (0..4).map(window).collect();
+
+        let mut serial = ServeSession::with_admission(lake(), config, admit.clone());
+        let serial_reports: Vec<BatchReport> = batches
+            .iter()
+            .map(|b| serial.submit_batch_tagged(b))
+            .collect();
+
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let group = LakeActorGroup::host(&mut rt, lake());
+        let session = group.spawn_session_with_admission(&mut rt, "s0", config, admit);
+        for b in &batches {
+            session.send(SessionMsg::SubmitTagged(b.clone())).unwrap();
+        }
+        rt.run_until_idle();
+        let actor = rt.actor::<SessionActor>(session.id()).unwrap();
+        assert_eq!(actor.completed().len(), serial_reports.len());
+        for (got, want) in actor.completed().iter().zip(&serial_reports) {
+            assert_eq!(got.admitted, want.admitted);
+            assert_eq!(got.shed, want.shed);
+            assert_eq!(got.degraded, want.degraded);
+            assert_eq!(got.responses, want.responses);
+        }
+        for t in &tenants {
+            assert_eq!(
+                actor.admitter().breaker_state(t),
+                serial.admitter().breaker_state(t),
+                "breaker state diverged for {t}"
+            );
+            assert_eq!(actor.admitter().tokens(t), serial.admitter().tokens(t));
+            assert_eq!(actor.admitter().aging(t), serial.admitter().aging(t));
+            assert_eq!(
+                actor.admitter().tenant_arrivals(t),
+                serial.admitter().tenant_arrivals(t)
+            );
+        }
+    }
+
+    /// Shed requests never feed any tenant's breaker on the actor
+    /// path: quota and queue sheds of would-fail requests leave the
+    /// shedding tenants' breakers untouched, and once a breaker is
+    /// open, `CircuitOpen` sheds do not grow its failure count.
+    #[test]
+    fn sheds_never_feed_breaker_on_actor_path() {
+        use crate::admit::TenantPolicy;
+        let config = SessionConfig::default();
+        let mut admit = AdmitConfig::from_session(&config);
+        admit.queue_capacity = 1;
+        admit.breaker_threshold = 2;
+        // Long cooldown: no probe fires inside this test, so an open
+        // breaker's failure count can only change if sheds feed it.
+        admit.breaker_cooldown_ticks = 64;
+        let admit = admit.with_tenants(vec![
+            (TenantId::new("zed"), TenantPolicy::limited(1, 0, 0)),
+            (TenantId::new("vic"), TenantPolicy::default()),
+            (TenantId::new("pois"), TenantPolicy::default()),
+        ]);
+        let poison = ServeRequest::CoverageProbe {
+            table: "missing".into(),
+            attributes: vec!["group".into()],
+            threshold: 1,
+        };
+        let healthy = ServeRequest::CoverageProbe {
+            table: "pop".into(),
+            attributes: vec!["group".into()],
+            threshold: 10,
+        };
+
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let group = LakeActorGroup::host(&mut rt, lake());
+        let session = group.spawn_session_with_admission(&mut rt, "s0", config, admit);
+        // Windows 1-3: "zed" is quota-shed every window (its poison
+        // would fail if executed), and with one slot for two eligible
+        // tenants, "vic" and the default tenant trade queue sheds via
+        // aging. If queue or quota sheds fed the breaker, three
+        // windows would cross the threshold of 2 and trip one.
+        for _ in 0..3 {
+            session
+                .send(SessionMsg::SubmitTagged(vec![
+                    healthy.clone().tagged(TenantId::default()),
+                    poison.clone().tagged(TenantId::new("zed")),
+                    healthy.clone().tagged(TenantId::new("vic")),
+                ]))
+                .unwrap();
+        }
+        // Windows 4-5: "pois" alone gets admitted, fails twice, trips.
+        for _ in 0..2 {
+            session
+                .send(SessionMsg::SubmitTagged(vec![poison
+                    .clone()
+                    .tagged(TenantId::new("pois"))]))
+                .unwrap();
+        }
+        rt.run_until_idle();
+        let actor = rt.actor::<SessionActor>(session.id()).unwrap();
+        for name in ["zed", "vic"] {
+            let t = TenantId::new(name);
+            assert_eq!(
+                actor.admitter().breaker_failures(&t),
+                0,
+                "sheds fed {name}'s breaker"
+            );
+            assert_eq!(actor.admitter().breaker_state(&t), RecoveryState::Closed);
+        }
+        let pois = TenantId::new("pois");
+        assert!(actor.admitter().breaker_is_open(&pois));
+        let failures_at_trip = actor.admitter().breaker_failures(&pois);
+
+        // Windows 6-7: every "pois" request is a CircuitOpen shed;
+        // the failure count must not move.
+        for _ in 0..2 {
+            session
+                .send(SessionMsg::SubmitTagged(vec![
+                    poison.clone().tagged(pois.clone()),
+                    poison.clone().tagged(pois.clone()),
+                ]))
+                .unwrap();
+        }
+        rt.run_until_idle();
+        let actor = rt.actor::<SessionActor>(session.id()).unwrap();
+        let shed_batches = &actor.completed()[5..];
+        assert_eq!(shed_batches.len(), 2);
+        for report in shed_batches {
+            assert_eq!(report.admitted, 0);
+            assert_eq!(report.shed, 2);
+        }
+        assert!(actor.admitter().breaker_is_open(&pois));
+        assert_eq!(actor.admitter().breaker_failures(&pois), failures_at_trip);
     }
 
     #[test]

@@ -40,15 +40,25 @@ pub enum ServeError {
     EmptyTable(String),
     /// Registration with a non-positive (or NaN) per-draw cost.
     InvalidCost(f64),
+    /// The request was shed at admission: the submitting tenant's
+    /// token bucket is empty this tick. Quota sheds take precedence
+    /// over [`ServeError::QueueFull`] and [`ServeError::CircuitOpen`]
+    /// — an over-quota tenant is charged to its own contract before it
+    /// can contend for shared queue slots.
+    QuotaExceeded {
+        /// The tenant whose bucket ran dry.
+        tenant: String,
+    },
     /// The request was shed at admission: the batch already holds
     /// `capacity` admitted requests.
     QueueFull {
         /// The session's admission-queue capacity.
         capacity: usize,
     },
-    /// The request was shed at admission: the session's circuit breaker
-    /// opened after consecutive request failures and stays open for the
-    /// session's lifetime.
+    /// The request was shed at admission: the submitting tenant's
+    /// circuit breaker opened after consecutive request failures and is
+    /// cooling down towards a half-open probe. Breakers are per tenant,
+    /// so one tenant's poison traffic never sheds another's.
     CircuitOpen {
         /// Consecutive failures recorded when the breaker tripped.
         consecutive_failures: u32,
@@ -76,6 +86,9 @@ impl std::fmt::Display for ServeError {
             ServeError::DuplicateTable(id) => write!(f, "table `{id}` is already registered"),
             ServeError::EmptyTable(id) => write!(f, "table `{id}` has no rows"),
             ServeError::InvalidCost(c) => write!(f, "per-draw cost must be positive, got {c}"),
+            ServeError::QuotaExceeded { tenant } => {
+                write!(f, "tenant `{tenant}` admission quota exhausted")
+            }
             ServeError::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity})")
             }
@@ -116,6 +129,12 @@ mod tests {
                     column: "c".into(),
                 },
                 "`c`",
+            ),
+            (
+                ServeError::QuotaExceeded {
+                    tenant: "mallory".into(),
+                },
+                "`mallory`",
             ),
             (ServeError::QueueFull { capacity: 4 }, "capacity 4"),
             (

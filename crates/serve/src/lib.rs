@@ -24,9 +24,12 @@
 //!   bitwise identical to cold rebuilds throughout.
 //! * [`ServeSession`] answers batches of typed requests
 //!   ([`ServeRequest`]: union top-k, joinability top-k, coverage
-//!   probes, tailoring runs) through a bounded admission queue and an
-//!   `rdi-fault` circuit breaker, degrading to **partial batch
-//!   results** instead of panicking.
+//!   probes, tailoring runs) through a multi-tenant fairness-aware
+//!   admission layer ([`Admitter`]): per-tenant deterministic token
+//!   buckets, weighted queue shares with priority aging, and
+//!   per-tenant `rdi-fault` circuit breakers, degrading to **partial
+//!   batch results** instead of panicking — one tenant's flood or
+//!   poison traffic never starves or sheds another's.
 //! * Batches execute over `rdi-par` with one RNG stream per request
 //!   (`stream_seed(session seed, arrival index)`), so a batch is
 //!   bitwise identical to serial one-at-a-time execution for any
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod actors;
+pub mod admit;
 pub mod cache;
 pub mod error;
 pub mod fingerprint;
@@ -64,6 +68,7 @@ pub mod request;
 pub mod session;
 
 pub use actors::{LakeActorGroup, MaintActor, MaintMsg, SessionActor, SessionMsg, ShardActor};
+pub use admit::{AdmitConfig, AdmitVerdict, Admitter, TaggedRequest, TenantId, TenantPolicy};
 pub use cache::{CacheKey, KeyProfile, Sketch, SketchCache, SketchKind};
 pub use error::ServeError;
 pub use fingerprint::{table_fingerprint, FpState};

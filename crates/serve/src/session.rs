@@ -5,10 +5,11 @@
 //!
 //! 1. **Admission** (serial, arrival order): each request either enters
 //!    the bounded queue or is shed with a typed error —
-//!    [`ServeError::CircuitOpen`] once the session breaker has tripped,
-//!    [`ServeError::QueueFull`] past the queue capacity. Shedding
-//!    *degrades the batch to partial results*; it never panics and
-//!    never blocks.
+//!    [`ServeError::QuotaExceeded`] past its tenant's token bucket,
+//!    [`ServeError::QueueFull`] past its tenant's queue share,
+//!    [`ServeError::CircuitOpen`] once its tenant's breaker has
+//!    tripped. Shedding *degrades the batch to partial results*; it
+//!    never panics and never blocks.
 //! 2. **Warm** (serial, arrival order): every admitted request is
 //!    validated and its sketches are built or fetched from the cache —
 //!    the only cache-mutating phase, so hit/miss/eviction accounting is
@@ -20,29 +21,26 @@
 //!    identical** to submitting the same requests one at a time — for
 //!    any `RDI_THREADS`.
 //!
-//! After execution the session breaker consumes per-request outcomes in
-//! arrival order: a request *failure* counts against it, a success
-//! resets it, and once `breaker_threshold` consecutive failures accrue
-//! the session stops admitting ordinary work. Recovery is deterministic
-//! and half-open (`rdi-fault` [`RecoveringBreaker`]): the session clock
-//! ticks once per submitted batch, and once
-//! `breaker_cooldown_ticks` ticks have elapsed since the trip the next
-//! batch admits exactly **one probe request** — a probe success closes
-//! the breaker, a probe failure re-opens it and restarts the cooldown.
-//! Ticks are batch counts, never wall clock, so outcomes stay a pure
-//! function of the request stream. (The breaker used to be permanently
-//! open, which let one transient poison batch shed all future traffic
-//! forever.)
+//! Admission is multi-tenant and fairness-aware (see [`crate::admit`]):
+//! every request belongs to a [`TenantId`] (untagged batches to the
+//! default tenant), each tenant owns a deterministic token bucket, a
+//! weighted queue share with priority aging, and its own half-open
+//! [`RecoveringBreaker`](rdi_fault::RecoveringBreaker) — so one
+//! tenant's flood or poison traffic is shed against its *own* contract
+//! and never starves or sheds another's. The session clock ticks once
+//! per submitted batch; cooldowns and bucket refills run on that fake
+//! clock, never wall time, so outcomes stay a pure function of the
+//! request stream. Per-request outcomes feed the owning tenant's
+//! breaker in arrival order (sheds never count), and recovery admits
+//! exactly one probe per cooled-down tenant.
 
-use rdi_fault::{Admission, RecoveringBreaker, RecoveryState};
-use rdi_par::{par_map, stream_seed, Threads};
+use rdi_fault::RecoveryState;
+use rdi_par::{par_map, Threads};
 
+use crate::admit::{lay_out, AdmitConfig, Admitter, TaggedRequest, TenantId};
 use crate::error::ServeError;
 use crate::index::{execute, LakeIndex, Prepared};
 use crate::request::{ServeRequest, ServeResponse};
-
-/// Histogram bounds for batch size and admitted queue depth.
-const SIZE_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
 /// Session knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,17 +48,19 @@ pub struct SessionConfig {
     /// Maximum requests admitted per batch; the rest are shed with
     /// [`ServeError::QueueFull`].
     pub queue_capacity: usize,
-    /// Consecutive request failures after which the session breaker
+    /// Consecutive request failures after which a tenant's breaker
     /// opens (clamped to ≥ 1).
     pub breaker_threshold: u32,
-    /// Ticks (one per submitted batch) an open breaker cools down
-    /// before admitting a single half-open probe request (clamped to
-    /// ≥ 1).
+    /// Ticks (one per submitted batch) an open tenant breaker cools
+    /// down before admitting a single half-open probe request (clamped
+    /// to ≥ 1).
     pub breaker_cooldown_ticks: u64,
     /// Thread configuration for the execute phase.
     pub threads: Threads,
-    /// Master seed; request `i` (by arrival, across batches) executes
-    /// with RNG stream `stream_seed(seed, i)`.
+    /// Master seed. The default tenant's request `i` (by arrival,
+    /// across batches) executes with RNG stream `stream_seed(seed, i)`;
+    /// tenant `t`'s requests run on its own lane (see [`crate::admit`]),
+    /// independent of other tenants' traffic.
     pub seed: u64,
 }
 
@@ -96,23 +96,26 @@ pub struct BatchReport {
 pub struct ServeSession {
     index: LakeIndex,
     config: SessionConfig,
-    breaker: RecoveringBreaker,
-    arrivals: u64,
-    ticks: u64,
+    admitter: Admitter,
 }
 
 impl ServeSession {
-    /// Wrap an index in a session.
+    /// Wrap an index in a session with single-tenant admission knobs
+    /// derived from `config` (the default tenant is unlimited).
     pub fn new(index: LakeIndex, config: SessionConfig) -> Self {
+        let admit = AdmitConfig::from_session(&config);
+        Self::with_admission(index, config, admit)
+    }
+
+    /// Wrap an index in a session with explicit multi-tenant admission
+    /// knobs. `admit` governs admission (capacity, quotas, aging,
+    /// breakers); `config` still supplies the execute-phase threads and
+    /// the session seed.
+    pub fn with_admission(index: LakeIndex, config: SessionConfig, admit: AdmitConfig) -> Self {
         ServeSession {
             index,
-            breaker: RecoveringBreaker::new(
-                config.breaker_threshold,
-                config.breaker_cooldown_ticks,
-            ),
+            admitter: Admitter::new(admit, config.seed),
             config,
-            arrivals: 0,
-            ticks: 0,
         }
     }
 
@@ -140,122 +143,89 @@ impl ServeSession {
         &self.config
     }
 
-    /// True while the session breaker sheds ordinary traffic (open and
-    /// cooling down, or waiting on a half-open probe).
+    /// The admission state machine (per-tenant buckets, aging credits,
+    /// and breakers).
+    pub fn admitter(&self) -> &Admitter {
+        &self.admitter
+    }
+
+    /// True while the default tenant's breaker sheds its ordinary
+    /// traffic (open and cooling down, or waiting on a half-open
+    /// probe). Per-tenant states are on [`ServeSession::admitter`].
     pub fn breaker_open(&self) -> bool {
-        self.breaker.is_open()
+        self.admitter.breaker_is_open(&TenantId::default())
     }
 
-    /// Current breaker state (closed / open / half-open).
+    /// The default tenant's breaker state (closed / open / half-open).
     pub fn breaker_state(&self) -> RecoveryState {
-        self.breaker.state()
+        self.admitter.breaker_state(&TenantId::default())
     }
 
-    /// Requests seen so far (admitted or shed), across all batches.
+    /// Requests seen so far (admitted or shed), across all batches and
+    /// tenants.
     pub fn arrivals(&self) -> u64 {
-        self.arrivals
+        self.admitter.arrivals()
     }
 
-    /// Session clock: batches submitted so far (breaker cooldowns are
-    /// measured on this clock).
+    /// Session clock: batches submitted so far (breaker cooldowns and
+    /// bucket refills are measured on this clock).
     pub fn ticks(&self) -> u64 {
-        self.ticks
+        self.admitter.ticks()
     }
 
-    /// Answer a batch. Never panics on bad requests: each slot in the
-    /// report is its own `Result`, and shed or failing requests leave
-    /// their neighbours untouched.
+    /// Answer a batch from the default tenant. Never panics on bad
+    /// requests: each slot in the report is its own `Result`, and shed
+    /// or failing requests leave their neighbours untouched.
     pub fn submit_batch(&mut self, requests: &[ServeRequest]) -> BatchReport {
-        let _span = rdi_obs::span("serve.batch");
-        // The session clock: one tick per batch, so breaker cooldowns
-        // are a pure function of the request stream.
-        self.ticks += 1;
-        rdi_obs::counter("serve.batches").inc();
-        rdi_obs::counter("serve.requests").add(requests.len() as u64);
-        rdi_obs::histogram("serve.batch_size", &SIZE_BOUNDS).record(requests.len() as f64);
+        let tenants = vec![TenantId::default(); requests.len()];
+        let refs: Vec<&ServeRequest> = requests.iter().collect();
+        self.submit_inner(&tenants, &refs)
+    }
 
-        // Phase 1: admission, serial in arrival order. The capacity
-        // check runs before the breaker is consulted so a granted
-        // half-open probe always has queue room.
-        let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
-            (0..requests.len()).map(|_| None).collect();
-        let mut admitted: Vec<(usize, u64)> = Vec::new(); // (position, arrival)
-        let mut shed = 0usize;
-        for (pos, _req) in requests.iter().enumerate() {
-            let arrival = self.arrivals;
-            self.arrivals += 1;
-            if admitted.len() >= self.config.queue_capacity {
-                responses[pos] = Some(Err(ServeError::QueueFull {
-                    capacity: self.config.queue_capacity,
-                }));
-                shed += 1;
-                continue;
-            }
-            match self.breaker.admit(self.ticks) {
-                Admission::Admit => admitted.push((pos, arrival)),
-                Admission::Probe => {
-                    rdi_obs::counter("serve.breaker_probes").inc();
-                    admitted.push((pos, arrival));
-                }
-                Admission::Shed => {
-                    responses[pos] = Some(Err(ServeError::CircuitOpen {
-                        consecutive_failures: self.breaker.consecutive_failures(),
-                    }));
-                    shed += 1;
-                }
-            }
-        }
-        rdi_obs::counter("serve.shed").add(shed as u64);
-        rdi_obs::histogram("serve.queue_depth", &SIZE_BOUNDS).record(admitted.len() as f64);
+    /// Answer a batch of tenant-tagged requests; slots keep submission
+    /// order across tenants. Same degradation contract as
+    /// [`ServeSession::submit_batch`].
+    pub fn submit_batch_tagged(&mut self, requests: &[TaggedRequest]) -> BatchReport {
+        let tenants: Vec<TenantId> = requests.iter().map(|r| r.tenant.clone()).collect();
+        let refs: Vec<&ServeRequest> = requests.iter().map(|r| &r.request).collect();
+        self.submit_inner(&tenants, &refs)
+    }
+
+    fn submit_inner(&mut self, tenants: &[TenantId], requests: &[&ServeRequest]) -> BatchReport {
+        let _span = rdi_obs::span("serve.batch");
+        // Phase 1: admission, serial in arrival order, through the
+        // shared admitter (one tick per batch; quota > queue > breaker
+        // shed precedence; per-request execute seeds on the owning
+        // tenant's stream).
+        let verdicts = self.admitter.admit_batch(tenants);
+        let layout = lay_out(verdicts);
+        let mut responses = layout.responses;
+        let admitted = layout.admitted;
+        let shed = layout.shed;
 
         // Phase 2: warm, serial in arrival order — the only phase that
         // touches the cache.
         let mut jobs: Vec<(usize, u64, Prepared)> = Vec::with_capacity(admitted.len());
-        for &(pos, arrival) in &admitted {
-            match self.index.prepare(&requests[pos]) {
-                Ok(plan) => jobs.push((pos, arrival, plan)),
+        for &(pos, seed) in &admitted {
+            match self.index.prepare(requests[pos]) {
+                Ok(plan) => jobs.push((pos, seed, plan)),
                 Err(e) => responses[pos] = Some(Err(e)),
             }
         }
 
         // Phase 3: execute in parallel; results splice back in input
         // order (rdi-par contract), each job on its own RNG stream.
-        let seed = self.config.seed;
-        let results = par_map(
-            self.config.threads.min_len(2),
-            &jobs,
-            |(_, arrival, plan)| execute(plan, stream_seed(seed, *arrival)),
-        );
+        let results = par_map(self.config.threads.min_len(2), &jobs, |(_, seed, plan)| {
+            execute(plan, *seed)
+        });
         for ((pos, _, _), result) in jobs.into_iter().zip(results) {
             responses[pos] = Some(result);
         }
 
-        // Post phase: feed the breaker in arrival order, count
-        // failures. A half-open probe's outcome lands here too: its
-        // success closes the breaker, its failure re-opens it.
-        let mut failed = 0usize;
-        for r in responses.iter().flatten() {
-            match r {
-                Ok(_) => {
-                    let was_half_open = self.breaker.state() == RecoveryState::HalfOpen;
-                    self.breaker.record_success();
-                    if was_half_open {
-                        rdi_obs::counter("serve.breaker_recoveries").inc();
-                    }
-                }
-                Err(ServeError::CircuitOpen { .. }) | Err(ServeError::QueueFull { .. }) => {
-                    // shed, not failed: sheds never trip the breaker
-                }
-                Err(_) => {
-                    failed += 1;
-                    if self.breaker.record_failure(self.ticks) {
-                        rdi_obs::counter("serve.breaker_trips").inc();
-                    }
-                }
-            }
-        }
-        rdi_obs::counter("serve.requests_failed").add(failed as u64);
-        rdi_obs::counter("serve.requests_degraded").add((shed + failed) as u64);
+        // Post phase: feed each tenant's breaker its own outcomes in
+        // arrival order (sheds never count); a half-open probe's
+        // outcome lands here too.
+        let failed = self.admitter.note_outcomes(tenants, &responses);
 
         let responses: Vec<Result<ServeResponse, ServeError>> = responses
             .into_iter()
