@@ -1,8 +1,9 @@
 //! The consolidated pipeline entry point.
 //!
 //! Four PRs of growth left the pipeline with fragmented entry points:
-//! [`Pipeline::run`], [`Pipeline::run_with`], and the low-level
-//! [`crate::executor::run_resilient`]. [`PipelineBuilder`] puts one
+//! [`Pipeline::run`], the since-removed `Pipeline::run_with`, and the
+//! low-level [`crate::executor::run_resilient`]. [`PipelineBuilder`]
+//! puts one
 //! path in front of all of them — declare the problem, requirements,
 //! resilience, and observability, then [`PipelineBuilder::build`] a
 //! [`BuiltPipeline`] and run it against any sources:
@@ -24,14 +25,15 @@
 //! let result = built.run(&mut sources, &mut policy, &mut rng);
 //! ```
 //!
-//! The legacy entry points survive as thin delegates onto the same
-//! internal implementation (`run_with` deprecated), so their output is
-//! bitwise identical to the builder path — proven by a regression test
-//! below.
+//! The one legacy entry point, [`Pipeline::run`], survives as a thin
+//! delegate onto the same internal implementation (the deprecated
+//! `Pipeline::run_with` has been removed), so its output is bitwise
+//! identical to the builder path — proven by a regression test below.
 
 use rand::Rng;
 use rdi_cleaning::ImputeStrategy;
 use rdi_fault::ResilienceConfig;
+use rdi_policy::{PolicyId, PolicyParams, PolicySet};
 use rdi_profile::LabelConfig;
 use rdi_tailor::{DtProblem, Policy, Source};
 
@@ -49,6 +51,7 @@ pub struct PipelineBuilder {
     spec: RequirementSpec,
     max_draws: usize,
     resilience: ResilienceConfig,
+    policies: PolicySet,
     span_root: String,
 }
 
@@ -57,7 +60,8 @@ impl PipelineBuilder {
     ///
     /// Defaults: no imputations, default label config, empty
     /// requirement spec, `max_draws = 100_000`, default
-    /// [`ResilienceConfig`], span root `"pipeline"`.
+    /// [`ResilienceConfig`], default selection policies, span root
+    /// `"pipeline"`.
     pub fn new(problem: DtProblem) -> Self {
         PipelineBuilder {
             problem,
@@ -66,6 +70,7 @@ impl PipelineBuilder {
             spec: RequirementSpec::default(),
             max_draws: 100_000,
             resilience: ResilienceConfig::default(),
+            policies: PolicySet::new(),
             span_root: "pipeline".to_string(),
         }
     }
@@ -112,6 +117,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Override one selection-policy site's params (e.g.
+    /// `with_policy(PolicyId::REDIRECT, PolicyParams::new().with("dir",
+    /// "min"))`). Sites not overridden run on their documented defaults;
+    /// every decision is audited either way.
+    pub fn with_policy(mut self, site: PolicyId, params: PolicyParams) -> Self {
+        self.policies.set(site, params);
+        self
+    }
+
     /// Observability: the root span name under which the run's stage
     /// timings land in the `rdi-obs` registry (default `"pipeline"`).
     pub fn span_root(mut self, name: impl Into<String>) -> Self {
@@ -132,18 +146,20 @@ impl PipelineBuilder {
                 max_draws: self.max_draws,
             },
             resilience: self.resilience,
+            policies: self.policies,
             span_root: self.span_root,
         }
     }
 }
 
 /// A fully configured pipeline, ready to run against sources. This is
-/// the single execution path: the legacy [`Pipeline::run`] /
-/// `Pipeline::run_with` delegates route through the same internals.
+/// the single execution path: the legacy [`Pipeline::run`] delegate
+/// routes through the same internals.
 #[derive(Debug)]
 pub struct BuiltPipeline {
     pipeline: Pipeline,
     resilience: ResilienceConfig,
+    policies: PolicySet,
     span_root: String,
 }
 
@@ -158,8 +174,14 @@ impl BuiltPipeline {
         policy: &mut dyn Policy,
         rng: &mut R,
     ) -> Result<PipelineResult, PipelineError> {
-        self.pipeline
-            .run_impl(sources, policy, rng, &self.resilience, &self.span_root)
+        self.pipeline.run_impl(
+            sources,
+            policy,
+            rng,
+            &self.resilience,
+            &self.policies,
+            &self.span_root,
+        )
     }
 
     /// The underlying pipeline configuration.
@@ -170,6 +192,11 @@ impl BuiltPipeline {
     /// The resilience parameters this pipeline runs with.
     pub fn resilience(&self) -> &ResilienceConfig {
         &self.resilience
+    }
+
+    /// The selection-policy overrides this pipeline runs with.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
     }
 }
 
@@ -211,14 +238,15 @@ mod tests {
         (problem, sources, policy, rng)
     }
 
-    /// The deprecated `run_with` delegate and the builder path must be
-    /// bitwise identical: same data, same provenance, same label scope
-    /// notes, same cost bits, same audit markdown.
+    /// The `Pipeline::run` delegate and the builder path (with explicit
+    /// resilience) must be bitwise identical: same data, same
+    /// provenance, same label scope notes, same cost bits, same audit
+    /// markdown. This is the migrated form of the regression test that
+    /// used to pin the removed `run_with` delegate to the builder path.
     #[test]
-    fn run_with_is_bitwise_identical_to_builder_path() {
+    fn run_with_explicit_resilience_is_bitwise_identical_to_builder_path() {
         let config = ResilienceConfig::default();
         let (problem, mut sources, mut policy, mut rng) = scenario(11);
-        #[allow(deprecated)]
         let legacy = Pipeline {
             problem: problem.clone(),
             imputations: vec![],
@@ -226,7 +254,7 @@ mod tests {
             spec: RequirementSpec::default().with_note("equivalence run"),
             max_draws: 500_000,
         }
-        .run_with(&mut sources, &mut policy, &mut rng, &config)
+        .run(&mut sources, &mut policy, &mut rng)
         .unwrap();
 
         let (problem, mut sources, mut policy, mut rng) = scenario(11);

@@ -13,7 +13,9 @@
 //! * a per-source [`rdi_fault::CircuitBreaker`] quarantines a source
 //!   for the rest of the run after `breaker_threshold` consecutive
 //!   failed attempts; draws routed to a quarantined source are
-//!   redirected to the next live source (cyclically by index);
+//!   redirected to a live source chosen by the `core.redirect`
+//!   selection policy (default: the next live one, cyclically by
+//!   index);
 //! * when every source is quarantined the run **degrades** instead of
 //!   erroring: it returns the partial collection plus typed
 //!   [`ProvenanceEvent`]s naming every quarantined source and the rows
@@ -25,11 +27,87 @@
 //! table, counters, provenance — is bitwise identical to the legacy
 //! runner's.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rdi_fault::{CircuitBreaker, ResilienceConfig, TickClock};
-use rdi_obs::ProvenanceEvent;
+use rdi_obs::{Counter, ProvenanceEvent};
+use rdi_policy::{
+    Candidate, PolicyId, PolicyParams, PolicySet, RankByScore, Score, SelectionPolicy,
+};
 use rdi_table::{Table, TableError};
-use rdi_tailor::{record_outcome, Draw, DtProblem, Policy, Source, SourceError, TailorOutcome};
+use rdi_tailor::{
+    record_outcome, Draw, DtProblem, KeepDrop, Policy, Source, SourceError, TailorOutcome,
+};
+
+/// The `core.redirect` decision site: which healthy source absorbs a
+/// draw aimed at a quarantined one.
+///
+/// Candidates are the non-quarantined sources at cyclic offsets
+/// `1..len` from the chosen source, scored `-offset` (an [`Score::I64`])
+/// so the default `dir=max` params pick the *closest* live source —
+/// exactly the historic "next live source, cyclically by index" rule —
+/// while `dir=min` flips to the farthest. An empty candidate set is the
+/// auditable "every source quarantined" outcome.
+///
+/// Redirects fire per draw (thousands per degraded run), so like
+/// [`KeepDrop`] the first decision emits the full `PolicyDecision`
+/// event (returned for the caller's event stream) and every decision
+/// ticks the `policy.*` counters through cached handles.
+#[derive(Debug)]
+struct RedirectAudit {
+    policy: RankByScore,
+    params: PolicyParams,
+    emitted: bool,
+    total: Arc<Counter>,
+    site: Arc<Counter>,
+}
+
+impl RedirectAudit {
+    fn new(params: PolicyParams) -> Self {
+        RedirectAudit {
+            policy: RankByScore::new(PolicyId::REDIRECT),
+            params,
+            emitted: false,
+            total: rdi_obs::counter("policy.decisions"),
+            site: rdi_obs::counter(&format!("policy.{}.decisions", PolicyId::REDIRECT)),
+        }
+    }
+
+    /// Pick the live source absorbing a draw aimed at quarantined
+    /// `chosen`, plus the exemplar event on the run's first redirect.
+    fn decide(
+        &mut self,
+        chosen: usize,
+        breakers: &[CircuitBreaker],
+        health: &[SourceHealth],
+    ) -> (Option<usize>, Option<ProvenanceEvent>) {
+        let mut candidates = Vec::new();
+        let mut indices = Vec::new();
+        for off in 1..breakers.len() {
+            let i = (chosen + off) % breakers.len();
+            if !breakers[i].is_open() {
+                candidates.push(Candidate::new(
+                    health[i].name.clone(),
+                    Score::I64(-(off as i64)),
+                ));
+                indices.push(i);
+            }
+        }
+        let decision = self.policy.choose(&candidates, &self.params);
+        let event = if self.emitted {
+            self.total.inc();
+            self.site.inc();
+            None
+        } else {
+            self.emitted = true;
+            Some(rdi_obs::policy_decision_event(
+                &decision.rationale(&candidates, &self.params),
+            ))
+        };
+        (decision.winner.map(|w| indices[w]), event)
+    }
+}
 
 /// How one source fared over a resilient run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +222,31 @@ pub fn run_resilient<S: Source, R: Rng>(
     max_draws: usize,
     config: &ResilienceConfig,
 ) -> rdi_table::Result<ResilientOutcome> {
+    run_resilient_with(
+        sources,
+        problem,
+        policy,
+        rng,
+        max_draws,
+        config,
+        &PolicySet::new(),
+    )
+}
+
+/// [`run_resilient`] with per-site selection-policy overrides: the
+/// `core.redirect` and `tailor.keep` decision sites consult `policies`
+/// for their params (an empty [`PolicySet`] reproduces the defaults —
+/// and [`run_resilient`]'s behaviour — bitwise).
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient_with<S: Source, R: Rng>(
+    sources: &mut [S],
+    problem: &DtProblem,
+    policy: &mut dyn Policy,
+    rng: &mut R,
+    max_draws: usize,
+    config: &ResilienceConfig,
+    policies: &PolicySet,
+) -> rdi_table::Result<ResilientOutcome> {
     problem.validate()?;
     config.validate();
     if sources.is_empty() {
@@ -177,6 +280,8 @@ pub fn run_resilient<S: Source, R: Rng>(
     let mut events: Vec<ProvenanceEvent> = Vec::new();
     let mut backoff_ticks = 0u64;
     let mut all_quarantined = false;
+    let mut keepdrop = KeepDrop::new(policies.params_for(PolicyId::TAILOR_KEEP));
+    let mut redirect = RedirectAudit::new(policies.params_for(PolicyId::REDIRECT));
 
     let attempts_hist = rdi_obs::histogram("executor.attempts_per_draw", &[1.0, 2.0, 4.0, 8.0]);
 
@@ -199,18 +304,24 @@ pub fn run_resilient<S: Source, R: Rng>(
             "policy chose invalid source {chosen}"
         );
 
-        // Redirect a pick of a quarantined source to the next live one
-        // (cyclic by index; deterministic). No live source left → the
-        // run degrades instead of spinning.
-        let s = match (0..sources.len())
-            .map(|off| (chosen + off) % sources.len())
-            .find(|&i| !breakers[i].is_open())
-        {
-            Some(s) => s,
-            None => {
-                all_quarantined = true;
-                break;
+        // Redirect a pick of a quarantined source through the
+        // `core.redirect` policy (default: closest live source,
+        // cyclically by index). No live source left → the run degrades
+        // instead of spinning.
+        let s = if breakers[chosen].is_open() {
+            let (winner, event) = redirect.decide(chosen, &breakers, &health);
+            if let Some(e) = event {
+                events.push(e);
             }
+            match winner {
+                Some(s) => s,
+                None => {
+                    all_quarantined = true;
+                    break;
+                }
+            }
+        } else {
+            chosen
         };
         if s != chosen {
             rdi_obs::counter("executor.redirects").inc();
@@ -271,7 +382,7 @@ pub fn run_resilient<S: Source, R: Rng>(
             Some((group, row)) => {
                 policy.observe(s, group.filter(|&gi| remaining[gi] > 0));
                 if let Some(gi) = group {
-                    if per_group[gi] < problem.requirements[gi].hi {
+                    if keepdrop.decide(per_group[gi] < problem.requirements[gi].hi) {
                         per_group[gi] += 1;
                         collected.push_row(row)?;
                     }
@@ -310,6 +421,7 @@ pub fn run_resilient<S: Source, R: Rng>(
             satisfied: ok,
             collected,
             per_source_draws,
+            decisions: keepdrop.into_decisions(),
         },
         health,
         events,
@@ -381,6 +493,7 @@ mod tests {
         assert_eq!(res.tailor.per_source_draws, legacy.per_source_draws);
         assert_eq!(res.tailor.draws, legacy.draws);
         assert_eq!(res.tailor.total_cost, legacy.total_cost);
+        assert_eq!(res.tailor.decisions, legacy.decisions);
         assert!(!res.degraded);
         assert!(res.events.is_empty());
         assert_eq!(res.backoff_ticks, 0);
@@ -457,6 +570,52 @@ mod tests {
         ));
         // after quarantine the dead source receives no further attempts
         assert_eq!(res.health[0].attempts, u64::from(q.consecutive_failures));
+    }
+
+    #[test]
+    fn redirect_policy_override_flips_the_absorbing_source() {
+        let p = problem(20, 20);
+        let run = |policies: &PolicySet| {
+            let mut sources = vec![
+                FaultySource::new(source("dead", 0.5, 500, &p), FaultSpec::dead(), 9),
+                FaultySource::new(source("near", 0.5, 500, &p), FaultSpec::none(), 10),
+                FaultySource::new(source("far", 0.5, 500, &p), FaultSpec::none(), 11),
+            ];
+            let mut policy = RandomPolicy::new(3);
+            let mut rng = StdRng::seed_from_u64(6);
+            run_resilient_with(
+                &mut sources,
+                &p,
+                &mut policy,
+                &mut rng,
+                1_000_000,
+                &ResilienceConfig::default(),
+                policies,
+            )
+            .unwrap()
+        };
+        let default = run(&PolicySet::new());
+        let flipped =
+            run(&PolicySet::new().with(PolicyId::REDIRECT, PolicyParams::new().with("dir", "min")));
+        let winner = |res: &ResilientOutcome| {
+            res.events
+                .iter()
+                .find_map(|e| match e {
+                    ProvenanceEvent::PolicyDecision { policy, winner, .. }
+                        if policy == "core.redirect" =>
+                    {
+                        winner.clone()
+                    }
+                    _ => None,
+                })
+                .expect("redirect exemplar emitted")
+        };
+        assert_eq!(winner(&default), "near", "default: closest live source");
+        assert_eq!(winner(&flipped), "far", "dir=min: farthest live source");
+        assert_ne!(
+            default.tailor.per_source_draws, flipped.tailor.per_source_draws,
+            "the override must reroute real draws"
+        );
     }
 
     #[test]

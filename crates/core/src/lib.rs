@@ -45,15 +45,18 @@ pub mod requirement;
 pub mod prelude {
     pub use crate::audit::{audit, AuditReport, Finding};
     pub use crate::builder::{BuiltPipeline, PipelineBuilder};
-    pub use crate::executor::{run_resilient, Quarantine, ResilientOutcome, SourceHealth};
+    pub use crate::executor::{
+        run_resilient, run_resilient_with, Quarantine, ResilientOutcome, SourceHealth,
+    };
     pub use crate::pipeline::{Pipeline, PipelineError, PipelineResult};
     pub use crate::requirement::{Requirement, RequirementSpec};
     pub use rdi_fault::ResilienceConfig;
     pub use rdi_obs::ProvenanceEvent;
+    pub use rdi_policy::{PolicyId, PolicyParams, PolicySet};
 }
 
 pub use audit::{audit, AuditReport, Finding};
 pub use builder::{BuiltPipeline, PipelineBuilder};
-pub use executor::{run_resilient, Quarantine, ResilientOutcome, SourceHealth};
+pub use executor::{run_resilient, run_resilient_with, Quarantine, ResilientOutcome, SourceHealth};
 pub use pipeline::{Pipeline, PipelineError, PipelineResult};
 pub use requirement::{Requirement, RequirementSpec};

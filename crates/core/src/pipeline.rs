@@ -20,12 +20,13 @@ use rand::Rng;
 use rdi_cleaning::{impute, ImputeStrategy};
 use rdi_fault::ResilienceConfig;
 use rdi_obs::ProvenanceEvent;
+use rdi_policy::PolicySet;
 use rdi_profile::{LabelConfig, NutritionalLabel};
 use rdi_table::{GroupSpec, Table, TableError};
 use rdi_tailor::{DtProblem, Policy, Source};
 
 use crate::audit::{audit, AuditReport};
-use crate::executor::{run_resilient, SourceHealth};
+use crate::executor::{run_resilient_with, SourceHealth};
 use crate::requirement::RequirementSpec;
 
 /// Why a pipeline run failed outright.
@@ -128,44 +129,24 @@ impl Pipeline {
             policy,
             rng,
             &ResilienceConfig::default(),
+            &PolicySet::new(),
             "pipeline",
         )
     }
 
-    /// Run the pipeline with explicit resilience parameters.
-    ///
-    /// Source failures are retried, backed off, and quarantined per
-    /// `config`; an `Err` is returned only for structural problems (see
-    /// [`PipelineError`]). A run whose requirements go unmet because of
-    /// source failures still returns `Ok` — with
-    /// [`PipelineResult::degraded`] set and a `Degraded` provenance
-    /// event naming the quarantined sources and missing rows.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use PipelineBuilder::new(problem)...resilience(config).build().run(...) — \
-                one entry point, bitwise-identical output"
-    )]
-    pub fn run_with<S: Source, R: Rng>(
-        &self,
-        sources: &mut [S],
-        policy: &mut dyn Policy,
-        rng: &mut R,
-        config: &ResilienceConfig,
-    ) -> Result<PipelineResult, PipelineError> {
-        self.run_impl(sources, policy, rng, config, "pipeline")
-    }
-
-    /// The single execution path behind [`Pipeline::run`],
-    /// `Pipeline::run_with`, and [`crate::BuiltPipeline::run`].
-    /// `span_root` names the root `rdi-obs` span (`"pipeline"` for the
-    /// legacy delegates; callers embedding the pipeline — e.g.
-    /// `rdi-serve` — pick their own root to keep span trees separable).
+    /// The single execution path behind [`Pipeline::run`] and
+    /// [`crate::BuiltPipeline::run`] (the removed `run_with` delegate
+    /// also routed here). `span_root` names the root `rdi-obs` span
+    /// (`"pipeline"` for the legacy delegate; callers embedding the
+    /// pipeline — e.g. `rdi-serve` — pick their own root to keep span
+    /// trees separable).
     pub(crate) fn run_impl<S: Source, R: Rng>(
         &self,
         sources: &mut [S],
         policy: &mut dyn Policy,
         rng: &mut R,
         config: &ResilienceConfig,
+        policies: &PolicySet,
         span_root: &str,
     ) -> Result<PipelineResult, PipelineError> {
         let _pipeline_span = rdi_obs::span(span_root);
@@ -177,10 +158,21 @@ impl Pipeline {
         });
         let outcome = {
             let _span = rdi_obs::span("tailor");
-            run_resilient(sources, &self.problem, policy, rng, self.max_draws, config)?
+            run_resilient_with(
+                sources,
+                &self.problem,
+                policy,
+                rng,
+                self.max_draws,
+                config,
+                policies,
+            )?
         };
         let missing = outcome.missing_per_group(&self.problem);
         let quarantined = outcome.quarantined();
+        // policy audit exemplars (keep/drop verdicts) precede the
+        // fault/quarantine events they may have influenced
+        provenance.extend(outcome.tailor.decisions.iter().cloned());
         provenance.extend(outcome.events.iter().cloned());
         provenance.push(ProvenanceEvent::TailoringFinished {
             draws: outcome.tailor.draws,
@@ -359,8 +351,9 @@ mod tests {
             result.label.scope_notes.len(),
             pipeline.spec.scope_notes.len() + result.provenance.len()
         );
-        // events are typed and ordered: tailoring start/finish first,
-        // label generation, then the audit last
+        // events are typed and ordered: tailoring start, the keep/drop
+        // policy exemplar, tailoring finish, label generation, then the
+        // audit last
         use rdi_obs::ProvenanceEvent as E;
         assert!(matches!(
             result.provenance.first(),
@@ -368,6 +361,10 @@ mod tests {
         ));
         assert!(matches!(
             result.provenance.get(1),
+            Some(E::PolicyDecision { policy, .. }) if policy == "tailor.keep"
+        ));
+        assert!(matches!(
+            result.provenance.get(2),
             Some(E::TailoringFinished {
                 satisfied: true,
                 ..

@@ -6,10 +6,43 @@
 //! best greedy column matching, and define table unionability as the mean
 //! matched-column score over the query's columns.
 
+use rdi_obs::ProvenanceEvent;
 use rdi_par::{par_map, Threads};
+use rdi_policy::{Candidate, PolicyId, PolicyParams, RankByScore, Score, SelectionPolicy};
 use rdi_table::Table;
 
 use crate::minhash::MinHash;
+
+/// Rank scored `(name, score)` candidates through the workspace policy
+/// engine and truncate to `k`, returning the ranking plus the
+/// `PolicyDecision` audit event (already counted, built *before* the
+/// ranking is returned to the caller).
+///
+/// Under the default params this is bitwise-identical to the historic
+/// inline sort — score descending, name ascending — because
+/// [`RankByScore`]'s default tie-break chain is exactly that rule.
+/// `rdi-serve`'s execute phase reuses this for warm-path rankings so
+/// the cold and warm paths share one decision site per [`PolicyId`].
+pub fn rank_scored(
+    id: PolicyId,
+    scored: &[(String, f64)],
+    k: usize,
+    params: &PolicyParams,
+) -> (Vec<(String, f64)>, ProvenanceEvent) {
+    let candidates: Vec<Candidate> = scored
+        .iter()
+        .map(|(name, s)| Candidate::new(name.clone(), Score::F64(*s)))
+        .collect();
+    let decision = RankByScore::new(id).choose(&candidates, params);
+    let event = rdi_obs::policy_decision_event(&decision.rationale(&candidates, params));
+    let ranked = decision
+        .ranking
+        .iter()
+        .take(k)
+        .map(|&i| scored[i].clone())
+        .collect();
+    (ranked, event)
+}
 
 /// Signature set for one table: one MinHash per column.
 #[derive(Debug, Clone)]
@@ -133,21 +166,35 @@ impl UnionSearchIndex {
 
     /// [`UnionSearchIndex::top_k`] on an explicit thread
     /// configuration. Candidates are scored independently and the final
-    /// ranking sorts `(score desc, name)`, so the result is identical
-    /// for any thread count.
+    /// ranking is chosen by the `discovery.union_rank` policy (default
+    /// params: score desc, name asc), so the result is identical for
+    /// any thread count.
     pub fn top_k_with(
         &self,
         query: &TableSignature,
         k: usize,
         threads: Threads,
     ) -> Vec<(String, f64)> {
+        self.top_k_explained(query, k, threads, &PolicyParams::new())
+            .0
+    }
+
+    /// [`UnionSearchIndex::top_k_with`] plus the `PolicyDecision` audit
+    /// event explaining the ranking. Callers with a provenance stream
+    /// (e.g. `rdi-serve` sessions) attach the event; one-shot callers
+    /// may drop it — the `policy.*` counters are recorded either way.
+    pub fn top_k_explained(
+        &self,
+        query: &TableSignature,
+        k: usize,
+        threads: Threads,
+        params: &PolicyParams,
+    ) -> (Vec<(String, f64)>, ProvenanceEvent) {
         rdi_obs::counter("discovery.candidates_scored").add(self.tables.len() as u64);
-        let mut scored: Vec<(String, f64)> = par_map(threads.min_len(4), &self.tables, |t| {
+        let scored: Vec<(String, f64)> = par_map(threads.min_len(4), &self.tables, |t| {
             (t.name.clone(), table_unionability(query, t))
         });
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        scored.truncate(k);
-        scored
+        rank_scored(PolicyId::UNION_RANK, &scored, k, params)
     }
 }
 

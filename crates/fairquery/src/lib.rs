@@ -38,4 +38,4 @@ pub mod relax;
 
 pub use range2d::{FairBox, RangeQuery2d};
 pub use range_query::{FairRange, RangeQueryEngine};
-pub use relax::relax_for_coverage;
+pub use relax::{relax_for_coverage, relax_for_coverage_explained};

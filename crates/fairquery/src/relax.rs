@@ -5,6 +5,8 @@
 //! least `k` rows in the output — rewriting "only relaxes", never drops
 //! rows the user asked for.
 
+use rdi_obs::ProvenanceEvent;
+use rdi_policy::{Candidate, PolicyId, PolicyParams, RankByScore, Score, SelectionPolicy};
 use rdi_table::{GroupKey, GroupSpec, Table};
 use serde::{Deserialize, Serialize};
 
@@ -29,7 +31,9 @@ pub struct Relaxation {
 ///
 /// Greedy two-pointer over the sorted attribute values: at each step the
 /// widening (left or right) that adds a row of a *deficient* group closer
-/// to the current boundary is taken.
+/// to the current boundary is taken. Delegates to
+/// [`relax_for_coverage_explained`] under the default
+/// `fairquery.relax` policy params and discards the audit trail.
 pub fn relax_for_coverage(
     table: &Table,
     attribute: &str,
@@ -38,6 +42,28 @@ pub fn relax_for_coverage(
     hi: f64,
     k: usize,
 ) -> rdi_table::Result<Relaxation> {
+    relax_for_coverage_explained(table, attribute, spec, lo, hi, k, &PolicyParams::new())
+        .map(|(r, _)| r)
+}
+
+/// [`relax_for_coverage`] with the widening choice routed through the
+/// `fairquery.relax` selection policy and every step's
+/// [`ProvenanceEvent::PolicyDecision`] returned alongside the result.
+///
+/// Each step scores the two frontier candidates (`left` = `pts[i-1]`,
+/// `right` = `pts[j]`) by the tuple *(helps a deficient group, −gap to
+/// the boundary)*; under the default params (`dir=max`, `tie=key_asc`)
+/// the winner is exactly the historic greedy rule — help beats no-help,
+/// then the smaller gap, then `left` on an exact tie.
+pub fn relax_for_coverage_explained(
+    table: &Table,
+    attribute: &str,
+    spec: &GroupSpec,
+    lo: f64,
+    hi: f64,
+    k: usize,
+    params: &PolicyParams,
+) -> rdi_table::Result<(Relaxation, Vec<ProvenanceEvent>)> {
     let col = table.column(attribute)?;
     let mut pts: Vec<(f64, GroupKey)> = Vec::new();
     for i in 0..table.num_rows() {
@@ -61,26 +87,32 @@ pub fn relax_for_coverage(
         keys.iter().any(|g| counts.get(g).copied().unwrap_or(0) < k)
     };
 
+    let policy = RankByScore::new(PolicyId::FAIRQUERY_RELAX);
+    let mut events = Vec::new();
     while deficient(&counts) {
         // candidate expansions: take pts[i-1] (left) or pts[j] (right);
         // prefer the one that helps a deficient group; tie → smaller gap.
         let left = i.checked_sub(1).map(|p| &pts[p]);
         let right = pts.get(j);
-        let helps = |p: Option<&(f64, GroupKey)>| {
-            p.is_some_and(|(_, g)| counts.get(g).copied().unwrap_or(0) < k)
+        let helps = |p: &(f64, GroupKey)| counts.get(&p.1).copied().unwrap_or(0) < k;
+        let step = |p: &(f64, GroupKey), gap: f64| {
+            Score::Tuple(vec![Score::U64(u64::from(helps(p))), Score::F64(-gap)])
         };
-        let pick_left = match (left, right) {
-            (None, None) => break, // data exhausted
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some(l), Some(r)) => match (helps(Some(l)), helps(Some(r))) {
-                (true, false) => true,
-                (false, true) => false,
-                // both help or neither: take the closer value
-                _ => (lo - l.0).abs() <= (r.0 - hi).abs(),
-            },
-        };
-        if pick_left {
+        let mut candidates = Vec::new();
+        if let Some(l) = left {
+            candidates.push(Candidate::new("left", step(l, (lo - l.0).abs())));
+        }
+        if let Some(r) = right {
+            candidates.push(Candidate::new("right", step(r, (r.0 - hi).abs())));
+        }
+        if candidates.is_empty() {
+            break; // data exhausted
+        }
+        let decision = policy.choose(&candidates, params);
+        events.push(rdi_obs::policy_decision_event(
+            &decision.rationale(&candidates, params),
+        ));
+        if decision.winner_key(&candidates) == Some("left") {
             i -= 1;
             *counts.entry(pts[i].1.clone()).or_insert(0) += 1;
         } else {
@@ -100,13 +132,16 @@ pub fn relax_for_coverage(
         .map(|g| (g.to_string(), counts.get(g).copied().unwrap_or(0)))
         .collect();
     group_counts.sort();
-    Ok(Relaxation {
-        lo: new_lo,
-        hi: new_hi,
-        added_rows: (j - i).saturating_sub(original),
-        group_counts,
-        satisfied,
-    })
+    Ok((
+        Relaxation {
+            lo: new_lo,
+            hi: new_hi,
+            added_rows: (j - i).saturating_sub(original),
+            group_counts,
+            satisfied,
+        },
+        events,
+    ))
 }
 
 #[cfg(test)]
@@ -172,6 +207,53 @@ mod tests {
         assert!(r.lo <= 4.0);
         assert!(r.hi >= 6.0);
         assert!(r.satisfied);
+    }
+
+    #[test]
+    fn explained_audits_every_widening_step() {
+        let table = t(&[(1.0, "a"), (2.0, "a"), (3.0, "a"), (11.0, "b"), (12.0, "b")]);
+        let spec = GroupSpec::new(vec!["g"]);
+        let (r, events) =
+            relax_for_coverage_explained(&table, "x", &spec, 0.0, 5.0, 2, &PolicyParams::new())
+                .unwrap();
+        assert!(r.satisfied);
+        // two rows of `b` pulled in from the right, one decision each
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| matches!(
+            e,
+            ProvenanceEvent::PolicyDecision { policy, .. } if policy == "fairquery.relax"
+        )));
+    }
+
+    #[test]
+    fn relax_params_override_flips_the_first_widening() {
+        // left frontier (1.0, gap 1) and right frontier (7.0, gap 3)
+        // both help a deficient group: the default picks the closer
+        // (left); `dir=min` inverts the ranking and widens right first.
+        let table = t(&[(1.0, "a"), (7.0, "b")]);
+        let spec = GroupSpec::new(vec!["g"]);
+        let defaults =
+            relax_for_coverage_explained(&table, "x", &spec, 2.0, 4.0, 1, &PolicyParams::new())
+                .unwrap();
+        let flipped = relax_for_coverage_explained(
+            &table,
+            "x",
+            &spec,
+            2.0,
+            4.0,
+            1,
+            &PolicyParams::new().with("dir", "min"),
+        )
+        .unwrap();
+        let first = |events: &[ProvenanceEvent]| match &events[0] {
+            ProvenanceEvent::PolicyDecision { winner, .. } => winner.clone(),
+            _ => None,
+        };
+        assert_eq!(first(&defaults.1), Some("left".to_string()));
+        assert_eq!(first(&flipped.1), Some("right".to_string()));
+        // both routes exhaust the same frontier here, so the final
+        // relaxation agrees; only the audited order differs
+        assert_eq!(defaults.0, flipped.0);
     }
 
     #[test]

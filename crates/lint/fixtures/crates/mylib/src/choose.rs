@@ -1,0 +1,25 @@
+//! Planted R10 (choose-site leg): a selection-policy `.choose(..)`
+//! call whose enclosing function never emits the decision's rationale.
+
+/// Ranks `candidates` and returns the winner index silently — the
+/// decision never reaches a `PolicyDecision` emission (R10 at line 7).
+pub fn silent_pick(policy: &Ranker, candidates: &[Cand], params: &Params) -> Option<usize> {
+    let decision = policy.choose(candidates, params);
+    decision.winner
+}
+
+/// The audited twin: same choice, but the rationale is emitted before
+/// the winner is returned — no finding.
+pub fn audited_pick(policy: &Ranker, candidates: &[Cand], params: &Params) -> Option<usize> {
+    let decision = policy.choose(candidates, params);
+    emit(rdi_obs::policy_decision_event(&decision.rationale(
+        candidates, params,
+    )));
+    decision.winner
+}
+
+/// The legacy tailoring-policy call shape (`choose(remaining, rng)`)
+/// passes no `PolicyParams`, so the choose-site leg does not apply.
+pub fn legacy_pick(policy: &mut dyn Legacy, remaining: &[usize], rng: &mut Rng) -> usize {
+    policy.choose(remaining, rng)
+}

@@ -25,7 +25,7 @@
 //! | R7 | `bad-suppression` | all scanned files + manifests | every `rdi-lint:` directive or metadata marker must parse and carry a reason |
 //! | R8 | `discarded-result` | library code | no `let _ = ...` / statement-position `.ok();`: handle or propagate fallible outcomes |
 //! | R9 | `seed-purity` | algorithm crates | every RNG construction's seed must flow, via the body's def-use chains, from a parameter or `stream_seed(..)` |
-//! | R10 | `provenance-completeness` | decision-point registry | registered functions emit a `ProvenanceEvent` or metrics update on every return path |
+//! | R10 | `provenance-completeness` | decision-point registry + `.choose(` sites | registered functions emit a `ProvenanceEvent` or metrics update on every return path; every selection-policy `.choose(..)` call reaches a `PolicyDecision` emission |
 //! | R11 | `stale-suppression` | all scanned files | an `allow` directive whose rules no longer fire on its lines is itself a finding |
 //! | R12 | `metrics-consistency` | whole workspace | names asserted by CI/goldens are updated in source; every `serve.*`/`actor.*`/`fault.*` name updated is declared exactly once in `METRIC_NAMES` |
 //!

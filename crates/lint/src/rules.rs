@@ -76,7 +76,9 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R10",
         "provenance-completeness",
         "registered decision points must emit a ProvenanceEvent or metrics \
-         update on every return path, directly or via a callee",
+         update on every return path, directly or via a callee; every \
+         selection-policy .choose( call site must reach a PolicyDecision \
+         emission",
     ),
     (
         "R11",
@@ -365,6 +367,12 @@ pub(crate) fn analyze_file(rel: &str, src: &str, class: Option<&Classification>)
         if ctx.is_algo {
             check_seed_purity(&parsed, rel, &in_test, &mut raw);
         }
+
+        // R10 choose-site leg: every selection-policy `.choose(..)` in
+        // library code must reach a PolicyDecision emission.
+        if !ctx.is_bin {
+            check_choose_sites(&parsed, rel, &in_test, &mut raw);
+        }
     }
 
     if ctx.is_experiment && !emits_metrics_snapshot(code) {
@@ -530,6 +538,95 @@ pub(crate) fn check_decision_points(fas: &mut [FileAnalysis], graph: &SymbolGrap
                         ),
                     });
                 }
+            }
+        }
+    }
+}
+
+/// Idents whose presence marks a `.choose(..)` call as a *selection
+/// policy* invocation (vs `rand`'s `SliceRandom::choose` or the tailor
+/// source-policy's `choose(remaining, rng)`): the argument list passes a
+/// `PolicyParams` value, by type name or by the workspace's `*params`
+/// binding convention.
+const POLICY_ARG_MARKERS: &[&str] = &["PolicyParams"];
+
+/// Idents that constitute a PolicyDecision emission: the typed event
+/// constructor, or the variant itself for direct construction.
+const POLICY_EMITTERS: &[&str] = &["policy_decision_event", "PolicyDecision"];
+
+/// R10, choose-site leg: every `.choose(` call that takes selection
+/// [`PolicyParams`] must be followed, in the same function body, by a
+/// `PolicyDecision` emission (`rdi_obs::policy_decision_event` or a
+/// direct `ProvenanceEvent::PolicyDecision` construction). A ranking
+/// whose rationale never reaches the provenance stream is an
+/// unauditable decision — exactly what the policy engine exists to
+/// prevent.
+pub(crate) fn check_choose_sites(
+    parsed: &ParsedFile,
+    rel: &str,
+    in_test: &dyn Fn(u32) -> bool,
+    raw: &mut Vec<Finding>,
+) {
+    let code = &parsed.code;
+    for item in &parsed.items {
+        if item.kind != ItemKind::Fn || in_test(item.line) {
+            continue;
+        }
+        let Some((blo, bhi)) = item.body else {
+            continue;
+        };
+        let hi = bhi.min(code.len());
+        for i in blo..hi {
+            if code[i].text != "choose"
+                || code[i].kind != TokenKind::Ident
+                || !is_method_call(code, i)
+            {
+                continue;
+            }
+            // Walk the argument list to its matching close paren.
+            let mut depth = 0usize;
+            let mut end = i + 1;
+            let mut is_policy_call = false;
+            for (j, t) in code.iter().enumerate().take(hi).skip(i + 1) {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    _ => {
+                        if t.kind == TokenKind::Ident
+                            && (POLICY_ARG_MARKERS.contains(&t.text.as_str())
+                                || t.text.ends_with("params"))
+                        {
+                            is_policy_call = true;
+                        }
+                    }
+                }
+            }
+            if !is_policy_call {
+                continue;
+            }
+            let emitted = code[end..hi]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && POLICY_EMITTERS.contains(&t.text.as_str()));
+            if !emitted {
+                raw.push(Finding {
+                    rule: "R10",
+                    name: "provenance-completeness",
+                    file: rel.to_string(),
+                    line: code[i].line,
+                    item: item.qual_name.clone(),
+                    message: String::from(
+                        "selection-policy `.choose(..)` whose enclosing function never \
+                         reaches a PolicyDecision emission — build the rationale and emit \
+                         `rdi_obs::policy_decision_event` (or construct \
+                         `ProvenanceEvent::PolicyDecision`) before returning",
+                    ),
+                });
             }
         }
     }

@@ -44,8 +44,9 @@ fn fixture_tree_counts_and_suppressions() {
     assert_eq!(count("R8"), 2);
     // seeding.rs literal seed (param / stream_seed cases stay clean)
     assert_eq!(count("R9"), 1);
-    // breaker.rs early return without an emission
-    assert_eq!(count("R10"), 1);
+    // breaker.rs early return without an emission + choose.rs silent
+    // selection-policy call
+    assert_eq!(count("R10"), 2);
     // mylib allow(R3) covering nothing
     assert_eq!(count("R11"), 1);
     // ghost assert + dead decl + dup decl + unregistered use
@@ -513,6 +514,77 @@ fn r6_covers_the_multitenant_experiment() {
     let ok = "fn main() { rdi_bench::emit_metrics_snapshot(); }\n";
     let r = analyze_source("crates/bench/src/bin/exp_multitenant.rs", ok);
     assert!(!r.findings.iter().any(|f| f.rule == "R6"));
+}
+
+#[test]
+fn selection_choose_sites_must_reach_policy_decision() {
+    // A `.choose(..)` that takes PolicyParams (by type name or the
+    // `*params` binding convention) with no PolicyDecision emission in
+    // the enclosing function is an unauditable selection — R10.
+    for bad in [
+        "fn pick(p: &R, c: &[C]) -> Option<usize> {\n\
+             let d = p.choose(c, &PolicyParams::new());\n\
+             d.winner\n\
+         }\n",
+        "struct S { params: P }\n\
+         impl S {\n\
+             fn pick(&self, p: &R, c: &[C]) -> Option<usize> {\n\
+                 p.choose(c, &self.params).winner\n\
+             }\n\
+         }\n",
+        "struct S { evict_params: P }\n\
+         impl S {\n\
+             fn victim(&self, p: &R, c: &[C]) -> Option<usize> {\n\
+                 p.choose(c, &self.evict_params).winner\n\
+             }\n\
+         }\n",
+    ] {
+        let r = analyze_source("crates/serve/src/cache.rs", bad);
+        assert_eq!(r.findings.len(), 1, "{bad:?} → {:#?}", r.findings);
+        assert_eq!(r.findings[0].rule, "R10");
+    }
+
+    // Emitting the rationale — via the typed constructor or a direct
+    // variant construction — clears the site.
+    for ok in [
+        "fn pick(p: &R, c: &[C], out: &mut Vec<E>) -> Option<usize> {\n\
+             let d = p.choose(c, &PolicyParams::new());\n\
+             out.push(rdi_obs::policy_decision_event(&d.rationale(c, &PolicyParams::new())));\n\
+             d.winner\n\
+         }\n",
+        "fn pick(p: &R, c: &[C], out: &mut Vec<E>) -> Option<usize> {\n\
+             let d = p.choose(c, &PolicyParams::new());\n\
+             out.push(ProvenanceEvent::PolicyDecision { policy: d.policy.to_string() });\n\
+             d.winner\n\
+         }\n",
+        // The legacy tailoring-policy shape takes an RNG, not params:
+        // the choose-site leg does not apply.
+        "fn pick(p: &mut dyn Policy, remaining: &[usize], rng: &mut R) -> usize {\n\
+             p.choose(remaining, rng)\n\
+         }\n",
+    ] {
+        let r = analyze_source("crates/serve/src/cache.rs", ok);
+        assert!(
+            !r.findings.iter().any(|f| f.rule == "R10"),
+            "{ok:?} → {:#?}",
+            r.findings
+        );
+    }
+
+    // Bins, tests, and #[cfg(test)] regions are out of scope.
+    let bad = "fn pick(p: &R, c: &[C]) -> Option<usize> {\n\
+                   p.choose(c, &PolicyParams::new()).winner\n\
+               }\n";
+    for exempt in [
+        "crates/bench/src/bin/policy_tool.rs",
+        "crates/policy/tests/t.rs",
+    ] {
+        assert!(analyze_source(exempt, bad).findings.is_empty(), "{exempt}");
+    }
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n{bad}}}\n");
+    assert!(analyze_source("crates/serve/src/cache.rs", &in_test)
+        .findings
+        .is_empty());
 }
 
 #[test]

@@ -1,8 +1,9 @@
-//! The metric-name registry for the serving, actor, and fault layers.
+//! The metric-name registry for the serving, actor, fault, and policy
+//! layers.
 //!
-//! Every `serve.*`, `actor.*`, or `fault.*` counter/gauge/histogram/
-//! span name updated anywhere in the workspace must appear here exactly
-//! once — rdi-lint's R12 metrics-consistency rule cross-checks this
+//! Every `serve.*`, `actor.*`, `fault.*`, or `policy.*` counter/gauge/
+//! histogram/span name updated anywhere in the workspace must appear
+//! here exactly once — rdi-lint's R12 metrics-consistency rule cross-checks this
 //! list against the call sites, the CI expect-lists, and the checked-in
 //! goldens, so a silent rename (the drift byte-replay CI cannot see
 //! until the golden churns) fails the lint gate instead.
@@ -25,6 +26,8 @@ pub const METRIC_NAMES: &[&str] = &[
     "fault.breaker.failures",
     "fault.breaker.opened",
     "fault.injected.{kind}",
+    "policy.decisions",
+    "policy.{id}.decisions",
     "serve.batch",
     "serve.batch_size",
     "serve.batches",

@@ -82,11 +82,56 @@ pub enum ProvenanceEvent {
         /// Rows still missing per group (group index order).
         missing_per_group: Vec<usize>,
     },
+    /// A selection policy decided a winner (or found nothing
+    /// eligible). Emitted *before* the decision takes effect, one per
+    /// routed `rdi_policy::SelectionPolicy::choose` call (high-rate
+    /// sites emit the first decision of a run and count the rest —
+    /// see DESIGN.md, "Policy engine").
+    PolicyDecision {
+        /// Decision-site id (`rdi_policy::PolicyId::as_str`).
+        policy: String,
+        /// Canonical FNV-1a hash of the deciding params.
+        params_hash: u64,
+        /// Candidates considered.
+        considered: usize,
+        /// Winning candidate key; `None` when nothing was eligible.
+        winner: Option<String>,
+        /// The winner's rendered score (`""` when no winner).
+        winner_score: String,
+        /// Candidates sharing the winner's exact score.
+        ties: usize,
+        /// Rule that separated tied candidates (`"none"` if untied).
+        tie_break: String,
+        /// Rendered `k=v` params (`∅` for defaults).
+        params: String,
+    },
     /// Free-form annotation (escape hatch for custom stages).
     Note {
         /// The annotation text; rendered verbatim.
         text: String,
     },
+}
+
+/// Build a [`ProvenanceEvent::PolicyDecision`] from a policy rationale
+/// and count it: bumps the global `policy.decisions` counter and the
+/// per-site `policy.{id}.decisions` counter. Call sites emit the
+/// returned event into their audit stream *before* applying the
+/// decision. High-rate sites (per-draw verdicts) instead cache the
+/// counter handles and emit one exemplar event per run — see DESIGN.md,
+/// "Policy engine".
+pub fn policy_decision_event(r: &rdi_policy::Rationale) -> ProvenanceEvent {
+    crate::counter("policy.decisions").inc();
+    crate::counter(&format!("policy.{}.decisions", r.policy)).inc();
+    ProvenanceEvent::PolicyDecision {
+        policy: r.policy.to_string(),
+        params_hash: r.params_hash,
+        considered: r.considered,
+        winner: r.winner.clone(),
+        winner_score: r.winner_score.clone(),
+        ties: r.ties,
+        tie_break: r.tie_break.to_string(),
+        params: r.params.clone(),
+    }
 }
 
 impl ProvenanceEvent {
@@ -142,6 +187,26 @@ impl ProvenanceEvent {
             } => format!(
                 "DEGRADED: quarantined sources {quarantined:?}; rows not collected per group {missing_per_group:?}"
             ),
+            ProvenanceEvent::PolicyDecision {
+                policy,
+                params_hash,
+                considered,
+                winner,
+                winner_score,
+                ties,
+                tie_break,
+                params,
+            } => match winner {
+                Some(w) => format!(
+                    "policy `{policy}` chose `{w}` (score {winner_score}) from {considered} \
+                     candidate(s); ties={ties} tie_break={tie_break} params={params} \
+                     params_hash={params_hash:016x}"
+                ),
+                None => format!(
+                    "policy `{policy}` found no eligible candidate among {considered}; \
+                     params={params} params_hash={params_hash:016x}"
+                ),
+            },
             ProvenanceEvent::Note { text } => text.clone(),
         }
     }
@@ -291,6 +356,56 @@ mod tests {
     #[test]
     fn events_round_trip_through_json() {
         let log = sample_log();
+        let text = serde_json::to_string(&log).unwrap();
+        let back: ProvenanceLog = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    fn policy_events() -> (ProvenanceEvent, ProvenanceEvent) {
+        let chose = ProvenanceEvent::PolicyDecision {
+            policy: "discovery.union_rank".into(),
+            params_hash: 0x0123_4567_89ab_cdef,
+            considered: 3,
+            winner: Some("alpha".into()),
+            winner_score: "0.75".into(),
+            ties: 2,
+            tie_break: "key_asc".into(),
+            params: "∅".into(),
+        };
+        let none = ProvenanceEvent::PolicyDecision {
+            policy: "core.redirect".into(),
+            params_hash: 1,
+            considered: 0,
+            winner: None,
+            winner_score: String::new(),
+            ties: 0,
+            tie_break: "none".into(),
+            params: "dir=max".into(),
+        };
+        (chose, none)
+    }
+
+    #[test]
+    fn policy_decision_renders_both_outcomes() {
+        let (chose, none) = policy_events();
+        assert_eq!(
+            chose.render(),
+            "policy `discovery.union_rank` chose `alpha` (score 0.75) from 3 candidate(s); \
+             ties=2 tie_break=key_asc params=∅ params_hash=0123456789abcdef"
+        );
+        assert_eq!(
+            none.render(),
+            "policy `core.redirect` found no eligible candidate among 0; params=dir=max \
+             params_hash=0000000000000001"
+        );
+    }
+
+    #[test]
+    fn policy_decision_round_trips_through_json() {
+        let (chose, none) = policy_events();
+        let mut log = ProvenanceLog::new();
+        log.push(chose);
+        log.push(none);
         let text = serde_json::to_string(&log).unwrap();
         let back: ProvenanceLog = serde_json::from_str(&text).unwrap();
         assert_eq!(back, log);

@@ -1,0 +1,121 @@
+//! # rdi-policy
+//!
+//! The workspace-wide selection-policy engine: every tie-break and
+//! winner-selection decision in the toolkit (union ranking, quarantine
+//! redirect, tailoring keep/drop, cache eviction, admission ordering,
+//! fair-query relaxation) routes through one API —
+//! [`SelectionPolicy::choose`] — so each decision is *deterministic*,
+//! *parameterized*, and *auditable*.
+//!
+//! The paper's core claim is that integration systems must account for
+//! their choices: which source won, which table ranked first, which
+//! rows were kept. Burying that logic in ad-hoc `sort_by` closures
+//! makes the decision unexplainable at serving time. Here, instead:
+//!
+//! * every decision site owns a named [`PolicyId`];
+//! * every choice is made by a [`SelectionPolicy`] over explicit
+//!   [`Candidate`]s with totally-ordered [`Score`]s;
+//! * every knob lives in [`PolicyParams`], whose canonical encoding
+//!   hashes to a stable [`PolicyParams::hash`] (FNV-1a over a
+//!   versioned byte layout) — fingerprints change **iff** the policy
+//!   or its parameters change;
+//! * every [`SelectionDecision`] carries a replayable [`Rationale`]
+//!   that call sites emit as a `ProvenanceEvent::PolicyDecision`
+//!   *before* the decision takes effect.
+//!
+//! The crate is **zero-dependency** (no rand, no serde, no obs) so it
+//! can sit below every decision-making crate in the graph; call sites
+//! convert [`Rationale`] into their own provenance representation.
+//!
+//! ## Determinism contract
+//!
+//! With unique candidate keys, [`SelectionPolicy::choose`] is a pure
+//! function of the candidate *set* (permutation-invariant) and the
+//! params; it reads no clocks, no RNGs, and no thread-local state, so
+//! it is trivially invariant under `RDI_THREADS`. Exact duplicates
+//! (same key *and* same score) fall back to first-seen input order,
+//! which keeps the output deterministic for any fixed input sequence.
+//! The root `tests/policy_determinism.rs` property-checks both.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod decision;
+mod params;
+mod rank;
+mod score;
+
+pub use decision::{Candidate, Rationale, SelectionDecision, SelectionPolicy};
+pub use params::{fnv1a, PolicyParams, PolicySet, PARAMS_ENCODING_VERSION};
+pub use rank::RankByScore;
+pub use score::Score;
+
+/// A stable, workspace-unique name for one decision site.
+///
+/// The id appears in provenance events, metric names
+/// (`policy.{id}.decisions`), and the DESIGN.md decision-site catalog,
+/// so it is part of the audit surface — renaming one is a breaking
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolicyId(&'static str);
+
+impl PolicyId {
+    /// Union top-k candidate ranking (`rdi-discovery::union_search`,
+    /// replayed warm by `rdi-serve`'s execute phase).
+    pub const UNION_RANK: PolicyId = PolicyId("discovery.union_rank");
+    /// Joinability top-k candidate ranking (`rdi-serve`'s execute
+    /// phase; same ranking rule as union, scored by containment).
+    pub const JOIN_RANK: PolicyId = PolicyId("discovery.join_rank");
+    /// Quarantine redirect: which healthy source absorbs a draw aimed
+    /// at a quarantined one (`rdi-core::run_resilient`).
+    pub const REDIRECT: PolicyId = PolicyId("core.redirect");
+    /// Tailoring keep/drop verdict for one drawn record
+    /// (`rdi-tailor::run_tailoring*` and the resilient executor).
+    pub const TAILOR_KEEP: PolicyId = PolicyId("tailor.keep");
+    /// Sketch-cache eviction victim ordering (`rdi-serve::SketchCache`).
+    pub const CACHE_EVICT: PolicyId = PolicyId("serve.cache_evict");
+    /// Admission reserved-slot ordering across tenants
+    /// (`rdi-serve::Admitter`).
+    pub const ADMIT_RESERVE: PolicyId = PolicyId("serve.admit_reserve");
+    /// Fair-range relaxation direction choice
+    /// (`rdi-fairquery::relax_for_coverage`).
+    pub const FAIRQUERY_RELAX: PolicyId = PolicyId("fairquery.relax");
+
+    /// Every registered decision site, in stable order.
+    pub const ALL: [PolicyId; 7] = [
+        PolicyId::UNION_RANK,
+        PolicyId::JOIN_RANK,
+        PolicyId::REDIRECT,
+        PolicyId::TAILOR_KEEP,
+        PolicyId::CACHE_EVICT,
+        PolicyId::ADMIT_RESERVE,
+        PolicyId::FAIRQUERY_RELAX,
+    ];
+
+    /// The stable string form (used in metrics and provenance).
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PolicyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_ids_are_unique_and_stable() {
+        for (i, a) in PolicyId::ALL.iter().enumerate() {
+            for b in PolicyId::ALL.iter().skip(i + 1) {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+        assert_eq!(PolicyId::UNION_RANK.as_str(), "discovery.union_rank");
+        assert_eq!(PolicyId::REDIRECT.to_string(), "core.redirect");
+    }
+}

@@ -49,6 +49,7 @@ use std::sync::Arc;
 use rdi_actor::{Actor, ActorId, Addr, Ctx, Runtime};
 use rdi_discovery::TableSignature;
 use rdi_fault::RecoveryState;
+use rdi_policy::{PolicyId, PolicySet};
 use rdi_table::{Table, TableDelta};
 
 use crate::admit::{lay_out, AdmitConfig, Admitter, TaggedRequest, TenantId};
@@ -481,6 +482,7 @@ pub struct SessionActor {
     shard_count: usize,
     shards: Vec<ActorId>,
     admitter: Admitter,
+    policies: PolicySet,
     batches: u64,
     inflight: Option<Inflight>,
     backlog: VecDeque<Vec<TaggedRequest>>,
@@ -493,12 +495,14 @@ impl SessionActor {
         admit: AdmitConfig,
         shard_count: usize,
         shards: Vec<ActorId>,
+        policies: PolicySet,
     ) -> Self {
         SessionActor {
             admitter: Admitter::new(admit, config.seed),
             config,
             shard_count,
             shards,
+            policies,
             batches: 0,
             inflight: None,
             backlog: VecDeque::new(),
@@ -702,6 +706,10 @@ impl SessionActor {
             return;
         };
         let total_tables: usize = fl.counts.values().sum();
+        // Decision audit: admission ranking first, then per-request
+        // ranking decisions in slot order. (Shard-side cache evictions
+        // stay with their shard until the index is reassembled.)
+        let mut decisions = self.admitter.drain_decisions();
         for &(pos, seed) in &fl.admitted {
             if fl.responses[pos].is_some() {
                 continue;
@@ -712,9 +720,14 @@ impl SessionActor {
                 parts,
                 total_tables,
                 fl.local_errors.remove(&pos),
+                &self.policies,
             );
             let result = match plan {
-                Ok(plan) => execute(&plan, seed),
+                Ok(plan) => {
+                    let (r, plan_decisions) = execute(&plan, seed);
+                    decisions.extend(plan_decisions);
+                    r
+                }
                 Err(e) => Err(e),
             };
             fl.responses[pos] = Some(result);
@@ -739,6 +752,7 @@ impl SessionActor {
             responses,
             shed: fl.shed,
             degraded,
+            decisions,
         });
 
         if let Some(next) = self.backlog.pop_front() {
@@ -798,6 +812,7 @@ fn assemble(
     parts: Vec<(usize, WarmPart)>,
     total_tables: usize,
     local_error: Option<ServeError>,
+    policies: &PolicySet,
 ) -> Result<Prepared, ServeError> {
     match request {
         ServeRequest::UnionTopK { k, .. } => {
@@ -828,6 +843,7 @@ fn assemble(
                     k: *k,
                     query,
                     candidates,
+                    params: policies.params_for(PolicyId::UNION_RANK),
                 }),
                 Some(Err(e)) => Err(e),
                 None => Err(ServeError::EmptyQuery("query signature never built".into())),
@@ -875,6 +891,7 @@ fn assemble(
                 k: *k,
                 query,
                 candidates,
+                params: policies.params_for(PolicyId::JOIN_RANK),
             })
         }
         ServeRequest::CoverageProbe { .. } => {
@@ -926,6 +943,7 @@ fn assemble(
 #[derive(Debug)]
 pub struct LakeActorGroup {
     config: LakeIndexConfig,
+    policies: PolicySet,
     shard_actors: Vec<ActorId>,
     maint: Addr<MaintMsg>,
 }
@@ -934,7 +952,7 @@ impl LakeActorGroup {
     /// Disassemble `index` into one [`ShardActor`] per shard plus a
     /// [`MaintActor`], all spawned into `rt`.
     pub fn host(rt: &mut Runtime, index: LakeIndex) -> Self {
-        let (config, shards) = index.into_shards();
+        let (config, policies, shards) = index.into_shards();
         let mut shard_actors = Vec::with_capacity(shards.len());
         for (i, shard) in shards.into_iter().enumerate() {
             let addr = rt.spawn(
@@ -958,6 +976,7 @@ impl LakeActorGroup {
         );
         LakeActorGroup {
             config,
+            policies,
             shard_actors,
             maint,
         }
@@ -1007,6 +1026,7 @@ impl LakeActorGroup {
                 admit,
                 self.shard_actors.len(),
                 self.shard_actors.clone(),
+                self.policies.clone(),
             ),
         )
     }
@@ -1020,7 +1040,7 @@ impl LakeActorGroup {
         for id in self.shard_actors {
             shards.push(rt.take::<ShardActor>(id)?.shard);
         }
-        Some(LakeIndex::from_shards(self.config, shards))
+        Some(LakeIndex::from_shards(self.config, self.policies, shards))
     }
 }
 

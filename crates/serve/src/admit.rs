@@ -59,7 +59,9 @@
 use std::collections::BTreeMap;
 
 use rdi_fault::{Admission, RecoveringBreaker, RecoveryState};
+use rdi_obs::ProvenanceEvent;
 use rdi_par::stream_seed;
+use rdi_policy::{Candidate, PolicyId, PolicyParams, RankByScore, Score, SelectionPolicy};
 
 use crate::error::ServeError;
 use crate::request::{ServeRequest, ServeResponse};
@@ -281,6 +283,8 @@ pub struct Admitter {
     states: BTreeMap<TenantId, TenantState>,
     ticks: u64,
     arrivals: u64,
+    reserve_params: PolicyParams,
+    decisions: Vec<ProvenanceEvent>,
 }
 
 impl Admitter {
@@ -293,7 +297,21 @@ impl Admitter {
             states: BTreeMap::new(),
             ticks: 0,
             arrivals: 0,
+            reserve_params: PolicyParams::new(),
+            decisions: Vec::new(),
         }
+    }
+
+    /// Override the `serve.admit_reserve` selection params (the default
+    /// ranks aging desc, weight desc, tenant name asc).
+    pub fn set_reserve_params(&mut self, params: PolicyParams) {
+        self.reserve_params = params;
+    }
+
+    /// Take the [`ProvenanceEvent::PolicyDecision`] audit records
+    /// accumulated since the last drain (one per batch with demand).
+    pub fn drain_decisions(&mut self) -> Vec<ProvenanceEvent> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// The admission configuration.
@@ -415,15 +433,30 @@ impl Admitter {
             }
             u64::try_from((u128::from(cap) * w / total).max(1)).unwrap_or(u64::MAX)
         };
-        let mut order: Vec<&TenantId> = demand.keys().copied().collect();
-        order.sort_by(|a, b| {
-            let (sa, sb) = (&self.states[*a], &self.states[*b]);
-            (sb.aging, sb.policy.clamped_weight(), *a).cmp(&(
-                sa.aging,
-                sa.policy.clamped_weight(),
-                *b,
-            ))
-        });
+        let keys: Vec<&TenantId> = demand.keys().copied().collect();
+        let candidates: Vec<Candidate> = keys
+            .iter()
+            .map(|t| {
+                let st = &self.states[*t];
+                Candidate::new(
+                    t.name(),
+                    Score::Tuple(vec![
+                        Score::U64(st.aging),
+                        Score::U64(st.policy.clamped_weight()),
+                    ]),
+                )
+            })
+            .collect();
+        let order: Vec<&TenantId> = if candidates.is_empty() {
+            Vec::new()
+        } else {
+            let reserve = RankByScore::new(PolicyId::ADMIT_RESERVE);
+            let decision = reserve.choose(&candidates, &self.reserve_params);
+            self.decisions.push(rdi_obs::policy_decision_event(
+                &decision.rationale(&candidates, &self.reserve_params),
+            ));
+            decision.ranking.iter().map(|&i| keys[i]).collect()
+        };
         let mut remaining = cap;
         let mut reserved: BTreeMap<&TenantId, u64> = BTreeMap::new();
         let mut base_share: BTreeMap<&TenantId, u64> = BTreeMap::new();

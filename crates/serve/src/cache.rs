@@ -16,6 +16,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rdi_discovery::{MinHash, TableSignature};
+use rdi_obs::ProvenanceEvent;
+use rdi_policy::{Candidate, PolicyId, PolicyParams, RankByScore, Score, SelectionPolicy};
 
 /// What kind of sketch an entry holds (part of the cache key: the same
 /// table content can carry a union signature *and* per-column join
@@ -54,6 +56,20 @@ impl CacheKey {
     /// Owner id used for ad-hoc query tables (not registered in the
     /// index); their fingerprint alone identifies the content.
     pub const QUERY_OWNER: &'static str = "<query>";
+
+    /// Stable `owner#fingerprint#kind` rendering — the candidate key
+    /// under which this entry appears in `serve.cache_evict` policy
+    /// decisions.
+    pub fn render(&self) -> String {
+        match &self.kind {
+            SketchKind::Union { k } => {
+                format!("{}#{:016x}#union:{k}", self.owner, self.fingerprint)
+            }
+            SketchKind::Join { column, k } => {
+                format!("{}#{:016x}#join:{column}:{k}", self.owner, self.fingerprint)
+            }
+        }
+    }
 }
 
 /// A single-column joinability profile: the column's MinHash plus its
@@ -114,6 +130,12 @@ pub struct SketchCache {
     recency: BTreeMap<u64, CacheKey>,
     clock: u64,
     bytes: usize,
+    /// `serve.cache_evict` params (default `dir=min` over the recency
+    /// sequence = least-recently-used first).
+    evict_params: PolicyParams,
+    /// One `PolicyDecision` audit event per eviction episode, drained
+    /// by the owning index/session.
+    decisions: Vec<ProvenanceEvent>,
 }
 
 impl SketchCache {
@@ -127,12 +149,28 @@ impl SketchCache {
             recency: BTreeMap::new(),
             clock: 0,
             bytes: 0,
+            evict_params: PolicyParams::new().with("dir", "min"),
+            decisions: Vec::new(),
         }
     }
 
     /// Configured capacity in accounted bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Override the `serve.cache_evict` victim-ordering params. The
+    /// site default is `dir=min` over each entry's recency sequence
+    /// (LRU first); `dir=max` flips to MRU-first. The fresh entry of an
+    /// insert is never a candidate regardless of params.
+    pub fn set_evict_params(&mut self, params: PolicyParams) {
+        self.evict_params = params;
+    }
+
+    /// Drain the accumulated `PolicyDecision` audit events (one per
+    /// eviction episode), oldest first.
+    pub fn drain_decisions(&mut self) -> Vec<ProvenanceEvent> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// Accounted bytes currently held.
@@ -191,22 +229,37 @@ impl SketchCache {
                 last_used: self.clock,
             },
         );
-        while self.bytes > self.capacity && self.entries.len() > 1 {
-            let Some((&seq, victim)) = self.recency.iter().next() else {
-                break;
-            };
-            let victim = victim.clone();
-            if victim == key {
-                // The fresh entry is the LRU only when it is alone —
-                // handled by the len() > 1 guard, but stay defensive.
-                break;
+        if self.bytes > self.capacity && self.entries.len() > 1 {
+            // One `serve.cache_evict` decision per over-budget episode:
+            // rank every resident entry except the fresh one (never a
+            // victim) by recency — default `dir=min` = LRU first, the
+            // historic order — emit the audit event, then apply the
+            // ranking until the budget holds.
+            let mut candidates = Vec::new();
+            let mut keys = Vec::new();
+            for (k, e) in &self.entries {
+                if *k == key {
+                    continue;
+                }
+                candidates.push(Candidate::new(k.render(), Score::U64(e.last_used)));
+                keys.push(k.clone());
             }
-            self.recency.remove(&seq);
-            if let Some(e) = self.entries.remove(&victim) {
-                self.bytes -= e.bytes;
-                rdi_obs::counter("serve.cache.evicted_bytes").add(e.bytes as u64);
+            let policy = RankByScore::new(PolicyId::CACHE_EVICT);
+            let decision = policy.choose(&candidates, &self.evict_params);
+            self.decisions.push(rdi_obs::policy_decision_event(
+                &decision.rationale(&candidates, &self.evict_params),
+            ));
+            for &i in &decision.ranking {
+                if self.bytes <= self.capacity {
+                    break;
+                }
+                if let Some(e) = self.entries.remove(&keys[i]) {
+                    self.recency.remove(&e.last_used);
+                    self.bytes -= e.bytes;
+                    rdi_obs::counter("serve.cache.evicted_bytes").add(e.bytes as u64);
+                }
+                rdi_obs::counter("serve.cache.evictions").inc();
             }
-            rdi_obs::counter("serve.cache.evictions").inc();
         }
         rdi_obs::gauge("serve.cache.bytes").set(self.bytes as f64);
     }
@@ -372,6 +425,85 @@ mod tests {
             rdi_obs::counter("serve.cache.evicted_bytes").get() > before,
             "capacity eviction reports the bytes it released"
         );
+    }
+
+    /// The policy-routed eviction must replay the historic inline loop
+    /// byte-for-byte: same victims, same order, same surviving bytes.
+    /// The oracle below *is* the pre-refactor algorithm (pop the
+    /// smallest recency sequence while over budget, never the fresh
+    /// key, stop when one entry remains).
+    #[test]
+    fn eviction_order_is_byte_identical_to_the_pre_refactor_lru_loop() {
+        struct Oracle {
+            capacity: usize,
+            entries: BTreeMap<CacheKey, (u64, usize)>,
+            clock: u64,
+            bytes: usize,
+        }
+        impl Oracle {
+            fn get(&mut self, key: &CacheKey) -> bool {
+                self.clock += 1;
+                let clock = self.clock;
+                match self.entries.get_mut(key) {
+                    Some(e) => {
+                        e.0 = clock;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            fn insert(&mut self, key: CacheKey, bytes: usize) {
+                if let Some(old) = self.entries.remove(&key) {
+                    self.bytes -= old.1;
+                }
+                self.clock += 1;
+                self.bytes += bytes;
+                self.entries.insert(key.clone(), (self.clock, bytes));
+                while self.bytes > self.capacity && self.entries.len() > 1 {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, &(last_used, _))| last_used)
+                        .map(|(k, _)| k.clone())
+                        .expect("non-empty");
+                    if victim == key {
+                        break;
+                    }
+                    let e = self.entries.remove(&victim).expect("present");
+                    self.bytes -= e.1;
+                }
+            }
+        }
+
+        let cap = 600;
+        let mut c = SketchCache::new(cap);
+        let mut oracle = Oracle {
+            capacity: cap,
+            entries: BTreeMap::new(),
+            clock: 0,
+            bytes: 0,
+        };
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        for round in 0..3 {
+            for (i, n) in names.iter().enumerate() {
+                let s = sig(n, 8 + 8 * (i % 3));
+                let b = s.bytes();
+                c.insert(key(n), s);
+                oracle.insert(key(n), b);
+                // interleave touches so recency diverges from insertion
+                let t = names[(i + round) % names.len()];
+                assert_eq!(c.get(&key(t)).is_some(), oracle.get(&key(t)));
+                let survivors: Vec<&CacheKey> = c.entries.keys().collect();
+                let expected: Vec<&CacheKey> = oracle.entries.keys().collect();
+                assert_eq!(survivors, expected, "round {round}, insert {n}");
+                assert_eq!(c.bytes(), oracle.bytes);
+            }
+        }
+        assert!(
+            !c.drain_decisions().is_empty(),
+            "over-budget episodes were audited"
+        );
+        assert!(c.drain_decisions().is_empty(), "drain empties the log");
     }
 
     #[test]

@@ -38,7 +38,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdi_coverage::CoverageAnalyzer;
 use rdi_discovery::hash::hash_bytes;
-use rdi_discovery::{table_unionability, MinHash, TableSignature};
+use rdi_discovery::{rank_scored, table_unionability, MinHash, TableSignature};
+use rdi_obs::ProvenanceEvent;
+use rdi_policy::{PolicyId, PolicyParams, PolicySet};
 use rdi_table::{Table, TableDelta};
 use rdi_tailor::{DtProblem, RandomPolicy, TableSource};
 
@@ -388,6 +390,8 @@ impl Shard {
 pub struct LakeIndex {
     config: LakeIndexConfig,
     shards: Vec<Shard>,
+    policies: PolicySet,
+    decisions: Vec<ProvenanceEvent>,
 }
 
 impl Default for LakeIndex {
@@ -405,21 +409,71 @@ impl LakeIndex {
         let shards = (0..n)
             .map(|i| Shard::new(total / n + usize::from(i < total % n)))
             .collect();
-        LakeIndex { config, shards }
+        LakeIndex {
+            config,
+            shards,
+            policies: PolicySet::new(),
+            decisions: Vec::new(),
+        }
     }
 
-    /// Disassemble into the configuration and the owned shards, in
-    /// shard order — the actor hosting layer (`crate::actors`) moves
-    /// each shard into its own `ShardActor`.
-    pub(crate) fn into_shards(self) -> (LakeIndexConfig, Vec<Shard>) {
-        (self.config, self.shards)
+    /// Disassemble into the configuration, the policy overrides, and
+    /// the owned shards, in shard order — the actor hosting layer
+    /// (`crate::actors`) moves each shard into its own `ShardActor`.
+    /// Drain decisions first; undrained audit records do not survive
+    /// disassembly.
+    pub(crate) fn into_shards(self) -> (LakeIndexConfig, PolicySet, Vec<Shard>) {
+        (self.config, self.policies, self.shards)
     }
 
     /// Reassemble an index from shards previously produced by
     /// [`LakeIndex::into_shards`] (shard order must be preserved —
     /// routing is positional).
-    pub(crate) fn from_shards(config: LakeIndexConfig, shards: Vec<Shard>) -> Self {
-        LakeIndex { config, shards }
+    pub(crate) fn from_shards(
+        config: LakeIndexConfig,
+        policies: PolicySet,
+        shards: Vec<Shard>,
+    ) -> Self {
+        LakeIndex {
+            config,
+            shards,
+            policies,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Override one selection site's params for this index. The union /
+    /// join rankers consult the set when a plan is prepared;
+    /// [`PolicyId::CACHE_EVICT`] overrides are pushed down into every
+    /// shard's [`SketchCache`]. An empty set (the default) is
+    /// bitwise-identical to the historic inline rules — note the cache
+    /// site's *documented default* is `dir=min` (LRU), applied by the
+    /// cache itself, so an explicit empty override here flips it to the
+    /// policy-level default `dir=max` (MRU).
+    pub fn set_policy(&mut self, site: PolicyId, params: PolicyParams) {
+        if site == PolicyId::CACHE_EVICT {
+            for s in &mut self.shards {
+                s.cache.set_evict_params(params.clone());
+            }
+        }
+        self.policies.set(site, params);
+    }
+
+    /// The selection-policy overrides active on this index.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// Take every [`ProvenanceEvent::PolicyDecision`] recorded since
+    /// the last drain: ranking decisions from the one-shot query paths
+    /// first, then each shard cache's eviction decisions, in shard
+    /// order.
+    pub fn drain_decisions(&mut self) -> Vec<ProvenanceEvent> {
+        let mut out = std::mem::take(&mut self.decisions);
+        for s in &mut self.shards {
+            out.extend(s.cache.drain_decisions());
+        }
+        out
     }
 
     /// The index configuration.
@@ -629,6 +683,7 @@ impl LakeIndex {
                     k: *k,
                     query: query_sig,
                     candidates,
+                    params: self.policies.params_for(PolicyId::UNION_RANK),
                 })
             }
             ServeRequest::JoinableTopK { query, column, k } => {
@@ -662,6 +717,7 @@ impl LakeIndex {
                     k: *k,
                     query: query_profile,
                     candidates,
+                    params: self.policies.params_for(PolicyId::JOIN_RANK),
                 })
             }
             ServeRequest::CoverageProbe {
@@ -733,7 +789,9 @@ impl LakeIndex {
             query: query.clone(),
             k,
         })?;
-        match execute(&plan, 0) {
+        let (result, decisions) = execute(&plan, 0);
+        self.decisions.extend(decisions);
+        match result {
             Ok(ServeResponse::UnionTopK(v)) => Ok(v),
             Ok(_) => unreachable!("union plan executes to a union response"),
             Err(e) => Err(e),
@@ -752,7 +810,9 @@ impl LakeIndex {
             column: column.to_string(),
             k,
         })?;
-        match execute(&plan, 0) {
+        let (result, decisions) = execute(&plan, 0);
+        self.decisions.extend(decisions);
+        match result {
             Ok(ServeResponse::JoinableTopK(v)) => Ok(v),
             Ok(_) => unreachable!("join plan executes to a join response"),
             Err(e) => Err(e),
@@ -781,11 +841,13 @@ pub(crate) enum Prepared {
         k: usize,
         query: Arc<TableSignature>,
         candidates: Vec<(String, Arc<TableSignature>)>,
+        params: PolicyParams,
     },
     Join {
         k: usize,
         query: Arc<KeyProfile>,
         candidates: Vec<(String, Arc<KeyProfile>)>,
+        params: PolicyParams,
     },
     Coverage {
         table_id: String,
@@ -800,40 +862,57 @@ pub(crate) enum Prepared {
     },
 }
 
-/// Execute a prepared plan. Pure: the response is a function of the
-/// plan and `seed` alone (the seed feeds the request's private RNG
+/// Execute a prepared plan. Pure: the response *and* the returned
+/// [`ProvenanceEvent::PolicyDecision`] audit records are functions of
+/// the plan and `seed` alone (the seed feeds the request's private RNG
 /// stream; only tailoring consumes randomness), so execution order and
-/// thread count cannot change any answer.
-pub(crate) fn execute(plan: &Prepared, seed: u64) -> Result<ServeResponse, ServeError> {
+/// thread count cannot change any answer — or any rationale.
+pub(crate) fn execute(
+    plan: &Prepared,
+    seed: u64,
+) -> (Result<ServeResponse, ServeError>, Vec<ProvenanceEvent>) {
+    let mut decisions = Vec::new();
+    let result = execute_inner(plan, seed, &mut decisions);
+    (result, decisions)
+}
+
+fn execute_inner(
+    plan: &Prepared,
+    seed: u64,
+    decisions: &mut Vec<ProvenanceEvent>,
+) -> Result<ServeResponse, ServeError> {
     match plan {
         Prepared::Union {
             k,
             query,
             candidates,
+            params,
         } => {
             rdi_obs::counter("serve.candidates_scored").add(candidates.len() as u64);
-            let mut scored: Vec<(String, f64)> = candidates
+            let scored: Vec<(String, f64)> = candidates
                 .iter()
                 .map(|(id, sig)| (id.clone(), table_unionability(query, sig)))
                 .collect();
-            // identical ranking to `UnionSearchIndex::top_k`
-            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            scored.truncate(*k);
-            Ok(ServeResponse::UnionTopK(scored))
+            // under default params, identical ranking to the historic
+            // inline sort and to `UnionSearchIndex::top_k`
+            let (top, event) = rank_scored(PolicyId::UNION_RANK, &scored, *k, params);
+            decisions.push(event);
+            Ok(ServeResponse::UnionTopK(top))
         }
         Prepared::Join {
             k,
             query,
             candidates,
+            params,
         } => {
             rdi_obs::counter("serve.candidates_scored").add(candidates.len() as u64);
-            let mut scored: Vec<(String, f64)> = candidates
+            let scored: Vec<(String, f64)> = candidates
                 .iter()
                 .map(|(id, p)| (id.clone(), containment_estimate(query, p)))
                 .collect();
-            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            scored.truncate(*k);
-            Ok(ServeResponse::JoinableTopK(scored))
+            let (top, event) = rank_scored(PolicyId::JOIN_RANK, &scored, *k, params);
+            decisions.push(event);
+            Ok(ServeResponse::JoinableTopK(top))
         }
         Prepared::Coverage {
             table_id,
@@ -876,6 +955,13 @@ pub(crate) fn execute(plan: &Prepared, seed: u64) -> Result<ServeResponse, Serve
                 .map_err(|e| match e {
                     rdi_core::PipelineError::Table(t) => ServeError::Table(t),
                 })?;
+            decisions.extend(
+                result
+                    .provenance
+                    .iter()
+                    .filter(|e| matches!(e, ProvenanceEvent::PolicyDecision { .. }))
+                    .cloned(),
+            );
             Ok(ServeResponse::Tailored(TailorReport {
                 rows: result.data.num_rows(),
                 total_cost: result.total_cost,

@@ -89,6 +89,12 @@ pub struct BatchReport {
     /// True when any request was shed or failed — the batch shipped
     /// partial results.
     pub degraded: bool,
+    /// Every [`rdi_obs::ProvenanceEvent::PolicyDecision`] behind this
+    /// batch's answers, in decision order: the admitter's reserved-slot
+    /// ranking, then cache-eviction victims from the warm phase, then
+    /// per-request ranking decisions in slot order. Replaying these is
+    /// how a caller audits *why* each winner won.
+    pub decisions: Vec<rdi_obs::ProvenanceEvent>,
 }
 
 /// A long-lived serving session over a [`LakeIndex`].
@@ -213,13 +219,19 @@ impl ServeSession {
             }
         }
 
+        // Decision audit: the admitter's reserved-slot ranking, then
+        // any cache evictions the warm pass forced.
+        let mut decisions = self.admitter.drain_decisions();
+        decisions.extend(self.index.drain_decisions());
+
         // Phase 3: execute in parallel; results splice back in input
         // order (rdi-par contract), each job on its own RNG stream.
         let results = par_map(self.config.threads.min_len(2), &jobs, |(_, seed, plan)| {
             execute(plan, *seed)
         });
-        for ((pos, _, _), result) in jobs.into_iter().zip(results) {
+        for ((pos, _, _), (result, job_decisions)) in jobs.into_iter().zip(results) {
             responses[pos] = Some(result);
+            decisions.extend(job_decisions);
         }
 
         // Post phase: feed each tenant's breaker its own outcomes in
@@ -241,6 +253,7 @@ impl ServeSession {
             responses,
             shed,
             degraded,
+            decisions,
         }
     }
 }

@@ -15,8 +15,8 @@
 //!   extension, where one tuple credits several requirements at once;
 //! * [`source`] — cost-annotated sources that yield random tuples:
 //!   the fallible [`source::Source`] trait (`try_draw` with a typed
-//!   [`source::SourceError`] failure taxonomy, plus the legacy
-//!   infallible `draw` shim) and [`source::TableSource`], which samples
+//!   [`source::SourceError`] failure taxonomy) and
+//!   [`source::TableSource`], which samples
 //!   a backing table with replacement, matching the paper's "query an
 //!   API, get a random record" model and never fails;
 //! * [`policy`] — source-selection policies: the known-distribution
@@ -83,5 +83,5 @@ pub mod prelude {
 pub use marginal::{run_marginal_tailoring, MarginalOutcome, MarginalProblem, MarginalSource};
 pub use policy::{EpsilonGreedy, OracleDp, Policy, RandomPolicy, RatioColl, RoundRobin, UcbColl};
 pub use problem::{CountRequirement, DtProblem};
-pub use runner::{record_outcome, run_tailoring, run_tailoring_dedup, TailorOutcome};
+pub use runner::{record_outcome, run_tailoring, run_tailoring_dedup, KeepDrop, TailorOutcome};
 pub use source::{Draw, Source, SourceError, TableSource};

@@ -1,6 +1,10 @@
 //! The tailoring simulation loop.
 
+use std::sync::Arc;
+
 use rand::Rng;
+use rdi_obs::{Counter, ProvenanceEvent};
+use rdi_policy::{Candidate, PolicyId, PolicyParams, RankByScore, Score, SelectionPolicy};
 use rdi_table::{Table, TableError};
 
 use crate::policy::Policy;
@@ -22,6 +26,73 @@ pub struct TailorOutcome {
     pub collected: Table,
     /// Draws issued to each source.
     pub per_source_draws: Vec<usize>,
+    /// `PolicyDecision` audit events for this run's `tailor.keep`
+    /// verdicts — the *exemplar* event from the first verdict (see
+    /// [`KeepDrop`]); every verdict is counted in `policy.*` metrics.
+    pub decisions: Vec<ProvenanceEvent>,
+}
+
+/// The `tailor.keep` decision site: audited keep/drop verdicts for
+/// drawn records, routed through [`RankByScore`].
+///
+/// Every verdict ranks two candidates — `keep` scored `2` when the
+/// record's group is still under its `hi` cap (else `0`) and `drop`
+/// scored a constant `1` — so under the default `dir=max` params the
+/// historic "keep while under the cap" rule is reproduced exactly, and
+/// overriding `dir=min` inverts it auditablely.
+///
+/// Keep/drop fires once per useful draw (tens of thousands per run), so
+/// emitting one `PolicyDecision` provenance event per verdict would
+/// swamp the log. Instead the **first** verdict of a run emits the full
+/// event (the exemplar, carried on [`TailorOutcome::decisions`]) while
+/// every verdict ticks the `policy.decisions` and
+/// `policy.tailor.keep.decisions` counters through cached handles.
+#[derive(Debug)]
+pub struct KeepDrop {
+    policy: RankByScore,
+    params: PolicyParams,
+    exemplar: Option<ProvenanceEvent>,
+    total: Arc<Counter>,
+    site: Arc<Counter>,
+}
+
+impl KeepDrop {
+    /// A fresh per-run verdict stream under `params` (empty params =
+    /// documented defaults).
+    pub fn new(params: PolicyParams) -> Self {
+        KeepDrop {
+            policy: RankByScore::new(PolicyId::TAILOR_KEEP),
+            params,
+            exemplar: None,
+            total: rdi_obs::counter("policy.decisions"),
+            site: rdi_obs::counter(&format!("policy.{}.decisions", PolicyId::TAILOR_KEEP)),
+        }
+    }
+
+    /// One keep (true) / drop (false) verdict; `eligible` is the
+    /// caller's input signal (group still under its `hi` cap).
+    pub fn decide(&mut self, eligible: bool) -> bool {
+        let candidates = [
+            Candidate::new("keep", Score::U64(if eligible { 2 } else { 0 })),
+            Candidate::new("drop", Score::U64(1)),
+        ];
+        let decision = self.policy.choose(&candidates, &self.params);
+        if self.exemplar.is_none() {
+            // emits *and* counts the first verdict
+            self.exemplar = Some(rdi_obs::policy_decision_event(
+                &decision.rationale(&candidates, &self.params),
+            ));
+        } else {
+            self.total.inc();
+            self.site.inc();
+        }
+        decision.winner_key(&candidates) == Some("keep")
+    }
+
+    /// The run's audit events (the exemplar, when any verdict fired).
+    pub fn into_decisions(self) -> Vec<ProvenanceEvent> {
+        self.exemplar.into_iter().collect()
+    }
 }
 
 /// Drive `policy` against `sources` until the problem's requirements are
@@ -61,6 +132,7 @@ pub fn run_tailoring<S: Source, R: Rng>(
     let mut total_cost = 0.0;
     let mut draws = 0usize;
     let mut collected = Table::new(schema);
+    let mut keepdrop = KeepDrop::new(PolicyParams::new());
 
     let satisfied = |per_group: &[usize]| -> bool {
         per_group
@@ -90,8 +162,8 @@ pub fn run_tailoring<S: Source, R: Rng>(
         total_cost += sources[s].cost();
         policy.observe(s, group.filter(|&gi| remaining[gi] > 0));
         if let Some(gi) = group {
-            // keep while under the hi cap
-            if per_group[gi] < problem.requirements[gi].hi {
+            // keep while under the hi cap — audited as `tailor.keep`
+            if keepdrop.decide(per_group[gi] < problem.requirements[gi].hi) {
                 per_group[gi] += 1;
                 collected.push_row(row)?;
             }
@@ -107,6 +179,7 @@ pub fn run_tailoring<S: Source, R: Rng>(
         satisfied: ok,
         collected,
         per_source_draws,
+        decisions: keepdrop.into_decisions(),
     })
 }
 
@@ -163,6 +236,7 @@ pub fn run_tailoring_dedup<S: Source, R: Rng>(
     let mut total_cost = 0.0;
     let mut draws = 0usize;
     let mut collected = Table::new(schema);
+    let mut keepdrop = KeepDrop::new(PolicyParams::new());
 
     let satisfied = |per_group: &[usize]| {
         per_group
@@ -197,7 +271,7 @@ pub fn run_tailoring_dedup<S: Source, R: Rng>(
         }
         policy.observe(s, group.filter(|&gi| remaining[gi] > 0));
         if let Some(gi) = group {
-            if per_group[gi] < problem.requirements[gi].hi {
+            if keepdrop.decide(per_group[gi] < problem.requirements[gi].hi) {
                 per_group[gi] += 1;
                 collected.push_row(row)?;
             }
@@ -215,6 +289,7 @@ pub fn run_tailoring_dedup<S: Source, R: Rng>(
             satisfied: ok,
             collected,
             per_source_draws,
+            decisions: keepdrop.into_decisions(),
         },
         duplicates,
     ))

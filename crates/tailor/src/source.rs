@@ -5,9 +5,9 @@
 //! * [`Source`] — the *fallible* source abstraction: every draw may fail
 //!   with a typed [`SourceError`] (`try_draw`), because real federated
 //!   sources go down, corrupt records, truncate responses, and stall
-//!   (tutorial §1, Ex. 1). The legacy infallible [`Source::draw`] is a
-//!   default-implemented shim over `try_draw`, so pre-existing source
-//!   impls and call sites keep compiling and behaving identically.
+//!   (tutorial §1, Ex. 1). `try_draw` is the *only* trait method — the
+//!   legacy infallible `draw` shim has been removed; retry/backoff
+//!   lives in `rdi_core::run_resilient`, not in sources.
 //! * [`TableSource`] — the paper's in-memory model of an external API
 //!   (sample a backing table with replacement at a fixed cost). Its
 //!   `try_draw` never fails; fault behaviour is layered on by
@@ -89,13 +89,12 @@ impl std::error::Error for SourceError {}
 ///
 /// The trait is object-safe (`&mut dyn RngCore` instead of a generic
 /// RNG) so executors can mix source kinds behind one slice. The only
-/// required drawing method is the fallible [`Source::try_draw`]; the
-/// legacy infallible [`Source::draw`] defaults to retrying `try_draw`
-/// until it succeeds, which preserves the historical "every draw
-/// succeeds" contract for sources that never fail and keeps out-of-tree
-/// impls compiling. Failure-*aware* callers (retry budgets, circuit
-/// breakers, degradation accounting) should call `try_draw` — that is
-/// what `rdi-core`'s resilient executor does.
+/// drawing method is the fallible [`Source::try_draw`]; the deprecated
+/// infallible `draw` default (which retried `try_draw` unboundedly) has
+/// been removed. Failure-*aware* callers (retry budgets, circuit
+/// breakers, degradation accounting) handle the error — that is what
+/// `rdi-core`'s resilient executor does; the infallible-source runners
+/// in [`crate::runner`] retry inline because their sources never fail.
 pub trait Source {
     /// Source name (stable; used in provenance and audit reports).
     fn name(&self) -> &str;
@@ -114,26 +113,6 @@ pub trait Source {
 
     /// Attempt to draw one random record.
     fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<Draw, SourceError>;
-
-    /// Legacy infallible draw: retry [`Source::try_draw`] until a record
-    /// arrives.
-    ///
-    /// For infallible sources this is exactly one `try_draw` call. For
-    /// fault-injecting sources it retries *unboundedly* (terminating
-    /// with probability 1 whenever the per-draw fault rate is below
-    /// 1.0) — use the resilient executor for bounded retries.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use PipelineBuilder-driven executors (or call try_draw and handle the error); \
-                the infallible shim retries unboundedly"
-    )]
-    fn draw(&mut self, rng: &mut dyn RngCore) -> Draw {
-        loop {
-            if let Ok(d) = self.try_draw(rng) {
-                return d;
-            }
-        }
-    }
 }
 
 /// A source backed by an in-memory table, sampled **with replacement** —
@@ -247,9 +226,8 @@ impl Source for TableSource {
         TableSource::frequencies(self)
     }
 
-    /// Never fails: the backing table is in memory, so the deprecated
-    /// `Source::draw` default shim is also exactly one `try_draw` call
-    /// here — bitwise identical to the inherent [`TableSource::draw`].
+    /// Never fails: the backing table is in memory, so this is exactly
+    /// one call to the inherent [`TableSource::draw`].
     fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<Draw, SourceError> {
         Ok(TableSource::draw(self, rng))
     }

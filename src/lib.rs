@@ -52,6 +52,10 @@ pub mod prelude {
     pub use rdi_datagen::{
         skewed_sources, LakeConfig, PopulationSpec, SourceConfig, SyntheticLake,
     };
+    pub use rdi_policy::{
+        Candidate, PolicyId, PolicyParams, PolicySet, RankByScore, Rationale, Score,
+        SelectionDecision, SelectionPolicy,
+    };
     pub use rdi_profile::{LabelConfig, NutritionalLabel};
     pub use rdi_serve::{
         BatchReport, LakeIndex, LakeIndexConfig, ServeError, ServeRequest, ServeResponse,
@@ -74,6 +78,7 @@ pub use rdi_fairquery as fairquery;
 pub use rdi_fault as fault;
 pub use rdi_joinsample as joinsample;
 pub use rdi_obs as obs;
+pub use rdi_policy as policy;
 pub use rdi_profile as profile;
 pub use rdi_serve as serve;
 pub use rdi_table as table;
